@@ -1,0 +1,52 @@
+"""Ablation — cost of the compile-time phases themselves.
+
+The paper reports only runtime overhead (its static phases run inside
+the Jalapeño compiler); DESIGN.md calls the static phase cost out as a
+design-choice ablation: how expensive are points-to + ICG + escape
+(phase 1) and SSA + value numbering + weaker-than elimination + peeling
+(phase 2) on each benchmark, and how many trace sites each removes.
+"""
+
+import pytest
+
+from repro.analysis import analyze_static_races
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+from repro.workloads import BENCHMARKS
+
+from conftest import BENCH_SCALES
+
+
+def source_of(workload):
+    spec = BENCHMARKS[workload]
+    return spec.build(BENCH_SCALES.get(workload))
+
+
+@pytest.mark.parametrize("workload", sorted(BENCHMARKS))
+def test_static_race_analysis_cost(benchmark, workload):
+    source = source_of(workload)
+    benchmark.group = f"static:{workload}"
+
+    def run():
+        return analyze_static_races(compile_source(source))
+
+    result = benchmark(run)
+    benchmark.extra_info["racy_sites"] = len(result.racy_sites)
+    benchmark.extra_info["sites_total"] = result.stats.sites_total
+    benchmark.extra_info["pairs_checked"] = result.stats.pairs_checked
+
+
+@pytest.mark.parametrize("workload", sorted(BENCHMARKS))
+def test_full_planning_cost(benchmark, workload):
+    source = source_of(workload)
+    benchmark.group = f"static:{workload}"
+
+    def run():
+        return plan_instrumentation(compile_source(source), PlannerConfig())
+
+    plan = benchmark(run)
+    benchmark.extra_info["sites_instrumented"] = plan.stats.sites_instrumented
+    benchmark.extra_info["eliminated_weaker"] = (
+        plan.stats.sites_eliminated_weaker
+    )
+    benchmark.extra_info["loops_peeled"] = plan.stats.loops_peeled

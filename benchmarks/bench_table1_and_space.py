@@ -1,0 +1,67 @@
+"""Table 1 (benchmark characteristics) and Section 8.2 (space accounting).
+
+Table 1's static characteristics (LoC, dynamic thread counts) are
+recorded as ``extra_info`` on a compile-time benchmark per workload;
+the space benchmark runs tsp2 under Full and records live trie nodes
+and monitored memory locations — the analog of the paper's "7967 trie
+nodes holding history for 6562 memory locations".
+"""
+
+import pytest
+
+from repro.harness import CONFIG_FULL
+from repro.lang import compile_source
+from repro.workloads import BENCHMARKS
+
+from conftest import BENCH_SCALES, prepare
+
+
+@pytest.mark.parametrize("workload", sorted(BENCHMARKS))
+def test_table1_compile(benchmark, workload):
+    """Front-end cost per benchmark + its Table 1 characteristics."""
+    spec = BENCHMARKS[workload]
+    scale = BENCH_SCALES.get(workload)
+    source = spec.build(scale)
+    benchmark.group = "table1:compile"
+    resolved = benchmark(compile_source, source, spec.name)
+    benchmark.extra_info["lines_of_mj"] = spec.loc(scale)
+    benchmark.extra_info["access_sites"] = len(resolved.sites)
+    runner = prepare(spec, CONFIG_FULL, scale=scale)
+    result, _ = runner()
+    benchmark.extra_info["dynamic_threads"] = result.threads_created
+    assert result.threads_created == spec.threads
+
+
+def test_space_accounting_tsp2(benchmark):
+    runner = prepare(BENCHMARKS["tsp2"], CONFIG_FULL)
+    benchmark.group = "space"
+    _, detector = benchmark(runner)
+    benchmark.extra_info["trie_nodes"] = detector.total_trie_nodes()
+    benchmark.extra_info["monitored_locations"] = detector.monitored_locations
+    assert detector.total_trie_nodes() >= detector.monitored_locations
+
+
+def test_space_packed_tries_tsp2(benchmark):
+    """The Section 8.2 packing scheme: one lockset-major trie."""
+    from repro.detector import DetectorConfig
+    from repro.instrument import PlannerConfig
+    from repro.harness import Configuration
+
+    packed_config = Configuration(
+        name="packed",
+        planner=PlannerConfig(),
+        detector=DetectorConfig(packed_tries=True),
+    )
+    runner = prepare(BENCHMARKS["tsp2"], packed_config)
+    benchmark.group = "space"
+    _, detector = benchmark(runner)
+    packed_nodes = detector.total_trie_nodes()
+    benchmark.extra_info["trie_nodes"] = packed_nodes
+    benchmark.extra_info["monitored_locations"] = detector.monitored_locations
+
+    plain_runner = prepare(BENCHMARKS["tsp2"], CONFIG_FULL)
+    _, plain = plain_runner()
+    benchmark.extra_info["per_location_nodes"] = plain.total_trie_nodes()
+    # Packing shares lockset structure across locations: far fewer nodes.
+    assert packed_nodes < plain.total_trie_nodes()
+    assert detector.reports.racy_objects == plain.reports.racy_objects

@@ -1,0 +1,48 @@
+"""Table 2 — runtime performance of the instrumented executable.
+
+One benchmark per (CPU-bound workload × configuration); pytest-benchmark
+groups each workload's configurations together, so the printed group
+comparison *is* the Table 2 row: Base vs Full vs NoStatic vs
+NoDominators vs NoPeeling vs NoCache.
+
+Expected shape (the paper's, Section 8.2):
+
+* ``Full`` is the cheapest instrumented configuration everywhere;
+* sor2 blows up under ``NoDominators``/``NoPeeling`` (array loops);
+* mtrt2 blows up under ``NoStatic`` (per-ray thread-local allocations
+  get instrumented — the analog of Jalapeño running out of memory);
+* tsp2 suffers most from ``NoCache`` in *detector work* (see
+  ``extra_info["trie_weak_checks"]``; on the Python substrate the
+  wall-clock effect is muted because interpretation dominates).
+"""
+
+import pytest
+
+from repro.harness import TABLE2_CONFIGS
+from repro.workloads import TABLE2_BENCHMARKS
+
+from conftest import prepare
+
+CONFIGS = {config.name: config for config in TABLE2_CONFIGS}
+
+
+@pytest.mark.parametrize("workload", sorted(TABLE2_BENCHMARKS))
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_table2(benchmark, workload, config_name):
+    spec = TABLE2_BENCHMARKS[workload]
+    runner = prepare(spec, CONFIGS[config_name])
+    benchmark.group = f"table2:{workload}"
+    result, detector = benchmark(runner)
+    benchmark.extra_info["events"] = (
+        detector.stats.accesses if detector is not None else 0
+    )
+    benchmark.extra_info["races"] = (
+        detector.reports.object_count if detector is not None else 0
+    )
+    if detector is not None:
+        benchmark.extra_info["trie_weak_checks"] = (
+            detector.trie_stats.weaker_hits + detector.trie_stats.weaker_misses
+        )
+        benchmark.extra_info["cache_hits"] = (
+            detector.cache.stats.hits if detector.cache is not None else 0
+        )

@@ -1,0 +1,50 @@
+"""Table 3 — number of objects with dataraces reported.
+
+Benchmarks the detection run under each accuracy variant and *asserts*
+the table's shape while recording the counts in ``extra_info``:
+
+* ``Full`` matches each workload's documented race inventory exactly
+  (mtrt 2, tsp 5, sor2 4, elevator 0, hedc 5 — the paper's column);
+* ``FieldsMerged ≥ Full`` (object granularity adds spurious reports);
+* ``NoOwnership > Full`` (init-then-handoff floods the output).
+"""
+
+import pytest
+
+from repro.harness import (
+    CONFIG_FIELDS_MERGED,
+    CONFIG_FULL,
+    CONFIG_NO_OWNERSHIP,
+)
+from repro.workloads import BENCHMARKS
+
+from conftest import prepare
+
+VARIANTS = {
+    "Full": CONFIG_FULL,
+    "FieldsMerged": CONFIG_FIELDS_MERGED,
+    "NoOwnership": CONFIG_NO_OWNERSHIP,
+}
+
+
+@pytest.mark.parametrize("workload", sorted(BENCHMARKS))
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_table3(benchmark, workload, variant):
+    spec = BENCHMARKS[workload]
+    runner = prepare(spec, VARIANTS[variant])
+    benchmark.group = f"table3:{workload}"
+    result, detector = benchmark(runner)
+    count = detector.reports.object_count
+    benchmark.extra_info["racy_objects"] = count
+    benchmark.extra_info["paper_row"] = spec.paper_table3
+
+    full_runner = prepare(spec, CONFIG_FULL)
+    _, full_detector = full_runner()
+    full_count = full_detector.reports.object_count
+
+    if variant == "Full":
+        assert count == spec.expected_full_objects
+    elif variant == "FieldsMerged":
+        assert count >= full_count
+    else:  # NoOwnership
+        assert count > full_count

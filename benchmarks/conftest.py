@@ -1,0 +1,54 @@
+"""Shared benchmark helpers.
+
+Each benchmark compiles and plans *outside* the timed region (the paper
+measures the instrumented executable's runtime, not compile time) and
+times one full execution: interpretation plus, where configured, the
+attached detector.
+
+Workload scales are kept modest so the suite autotunes quickly; the
+structural claims (who wins, by what factor) are scale-stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detector import RaceDetector
+from repro.instrument import plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import run_program
+
+#: Scales used by the benchmark suite (smaller than the defaults).
+BENCH_SCALES = {
+    "mtrt2": 6,
+    "tsp2": 6,
+    "sor2": 6,
+    "elevator2": 10,
+    "hedc2": 4,
+    "figure3": 100,
+    "join_stats": 10,
+    "figure2": 0,
+}
+
+
+def prepare(spec, configuration, scale=None):
+    """Compile + plan once; return a zero-argument runner to benchmark."""
+    source = spec.build(scale if scale is not None else BENCH_SCALES.get(spec.name))
+    resolved = compile_source(source, filename=spec.name)
+    trace_sites: set | None = set()
+    if configuration.planner is not None:
+        plan = plan_instrumentation(resolved, configuration.planner)
+        trace_sites = plan.trace_sites
+
+    detector_config = configuration.detector
+
+    def run():
+        detector = (
+            RaceDetector(config=detector_config, resolved=resolved)
+            if detector_config is not None
+            else None
+        )
+        result = run_program(resolved, sink=detector, trace_sites=trace_sites)
+        return result, detector
+
+    return run

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Section 8.3's precision comparison: this detector vs Eraser.
+
+The mtrt statistics idiom: two children update shared statistics under
+a common lock ``syncObject``; after joining both, the parent reads the
+statistics lock-free.  The join pseudo-locks give the three access
+locksets
+
+    child 1: {S1, syncObject}
+    child 2: {S2, syncObject}
+    parent:  {S1, S2}
+
+which are *mutually intersecting* — every conflicting pair shares a
+lock, so no datarace is possible — yet share **no single common lock**,
+so Eraser's lockset discipline flags the parent's read.
+
+Run:  python examples/eraser_comparison.py
+"""
+
+from repro.baselines import EraserDetector, ObjectRaceDetector
+from repro.detector import RaceDetector
+from repro.lang import compile_source
+from repro.runtime import run_program
+from repro.workloads import join_stats
+
+
+def run_with(sink_factory, source):
+    resolved = compile_source(source)
+    sink = sink_factory()
+    run_program(resolved, sink=sink)
+    return sink
+
+
+def main() -> None:
+    source = join_stats.source(scale=6)
+    print("=== The program (post-join statistics reads) ===")
+    print(source)
+
+    ours = run_with(lambda: RaceDetector(), source)
+    eraser = run_with(
+        lambda: EraserDetector(join_pseudolocks=True), source
+    )
+    eraser_plain = run_with(
+        lambda: EraserDetector(join_pseudolocks=False), source
+    )
+    objrace = run_with(ObjectRaceDetector, source)
+
+    print("=== Reports ===")
+    print(f"this paper's detector:         {ours.reports.object_count} "
+          f"racy objects (expected 0 — locksets pairwise intersect)")
+    print(f"Eraser (with S_j modeling):    {eraser.object_count} "
+          f"racy objects (the spurious single-common-lock report)")
+    for report in eraser.reports:
+        print(f"    spurious: {report.object_label}.{report.field}")
+    print(f"Eraser (historical, no S_j):   {eraser_plain.object_count} "
+          f"racy objects")
+    print(f"object-granularity detector:   {objrace.object_count} "
+          f"racy objects")
+
+    print("\nEraser requires one lock common to ALL accesses of a")
+    print("location; the paper's definition only requires every")
+    print("conflicting PAIR to share one — strictly fewer false alarms.")
+
+
+if __name__ == "__main__":
+    main()

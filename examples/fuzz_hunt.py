@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Race hunting on generated programs: fuzzer × schedule exploration.
+
+Generates random (but terminating, deadlock-free) MJ programs, hunts
+for races under several schedules, and cross-checks three detectors on
+each find: this paper's lockset detector, the FullRace oracle, and the
+happens-before baseline — a miniature of the differential testing the
+property suite runs at scale.
+
+Run:  python examples/fuzz_hunt.py [n_programs] [n_seeds]
+"""
+
+import sys
+
+from repro.baselines import HappensBeforeDetector
+from repro.detector import RaceDetector, ReferenceDetector
+from repro.harness import explore_schedules
+from repro.lang import compile_source
+from repro.runtime import RandomPolicy, RecordingSink, run_program
+from repro.workloads.fuzz import generate_program
+
+
+def hunt(program_seed: int, n_seeds: int):
+    source = generate_program(program_seed, n_workers=3, n_locks=2)
+    exploration = explore_schedules(source, seeds=range(n_seeds))
+    return source, exploration
+
+
+def cross_check(source: str, schedule_seed: int):
+    """Run all three detectors over one recorded execution."""
+    resolved = compile_source(source)
+    log = RecordingSink()
+    run_program(resolved, sink=log, policy=RandomPolicy(schedule_seed))
+
+    ours = RaceDetector()
+    oracle = ReferenceDetector()
+    hb = HappensBeforeDetector()
+    for sink in (ours, oracle, hb):
+        log.replay_into(sink)
+    return ours, oracle, hb
+
+
+def main() -> None:
+    n_programs = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    n_seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    racy_programs = 0
+    schedule_dependent = 0
+    for program_seed in range(n_programs):
+        source, exploration = hunt(program_seed, n_seeds)
+        if not exploration.racy_objects:
+            continue
+        racy_programs += 1
+        dependent = exploration.schedule_dependent_objects
+        if dependent:
+            schedule_dependent += 1
+        print(f"program #{program_seed}: "
+              f"{len(exploration.racy_objects)} racy object(s), "
+              f"{len(dependent)} schedule-dependent")
+
+        ours, oracle, hb = cross_check(source, schedule_seed=0)
+        assert oracle.racy_locations <= ours.reports.racy_locations, (
+            "Definition 1 violated!"
+        )
+        assert hb.racy_locations <= oracle.racy_locations, (
+            "an HB race that is not a lockset race?!"
+        )
+        print(f"   seed 0 cross-check: ours={len(ours.reports.racy_locations)} "
+              f"oracle={len(oracle.racy_locations)} "
+              f"happens-before={len(hb.racy_locations)} racy locations "
+              f"(ours ⊇ oracle ⊇ HB ✓)")
+
+    print(f"\n{racy_programs}/{n_programs} generated programs were racy; "
+          f"{schedule_dependent} had schedule-dependent findings.")
+    print("Every find passed the inclusion checks: the lockset detector")
+    print("covers the FullRace oracle (Definition 1), and the oracle")
+    print("covers the happens-before baseline (Section 2.2's gap is the")
+    print("feasible races only the lockset definition reports).")
+
+
+if __name__ == "__main__":
+    main()

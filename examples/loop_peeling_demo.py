@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Section 6.3: the loop peeling transformation, before and after.
+
+Shows the transformed source of the Figure 3 kernel, then measures the
+access-event stream under four instrumentation configurations to expose
+what each compile-time optimization buys.
+
+Run:  python examples/loop_peeling_demo.py
+"""
+
+from repro.detector import RaceDetector
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source, render_program
+from repro.runtime import run_program
+from repro.workloads import figure3
+
+ITERATIONS = 100
+
+CONFIGS = [
+    ("Full (peel + weaker-than)", PlannerConfig()),
+    ("NoPeeling (weaker-than only)", PlannerConfig(loop_peeling=False)),
+    ("NoDominators (no static weaker-than)",
+     PlannerConfig(static_weaker=False, loop_peeling=False)),
+    ("NoStatic (every site traced)",
+     PlannerConfig(static_analysis=False)),
+]
+
+
+def main() -> None:
+    source = figure3.source(scale=ITERATIONS)
+
+    print("=== The kernel before optimization ===")
+    print(source)
+
+    # Show what peeling does to the AST.
+    resolved = compile_source(source)
+    plan_instrumentation(resolved, PlannerConfig())
+    print("=== After loop peeling (unparsed from the transformed AST) ===")
+    kernel = resolved.class_info("Kernel")
+    from repro.lang.printer import render_class
+
+    print(render_class(kernel.decl))
+
+    print("\n=== Event stream per configuration "
+          f"({ITERATIONS} iterations x 2 threads) ===")
+    for label, config in CONFIGS:
+        fresh = compile_source(source)
+        plan = plan_instrumentation(fresh, config)
+        detector = RaceDetector(resolved=fresh)
+        run_program(fresh, sink=detector, trace_sites=plan.trace_sites)
+        print(f"{label:38s} sites={plan.stats.sites_instrumented:3d} "
+              f"events={detector.stats.accesses:6d} "
+              f"races={detector.reports.object_count}")
+
+    print("\nWith peeling, the first iteration's trace makes every later")
+    print("iteration's trace statically redundant: the kernel emits O(1)")
+    print("events per thread instead of O(iterations).")
+    print()
+    print("Note the races column: with the static optimizations on, each")
+    print("thread's single event is absorbed by the ownership model and")
+    print("this particular race goes unreported — exactly the weaker-than/")
+    print("ownership interaction the paper documents and deliberately")
+    print("ignores in Section 7.2 (see tests/integration/"
+          "test_postmortem_and_interactions.py).")
+
+
+if __name__ == "__main__":
+    main()

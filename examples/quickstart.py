@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: run the full four-phase pipeline on the paper's Figure 2.
+
+This walks the architecture of Figure 1 end to end and narrates what
+each phase produced:
+
+1. static datarace analysis  → the static datarace set;
+2. optimized instrumentation → loop peeling + static weaker-than;
+3. execution with the runtime optimizer (per-thread caches);
+4. the runtime detector      → race reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.detector import RaceDetector
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import run_program
+from repro.workloads import figure2
+
+
+def main() -> None:
+    source = figure2.source(shared_lock=False)
+    print("=== The program (the paper's Figure 2, in MJ) ===")
+    print(source)
+
+    # Phase 0: front end.
+    resolved = compile_source(source, filename="figure2.mj")
+    print(f"compiled: {len(resolved.classes)} classes, "
+          f"{len(resolved.sites)} memory-access sites")
+
+    # Phases 1-2: static datarace analysis + optimized instrumentation.
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    stats = plan.stats
+    print("\n=== Static phases ===")
+    print(f"access sites in program:        {stats.sites_total}")
+    print(f"in the static datarace set:     {stats.sites_after_static}")
+    print(f"loops peeled:                   {stats.loops_peeled}")
+    print(f"removed as statically weaker:   {stats.sites_eliminated_weaker}")
+    print(f"sites actually instrumented:    {stats.sites_instrumented}")
+    if plan.static_races is not None:
+        pruning = plan.static_races.stats
+        print(f"pairs pruned by MustSameThread: "
+              f"{pruning.pairs_pruned_same_thread}")
+        print(f"pairs pruned by MustCommonSync: "
+              f"{pruning.pairs_pruned_common_sync}")
+
+    # Phases 3-4: run with the detector attached.
+    detector = RaceDetector(resolved=resolved, static_races=plan.static_races)
+    result = run_program(resolved, sink=detector, trace_sites=plan.trace_sites)
+    print("\n=== Execution ===")
+    print(f"threads: {result.threads_created}, scheduler steps: {result.steps}")
+    print(f"event funnel: {detector.stats.funnel()}")
+
+    print("\n=== Race reports ===")
+    if not detector.reports.reports:
+        print("no dataraces detected")
+    for report in detector.reports.reports:
+        print(" *", report.describe())
+
+    print("\nThe race is T11/T14 (thread T1) against T21 (thread T2) on")
+    print("the shared Data object's field f; main's T01 write is correctly")
+    print("absent — the ownership model captures the start() ordering.")
+
+
+if __name__ == "__main__":
+    main()

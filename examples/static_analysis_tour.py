@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""A tour of the static datarace analysis (Section 5) on a small program.
+
+Shows every ingredient: may/must points-to, the single-instance
+analysis, MustSync over the ICG, MustThread via thread roots, the
+escape/thread-specific refinements, and the resulting static datarace
+set with per-condition pruning counts.
+
+Run:  python examples/static_analysis_tour.py
+"""
+
+from repro.analysis import analyze_static_races, local_node
+from repro.lang import compile_source
+
+SOURCE = """
+class Main {
+  static def main() {
+    var shared = new Shared();
+    shared.hot = 0;
+    shared.cold = 0;
+    var lock = new LockObj();
+    var a = new Worker(shared, lock);
+    var b = new Worker(shared, lock);
+    start a;
+    start b;
+    join a;
+    join b;
+    print shared.hot + shared.cold;
+  }
+}
+
+class Shared { field hot; field cold; }
+class LockObj { }
+
+class Worker {
+  field shared;
+  field lock;
+  field steps;             // Thread-specific accumulator (Section 5.4).
+  def init(shared, lock) {
+    this.shared = shared;
+    this.lock = lock;
+    this.steps = 0;
+  }
+  def run() {
+    var scratch = new Pad();     // Thread-local (escape analysis).
+    scratch.v = 42;
+    var s = this.shared;
+    s.hot = s.hot + scratch.v;   // RACY: no lock.
+    sync (this.lock) {
+      s.cold = s.cold + 1;       // SAFE: common must-lock.
+    }
+    this.steps = this.steps + 1; // SAFE: thread-specific field.
+  }
+}
+
+class Pad { field v; }
+"""
+
+
+def main() -> None:
+    print(SOURCE)
+    resolved = compile_source(SOURCE)
+    result = analyze_static_races(resolved)
+
+    pts = result.points_to
+    print("=== Points-to facts ===")
+    for reg in ("shared", "lock", "a"):
+        objs = pts.may_point_to_register("Main.main", reg)
+        print(f"  MayPT(main::{reg}) = {sorted(map(repr, objs))}")
+
+    print("\n=== Single-instance / must points-to ===")
+    lock_objs = pts.may_point_to_register("Main.main", "lock")
+    must = result.single_instance.must_points_to(lock_objs)
+    print(f"  the lock allocation is single-instance: "
+          f"MustPT = {sorted(map(repr, must))}")
+
+    print("\n=== MustSync / MustThread ===")
+    for site in pts.site_bases.values():
+        if site.field_name in ("hot", "cold") and site.method == "Worker.run":
+            sync = result.icg.must_sync_at(site.method, site.sync_stack)
+            print(f"  {('write' if site.is_write else 'read '):5s} "
+                  f".{site.field_name:4s} in Worker.run: "
+                  f"MustSync = {sorted(map(repr, sync)) or '∅'}")
+    print(f"  MustThread(Main.main) = "
+          f"{sorted(map(repr, result.icg.must_thread_of('Main.main')))}")
+    print(f"  MustThread(Worker.run) = "
+          f"{sorted(map(repr, result.icg.must_thread_of('Worker.run'))) or '∅'}"
+          f"  (two worker objects → no unique thread)")
+
+    print("\n=== Escape / thread-specific refinements ===")
+    esc = result.escape
+    print(f"  thread-local objects: "
+          f"{sorted(repr(o) for o in esc.thread_local_objects)}")
+    print(f"  safe thread classes: {sorted(esc.safe_thread_classes)}")
+    print(f"  thread-specific fields of Worker: "
+          f"{sorted(esc.thread_specific_fields.get('Worker', set()))}")
+
+    print("\n=== The static datarace set ===")
+    stats = result.stats
+    print(f"  sites total:                 {stats.sites_total}")
+    print(f"  pairs checked:               {stats.pairs_checked}")
+    print(f"  pruned by escape analysis:   {stats.pairs_pruned_escape}")
+    print(f"  pruned by MustSameThread:    {stats.pairs_pruned_same_thread}")
+    print(f"  pruned by MustCommonSync:    {stats.pairs_pruned_common_sync}")
+    print(f"  sites that may race:         {stats.sites_racy}")
+    print("\n  surviving sites:")
+    for site_id in sorted(result.racy_sites):
+        print(f"    {resolved.sites[site_id].descriptor}")
+
+    print("\nWhy do main's init writes and the locked .cold accesses")
+    print("survive?  The static phase conservatively ignores start/join")
+    print("ordering (the paper's footnote 5): main's lock-free accesses")
+    print("pair with the workers', and no static condition separates")
+    print("them.  At runtime the ownership model and the S_j join")
+    print("pseudo-locks remove exactly these, leaving only .hot:")
+
+    from repro.detector import RaceDetector
+    from repro.runtime import run_program
+    from repro.instrument import plan_instrumentation
+
+    fresh = compile_source(SOURCE)
+    plan = plan_instrumentation(fresh)
+    detector = RaceDetector(resolved=fresh)
+    run_program(fresh, sink=detector, trace_sites=plan.trace_sites)
+    for report in detector.reports.reports:
+        print("  *", report.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Control-flow-graph utilities over lowered functions.
+
+Plain graph plumbing shared by the dominator, SSA, and dataflow
+machinery: reachability from the entry block, reverse postorder, and
+predecessor maps restricted to reachable blocks.  MJ permits dead code
+after ``return``; the lowering parks it in predecessor-less blocks, and
+every analysis works on the reachable subgraph only.
+"""
+
+from __future__ import annotations
+
+from .ir import Function
+
+
+class FlowGraph:
+    """The reachable CFG of one function, with precomputed orders."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.reachable = self._compute_reachable()
+        self.preds = self._compute_preds()
+        self.rpo = self._compute_rpo()
+        #: block id -> position in reverse postorder.
+        self.rpo_index = {block_id: i for i, block_id in enumerate(self.rpo)}
+
+    def _compute_reachable(self) -> set[int]:
+        seen = {0}
+        stack = [0]
+        blocks = self.function.blocks
+        while stack:
+            block_id = stack.pop()
+            for succ in blocks[block_id].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def _compute_preds(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {b: [] for b in self.reachable}
+        for block_id in self.reachable:
+            for succ in self.function.blocks[block_id].successors:
+                if succ in self.reachable:
+                    preds[succ].append(block_id)
+        return preds
+
+    def _compute_rpo(self) -> list[int]:
+        """Reverse postorder of the reachable blocks (iterative DFS)."""
+        postorder: list[int] = []
+        visited: set[int] = set()
+        # Each stack entry is (block_id, iterator over successors).
+        stack = [(0, iter(self.function.blocks[0].successors))]
+        visited.add(0)
+        while stack:
+            block_id, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(
+                        (succ, iter(self.function.blocks[succ].successors))
+                    )
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(block_id)
+                stack.pop()
+        postorder.reverse()
+        return postorder
+
+    def successors(self, block_id: int) -> list[int]:
+        return [
+            succ
+            for succ in self.function.blocks[block_id].successors
+            if succ in self.reachable
+        ]

@@ -1,0 +1,112 @@
+"""A small generic monotone-dataflow solver.
+
+Used by two analyses in this reproduction:
+
+* the interprocedural **MustSync** equations over the ICG
+  (Section 5.3: ``SO_i``/``SO_o`` with set-intersection meet), and
+* the **trace availability** analysis that decides the static
+  weaker-than relation's ``Exec`` condition (Section 6.1) — see
+  :mod:`repro.instrument.static_weaker`.
+
+The solver is a standard worklist fixpoint over an arbitrary node set.
+``TOP`` is the optimistic initial value for *must* problems (the
+intersection identity); transfer and meet functions must treat it
+accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+#: Optimistic initial value for must-style (intersection) analyses.
+TOP = object()
+
+
+def meet_intersection(values):
+    """Set-intersection meet over an iterable, honoring TOP."""
+    result = TOP
+    for value in values:
+        if value is TOP:
+            continue
+        if result is TOP:
+            result = set(value)
+        else:
+            result = result & value
+    return result
+
+
+class DataflowProblem:
+    """A forward dataflow problem over an explicit node graph.
+
+    Parameters
+    ----------
+    nodes:
+        All nodes.
+    preds:
+        ``node -> iterable of predecessor nodes``.
+    boundary_nodes:
+        Nodes whose in-value is fixed to ``boundary_value`` (entries).
+    boundary_value:
+        The in-value at boundary nodes.
+    transfer:
+        ``(node, in_value) -> out_value``.
+    meet:
+        Combines predecessor out-values (e.g. ``meet_intersection``).
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[Hashable],
+        preds: Callable[[Hashable], Iterable[Hashable]],
+        boundary_nodes: Iterable[Hashable],
+        boundary_value,
+        transfer: Callable,
+        meet: Callable,
+    ):
+        self.nodes = list(nodes)
+        self.preds = preds
+        self.boundary_nodes = set(boundary_nodes)
+        self.boundary_value = boundary_value
+        self.transfer = transfer
+        self.meet = meet
+
+
+def solve_forward(problem: DataflowProblem) -> dict:
+    """Iterate to fixpoint; returns ``node -> (in_value, out_value)``."""
+    in_values = {node: TOP for node in problem.nodes}
+    out_values = {node: TOP for node in problem.nodes}
+    for node in problem.boundary_nodes:
+        in_values[node] = problem.boundary_value
+
+    # Successor map for worklist propagation.
+    succs: dict = {node: [] for node in problem.nodes}
+    for node in problem.nodes:
+        for pred in problem.preds(node):
+            succs.setdefault(pred, []).append(node)
+
+    worklist = list(problem.nodes)
+    in_list = set(worklist)
+    while worklist:
+        node = worklist.pop()
+        in_list.discard(node)
+        if node in problem.boundary_nodes:
+            new_in = problem.boundary_value
+        else:
+            new_in = problem.meet(
+                out_values[pred] for pred in problem.preds(node)
+            )
+        new_out = problem.transfer(node, new_in)
+        in_values[node] = new_in
+        if not _equal(new_out, out_values[node]):
+            out_values[node] = new_out
+            for succ in succs.get(node, ()):
+                if succ not in in_list:
+                    in_list.add(succ)
+                    worklist.append(succ)
+    return {node: (in_values[node], out_values[node]) for node in problem.nodes}
+
+
+def _equal(a, b) -> bool:
+    if a is TOP or b is TOP:
+        return a is b
+    return a == b

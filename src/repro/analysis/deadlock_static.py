@@ -1,0 +1,286 @@
+"""Static potential-deadlock analysis — the static half of Section 10.
+
+The conclusions promise to "broaden the static/dynamic coanalysis
+approach to tackle other problems such as deadlock detection".  The
+dynamic half (:mod:`repro.detector.deadlock`) watches real lock
+acquisitions; this module predicts them ahead of time from the same
+ingredients the static datarace analysis already computes:
+
+* a **may-held** lockset per ICG node (union-meet dataflow over the
+  interthread call graph, Gen = the may points-to set of each sync
+  block's lock expression);
+* a **static lock-order graph**: an edge ``h → l`` whenever a sync
+  block acquiring abstract lock ``l`` can execute while ``h`` may be
+  held;
+* cycle search over abstract lock objects, pruned by the analysis's
+  must-information — a cycle is discarded when
+
+  - *same thread*: some thread object must execute every hop (a single
+    thread cannot deadlock with itself on reentrant monitors), or
+  - *gate lock*: some lock outside the cycle is **must**-held at every
+    hop (the acquisitions are serialized).
+
+Like ``IsMayRace``, the result is conservative: reported cycles *may*
+deadlock; absence of reports is a proof only up to the analysis's
+abstractions (allocation-site locks, context insensitivity).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..lang.resolver import ResolvedProgram
+from . import ir
+from .dataflow import TOP, DataflowProblem, solve_forward
+from .icfg import ICG, build_icg, method_node, sync_node
+from .pointsto import AbstractObject, PointsToResult, analyze_points_to, local_node
+from .single_instance import SingleInstanceInfo, analyze_single_instance
+
+
+def meet_union(values):
+    """Union meet for may-analyses (TOP = "not yet computed" = ∅)."""
+    result = set()
+    saw_value = False
+    for value in values:
+        if value is TOP:
+            continue
+        saw_value = True
+        result |= value
+    return result if saw_value else set()
+
+
+@dataclass(frozen=True)
+class StaticLockEdge:
+    """``holder → acquired`` with its acquisition context."""
+
+    holder: AbstractObject
+    acquired: AbstractObject
+    method: str
+    #: Thread objects that MUST execute this acquisition (∅ = unknown).
+    must_threads: frozenset
+    #: Locks MUST-held at this acquisition (gate candidates).
+    must_gates: frozenset
+
+
+@dataclass
+class StaticDeadlockReport:
+    cycle: tuple  # AbstractObjects, in order.
+    methods: tuple
+
+    def describe(self) -> str:
+        hops = []
+        locks = list(self.cycle)
+        for index, lock in enumerate(locks):
+            nxt = locks[(index + 1) % len(locks)]
+            hops.append(
+                f"{self.methods[index]} may hold {lock!r} while "
+                f"taking {nxt!r}"
+            )
+        return "POTENTIAL STATIC DEADLOCK: " + "; ".join(hops)
+
+
+class StaticDeadlockAnalysis:
+    def __init__(
+        self,
+        resolved: ResolvedProgram,
+        points_to: PointsToResult | None = None,
+        single: SingleInstanceInfo | None = None,
+        icg: ICG | None = None,
+        max_cycle_length: int = 4,
+    ):
+        self._resolved = resolved
+        self._pts = points_to if points_to is not None else analyze_points_to(resolved)
+        self._single = (
+            single
+            if single is not None
+            else analyze_single_instance(resolved, self._pts)
+        )
+        self._icg = (
+            icg if icg is not None else build_icg(resolved, self._pts, self._single)
+        )
+        self._max_cycle_length = max_cycle_length
+
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> list[StaticDeadlockReport]:
+        may_held = self._solve_may_held()
+        edges = self._build_edges(may_held)
+        return self._find_cycles(edges)
+
+    # ------------------------------------------------------------------
+    # May-held locks per ICG node.
+
+    def _sync_enters(self):
+        """Yield (method, MonitorEnter instr) for every sync block."""
+        for method in self._pts.reachable_methods:
+            function = self._pts.functions.get(method)
+            if function is None:
+                continue
+            for block in function.blocks:
+                for instr in block.instrs:
+                    if isinstance(instr, ir.MonitorEnter):
+                        yield method, instr
+
+    def _solve_may_held(self) -> dict:
+        gens: dict = {}
+        for method, enter in self._sync_enters():
+            node = sync_node(method, enter.sync_id)
+            gens[node] = set(
+                self._pts.points_to(local_node(method, enter.lock))
+            )
+
+        nodes = set(self._icg.nodes)
+        preds = self._icg.preds
+        boundary = {method_node(self._resolved.main_method.qualified_name)}
+        boundary.update(method_node(r) for r in self._icg.thread_roots)
+        boundary &= nodes or boundary
+
+        def transfer(node, in_value):
+            if in_value is TOP:
+                in_value = set()
+            return set(in_value) | gens.get(node, set())
+
+        problem = DataflowProblem(
+            nodes=nodes,
+            preds=lambda n: preds.get(n, ()),
+            boundary_nodes=boundary & nodes if nodes else boundary,
+            boundary_value=set(),
+            transfer=transfer,
+            meet=meet_union,
+        )
+        solution = solve_forward(problem)
+        # May-held at a node's *entry*.
+        return {node: in_value for node, (in_value, _) in solution.items()}
+
+    # ------------------------------------------------------------------
+
+    def _build_edges(self, may_held) -> dict:
+        edges: dict = defaultdict(list)
+        for method, enter in self._sync_enters():
+            node = sync_node(method, enter.sync_id)
+            held_in = may_held.get(node)
+            if held_in is TOP or not held_in:
+                continue
+            acquired_set = self._pts.points_to(local_node(method, enter.lock))
+            must_threads = self._icg.must_thread_of(method)
+            must_gates = self._icg.must_sync_at(method, enter.sync_stack)
+            for holder in held_in:
+                for acquired in acquired_set:
+                    if holder == acquired and self._single.object_is_single_instance(holder):
+                        # One concrete lock: nested self-acquisition is
+                        # just reentrancy, never a deadlock.
+                        continue
+                    edges[(holder, acquired)].append(
+                        StaticLockEdge(
+                            holder=holder,
+                            acquired=acquired,
+                            method=method,
+                            must_threads=frozenset(must_threads),
+                            must_gates=frozenset(must_gates),
+                        )
+                    )
+        return edges
+
+    def _find_cycles(self, edges) -> list[StaticDeadlockReport]:
+        successors: dict = defaultdict(set)
+        for holder, acquired in edges:
+            successors[holder].add(acquired)
+
+        order = {obj: index for index, obj in enumerate(sorted(
+            successors, key=repr
+        ))}
+        reports: list[StaticDeadlockReport] = []
+        seen_cycles: set = set()
+
+        def search(start, path):
+            current = path[-1]
+            for nxt in sorted(successors.get(current, ()), key=repr):
+                if nxt == start and len(path) >= 1:
+                    # len(path) == 1 is a self-edge: a summarized
+                    # allocation site covering several concrete locks
+                    # acquired nested (e.g. dining philosophers' forks
+                    # from one `new Fork()` in a loop).
+                    self._try_report(tuple(path), edges, reports, seen_cycles)
+                elif (
+                    nxt in order
+                    and order[nxt] > order[start]
+                    and nxt not in path
+                    and len(path) < self._max_cycle_length
+                ):
+                    search(start, path + [nxt])
+
+        for start in sorted(successors, key=repr):
+            search(start, [start])
+        return reports
+
+    def _try_report(self, cycle, edges, reports, seen_cycles) -> None:
+        pivot = min(range(len(cycle)), key=lambda i: repr(cycle[i]))
+        canonical = cycle[pivot:] + cycle[:pivot]
+        if canonical in seen_cycles:
+            return
+        hops = [
+            (cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+        ]
+        choice = self._pick_witnesses(hops, edges, set(cycle))
+        if choice is None:
+            return
+        seen_cycles.add(canonical)
+        reports.append(
+            StaticDeadlockReport(
+                cycle=cycle, methods=tuple(edge.method for edge in choice)
+            )
+        )
+
+    def _pick_witnesses(self, hops, edges, cycle_locks):
+        """Backtracking choice of one edge per hop surviving the
+        same-thread and gate-lock pruning rules."""
+        chosen: list[StaticLockEdge] = []
+
+        def viable(candidate: StaticLockEdge) -> bool:
+            trial = chosen + [candidate]
+            # Same-thread rule: a thread object must-executing EVERY
+            # hop serializes the cycle.  (Not applicable to self-edge
+            # cycles: one thread holding fork[i] while taking fork[j]
+            # of the same allocation site can deadlock with a peer.)
+            common_threads = None
+            for edge in trial:
+                if not edge.must_threads:
+                    common_threads = frozenset()
+                    break
+                common_threads = (
+                    edge.must_threads
+                    if common_threads is None
+                    else common_threads & edge.must_threads
+                )
+            if len(hops) > 1 and len(trial) == len(hops) and common_threads:
+                return False
+            # Gate rule: a non-cycle lock must-held at every hop.
+            common_gates = None
+            for edge in trial:
+                gates = edge.must_gates - cycle_locks
+                common_gates = (
+                    gates if common_gates is None else common_gates & gates
+                )
+            if len(trial) == len(hops) and common_gates:
+                return False
+            return True
+
+        def backtrack(index: int) -> bool:
+            if index == len(hops):
+                return True
+            for edge in edges.get(hops[index], ()):
+                if not viable(edge):
+                    continue
+                chosen.append(edge)
+                if backtrack(index + 1):
+                    return True
+                chosen.pop()
+            return False
+
+        return tuple(chosen) if backtrack(0) else None
+
+
+def analyze_static_deadlocks(resolved: ResolvedProgram) -> list[StaticDeadlockReport]:
+    """Run the static lock-order analysis on a whole program."""
+    return StaticDeadlockAnalysis(resolved).analyze()

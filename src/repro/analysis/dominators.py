@@ -1,0 +1,117 @@
+"""Dominator computation (Cooper–Harvey–Kennedy) and dominance frontiers.
+
+The paper's instrumentation optimizer computes dominance during SSA
+construction and uses ``dom(S_i, S_j)`` as the executability condition
+``Exec`` of the static weaker-than relation (Definition 4; the authors
+note post-dominance is useless in Java because nearly every instruction
+can throw).  This module supplies:
+
+* immediate dominators via the Cooper–Harvey–Kennedy iterative
+  algorithm ("A Simple, Fast Dominance Algorithm");
+* the dominator tree and an O(depth) ``dominates`` query;
+* dominance frontiers (Cytron et al.), used for SSA phi placement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cfg import FlowGraph
+
+
+class DominatorInfo:
+    """Immediate dominators, dominator tree, and dominance frontiers."""
+
+    def __init__(self, graph: FlowGraph):
+        self.graph = graph
+        self.idom = self._compute_idoms()
+        self.children: dict[int, list[int]] = {b: [] for b in graph.reachable}
+        for block_id, idom in self.idom.items():
+            if idom is not None and idom != block_id:
+                self.children[idom].append(block_id)
+        self._depth = self._compute_depths()
+        self.frontiers = self._compute_frontiers()
+
+    # ------------------------------------------------------------------
+    # Cooper–Harvey–Kennedy iterative immediate dominators.
+
+    def _compute_idoms(self) -> dict[int, Optional[int]]:
+        graph = self.graph
+        idom: dict[int, Optional[int]] = {b: None for b in graph.reachable}
+        idom[0] = 0
+        changed = True
+        while changed:
+            changed = False
+            for block_id in graph.rpo:
+                if block_id == 0:
+                    continue
+                new_idom: Optional[int] = None
+                for pred in graph.preds[block_id]:
+                    if idom[pred] is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(new_idom, pred, idom, graph)
+                if new_idom is not None and idom[block_id] != new_idom:
+                    idom[block_id] = new_idom
+                    changed = True
+        # Root's idom is conventionally itself; normalize to None for
+        # tree consumers but keep `dominates` working.
+        idom[0] = None
+        return idom
+
+    @staticmethod
+    def _intersect(b1: int, b2: int, idom, graph: FlowGraph) -> int:
+        index = graph.rpo_index
+        finger1, finger2 = b1, b2
+        while finger1 != finger2:
+            while index[finger1] > index[finger2]:
+                finger1 = idom[finger1]
+            while index[finger2] > index[finger1]:
+                finger2 = idom[finger2]
+        return finger1
+
+    def _compute_depths(self) -> dict[int, int]:
+        depth = {0: 0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for child in self.children[node]:
+                depth[child] = depth[node] + 1
+                stack.append(child)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True iff block ``a`` dominates block ``b`` (reflexive)."""
+        if a == b:
+            return True
+        node: Optional[int] = b
+        while node is not None and self._depth.get(node, 0) > self._depth.get(a, 0):
+            node = self.idom[node]
+        return node == a
+
+    def strictly_dominates(self, a: int, b: int) -> bool:
+        return a != b and self.dominates(a, b)
+
+    # ------------------------------------------------------------------
+    # Dominance frontiers (Cytron et al. / CHK formulation).
+
+    def _compute_frontiers(self) -> dict[int, set[int]]:
+        frontiers: dict[int, set[int]] = {b: set() for b in self.graph.reachable}
+        for block_id in self.graph.reachable:
+            preds = self.graph.preds[block_id]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: Optional[int] = pred
+                stop = self.idom[block_id] if block_id != 0 else None
+                while runner is not None and runner != stop:
+                    frontiers[runner].add(block_id)
+                    if runner == 0:
+                        break
+                    runner = self.idom[runner]
+        return frontiers

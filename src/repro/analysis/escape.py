@@ -1,0 +1,376 @@
+"""Escape analysis plus the paper's thread-specific extension (Section 5.4).
+
+Two refinements keep provably race-free accesses out of the static
+datarace set:
+
+**Thread-local objects** (classic escape analysis): an abstract object
+that is never reachable — through the points-to graph — from a static
+field or from a started thread object can only ever be touched by its
+creating thread, so its accesses cannot race.
+
+**Thread-specific objects and fields** (the paper's extension): Java
+threads routinely store per-thread state in fields of the thread object
+itself.  Those fields *escape* to the creating thread (the parent
+constructs the thread), so classic escape analysis gives up on them —
+yet they are race-free when they are only touched (a) while the thread
+object is being constructed, before it starts, or (b) by the thread
+itself.  Following Section 5.4:
+
+* the *thread-specific methods* of a thread class are its ``init``,
+  its ``run`` when never invoked explicitly, and any non-static method
+  all of whose call sites sit in thread-specific methods of the class
+  and pass their own ``this`` as the receiver;
+* the *thread-specific fields* are those accessed only through
+  ``this`` inside thread-specific methods;
+* a thread is *unsafe* when its constructor can transitively call
+  ``start`` or leaks ``this``; only **safe** threads get the exemption;
+* an object is *thread-specific* to a safe thread when it is reachable
+  only from thread-specific fields/locals of that thread.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..lang.resolver import ResolvedProgram
+from . import ir
+from .pointsto import (
+    AbstractObject,
+    ObjectCategory,
+    PointsToResult,
+)
+
+
+@dataclass
+class EscapeInfo:
+    """Results of both refinements."""
+
+    #: Abstract objects reachable by more than one thread.
+    shared_objects: set
+    #: Allocated objects proven local to their creating thread.
+    thread_local_objects: set
+    #: Thread class name -> its thread-specific method qualified names.
+    thread_specific_methods: dict[str, set[str]]
+    #: Thread class name -> its thread-specific field names.
+    thread_specific_fields: dict[str, set[str]]
+    #: Thread classes proven *safe* (Section 5.4).
+    safe_thread_classes: set[str]
+    #: Thread class name -> abstract objects thread-specific to it.
+    thread_specific_objects: dict[str, set]
+
+    def is_thread_local(self, obj: AbstractObject) -> bool:
+        return obj in self.thread_local_objects
+
+    def field_is_thread_specific(self, obj: AbstractObject, field_name: str) -> bool:
+        """True when ``obj`` is a safe thread object and ``field_name``
+        is one of its thread-specific fields."""
+        if obj.category is not ObjectCategory.INSTANCE:
+            return False
+        if obj.class_name not in self.safe_thread_classes:
+            return False
+        return field_name in self.thread_specific_fields.get(obj.class_name, ())
+
+    def object_is_thread_specific(self, obj: AbstractObject) -> bool:
+        return any(
+            obj in objects for objects in self.thread_specific_objects.values()
+        )
+
+
+class EscapeAnalysis:
+    def __init__(self, resolved: ResolvedProgram, points_to: PointsToResult):
+        self._resolved = resolved
+        self._pts = points_to
+
+    def analyze(self) -> EscapeInfo:
+        all_objects = self._collect_objects()
+        shared = self._compute_shared()
+        thread_local = {
+            obj
+            for obj in all_objects
+            if obj.category in (ObjectCategory.INSTANCE, ObjectCategory.ARRAY)
+            and obj not in shared
+        }
+        ts_methods = self._thread_specific_methods()
+        safe = self._safe_thread_classes(ts_methods)
+        ts_fields = self._thread_specific_fields(ts_methods)
+        ts_objects = self._thread_specific_objects(ts_methods, ts_fields, safe)
+        return EscapeInfo(
+            shared_objects=shared,
+            thread_local_objects=thread_local,
+            thread_specific_methods=ts_methods,
+            thread_specific_fields=ts_fields,
+            safe_thread_classes=safe,
+            thread_specific_objects=ts_objects,
+        )
+
+    # ------------------------------------------------------------------
+    # Thread-local (reachability) part.
+
+    def _collect_objects(self) -> set:
+        objects = set()
+        for node in self._pts.nodes_to_objects:  # noqa: SLF001 — same-package access.
+            objects.update(self._pts.nodes_to_objects[node])
+        return objects
+
+    def _field_edges(self) -> dict:
+        """obj -> set of objects reachable via one field edge."""
+        edges = defaultdict(set)
+        for node, pts in self._pts.nodes_to_objects.items():  # noqa: SLF001
+            if node[0] == "field":
+                _, obj, _field_name = node
+                edges[obj].update(pts)
+        return edges
+
+    def _compute_shared(self) -> set:
+        roots = set()
+        # Static fields are visible to every thread.
+        for node, pts in self._pts.nodes_to_objects.items():  # noqa: SLF001
+            if node[0] == "static":
+                roots.update(pts)
+        # Started thread objects cross the parent/child boundary.
+        for edge in self._pts.start_edges:
+            roots.add(edge.thread_object)
+        edges = self._field_edges()
+        shared = set()
+        stack = list(roots)
+        while stack:
+            obj = stack.pop()
+            if obj in shared:
+                continue
+            shared.add(obj)
+            stack.extend(edges.get(obj, ()))
+        return shared
+
+    # ------------------------------------------------------------------
+    # Thread-specific methods (the recursive definition).
+
+    def _thread_classes(self) -> set[str]:
+        return {
+            edge.thread_object.class_name
+            for edge in self._pts.start_edges
+            if edge.thread_object.category is ObjectCategory.INSTANCE
+        }
+
+    def _run_explicitly_invoked(self, run_method: str) -> bool:
+        return any(edge.callee == run_method for edge in self._pts.call_edges)
+
+    def _thread_specific_methods(self) -> dict[str, set[str]]:
+        call_edges_by_callee = defaultdict(list)
+        for edge in self._pts.call_edges:
+            call_edges_by_callee[edge.callee].append(edge)
+
+        result: dict[str, set[str]] = {}
+        for class_name in self._thread_classes():
+            info = self._resolved.classes.get(class_name)
+            if info is None:
+                continue
+            specific: set[str] = set()
+            init = info.resolve_method("init")
+            if init is not None and not init.is_static:
+                specific.add(init.qualified_name)
+            run = info.resolve_method("run")
+            if (
+                run is not None
+                and not run.is_static
+                and not self._run_explicitly_invoked(run.qualified_name)
+            ):
+                specific.add(run.qualified_name)
+
+            # Fixpoint: add methods all of whose callers are thread-
+            # specific methods of this class passing `this` through.
+            changed = True
+            while changed:
+                changed = False
+                for method in self._pts.reachable_methods:
+                    if method in specific:
+                        continue
+                    decl = self._find_method_decl(method)
+                    if decl is None or decl.is_static:
+                        continue
+                    edges = call_edges_by_callee.get(method)
+                    if not edges:
+                        continue
+                    if all(
+                        edge.caller in specific and edge.receiver_is_this
+                        for edge in edges
+                        if not edge.is_init
+                    ) and all(edge.caller in specific for edge in edges):
+                        specific.add(method)
+                        changed = True
+            result[class_name] = specific
+        return result
+
+    def _find_method_decl(self, qualified_name: str):
+        class_name, _, method_name = qualified_name.partition(".")
+        info = self._resolved.classes.get(class_name)
+        if info is None:
+            return None
+        return info.own_methods.get(method_name)
+
+    # ------------------------------------------------------------------
+    # Safe threads.
+
+    def _safe_thread_classes(self, ts_methods) -> set[str]:
+        safe = set()
+        for class_name in self._thread_classes():
+            info = self._resolved.classes.get(class_name)
+            if info is None:
+                continue
+            init = info.resolve_method("init")
+            if init is None:
+                # No constructor: nothing can start the thread or leak
+                # `this` during construction.
+                safe.add(class_name)
+                continue
+            if self._constructor_calls_start(init.qualified_name):
+                continue
+            if self._this_escapes(init.qualified_name):
+                continue
+            safe.add(class_name)
+        return safe
+
+    def _constructor_calls_start(self, init_method: str) -> bool:
+        """Can ``init`` transitively reach a ``start`` instruction?"""
+        call_succ = defaultdict(set)
+        for edge in self._pts.call_edges:
+            call_succ[edge.caller].add(edge.callee)
+        seen = {init_method}
+        stack = [init_method]
+        while stack:
+            method = stack.pop()
+            function = self._pts.functions.get(method)
+            if function is not None:
+                for block in function.blocks:
+                    for instr in block.instrs:
+                        if isinstance(instr, ir.StartT):
+                            return True
+            for succ in call_succ.get(method, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def _this_escapes(self, method: str) -> bool:
+        """Conservatively: does ``this`` leave the method other than as
+        a call receiver or a field-access base?"""
+        function = self._pts.functions.get(method)
+        if function is None:
+            return True
+        for block in function.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, ir.Move) and instr.src == "this":
+                    return True
+                if isinstance(instr, (ir.PutField, ir.PutStatic, ir.AStore)):
+                    if instr.src == "this":
+                        return True
+                if isinstance(instr, ir.Invoke):
+                    if "this" in instr.args:
+                        return True
+                if isinstance(instr, ir.Ret) and instr.src == "this":
+                    return True
+                if isinstance(instr, ir.StartT) and instr.thread == "this":
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Thread-specific fields.
+
+    def _thread_specific_fields(self, ts_methods) -> dict[str, set[str]]:
+        result: dict[str, set[str]] = {}
+        for class_name, specific_methods in ts_methods.items():
+            info = self._resolved.classes.get(class_name)
+            if info is None:
+                continue
+            thread_objs = {
+                edge.thread_object
+                for edge in self._pts.start_edges
+                if edge.thread_object.class_name == class_name
+            }
+            candidate_fields = set(info.instance_fields())
+            for site in self._pts.site_bases.values():
+                if site.kind != "instance":
+                    continue
+                if site.field_name not in candidate_fields:
+                    continue
+                bases = self._pts.points_to(site.base)
+                if not (bases & thread_objs):
+                    continue
+                # An access that may touch this thread class's objects:
+                # it must be a this-access from a thread-specific method.
+                if site.method not in specific_methods or not site.base_is_this:
+                    candidate_fields.discard(site.field_name)
+            result[class_name] = candidate_fields
+        return result
+
+    # ------------------------------------------------------------------
+    # Thread-specific objects.
+
+    def _thread_specific_objects(
+        self, ts_methods, ts_fields, safe_classes
+    ) -> dict[str, set]:
+        result: dict[str, set] = {}
+        for class_name in safe_classes:
+            specific_methods = ts_methods.get(class_name, set())
+            specific_fields = ts_fields.get(class_name, set())
+            thread_objs = {
+                edge.thread_object
+                for edge in self._pts.start_edges
+                if edge.thread_object.class_name == class_name
+            }
+            # Iterate to a fixpoint: an object is thread-specific when
+            # every pointer to it comes from a thread-specific place.
+            specific_objs: set = set()
+            candidates = self._collect_objects() - thread_objs
+            changed = True
+            while changed:
+                changed = False
+                for obj in list(candidates):
+                    if obj in specific_objs:
+                        continue
+                    if obj.category is not ObjectCategory.INSTANCE and (
+                        obj.category is not ObjectCategory.ARRAY
+                    ):
+                        continue
+                    if self._only_thread_specific_pointers(
+                        obj,
+                        specific_methods,
+                        specific_fields,
+                        thread_objs,
+                        specific_objs,
+                    ):
+                        specific_objs.add(obj)
+                        changed = True
+            result[class_name] = specific_objs
+        return result
+
+    def _only_thread_specific_pointers(
+        self, obj, specific_methods, specific_fields, thread_objs, specific_objs
+    ) -> bool:
+        found_pointer = False
+        for node, pts in self._pts.nodes_to_objects.items():  # noqa: SLF001
+            if obj not in pts:
+                continue
+            found_pointer = True
+            kind = node[0]
+            if kind == "local":
+                if node[1] not in specific_methods:
+                    return False
+            elif kind == "field":
+                holder = node[1]
+                field_name = node[2]
+                if holder in thread_objs:
+                    if field_name not in specific_fields:
+                        return False
+                elif holder not in specific_objs:
+                    return False
+            else:  # static or ret node.
+                return False
+        return found_pointer
+
+
+def analyze_escape(
+    resolved: ResolvedProgram, points_to: PointsToResult
+) -> EscapeInfo:
+    """Run both escape refinements."""
+    return EscapeAnalysis(resolved, points_to).analyze()

@@ -1,0 +1,224 @@
+"""The interthread call graph (ICG) and its dataflow facts (Section 5.2-5.3).
+
+The paper represents a multithreaded program as an ICFG (statement-level
+nodes; intraprocedural, call, return, and *start* edges) and uses the
+**interthread call graph (ICG)** as its scalable interprocedural
+abstraction: one node per method and — notably — one node per
+synchronized block.  This module builds the ICG from the points-to
+analysis's on-the-fly call graph and computes on it:
+
+* **MustSync** — the paper's dataflow equations
+
+  .. math::
+
+     SO_o^n = SO_i^n \\cup Gen(n), \\qquad
+     SO_i^n = \\bigcap_{p \\in Pred(n)} SO_o^p
+
+  where ``Gen`` of a sync node is the must points-to set of its lock
+  and ``Pred`` ranges over *intrathread* predecessors only; thread
+  roots (``main`` and started ``run`` methods) are boundary nodes with
+  ``SO_i = ∅`` — a started thread holds no locks;
+
+* **ThStart / MustThread** — for each method, the set of thread roots
+  that can reach it over intrathread paths, and equation (3)'s
+  ``MustThread(u) = ∩_{v ∈ ThStart(u)} MustPT(v.this)``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.resolver import ResolvedProgram
+from . import ir
+from .dataflow import TOP, DataflowProblem, meet_intersection, solve_forward
+from .pointsto import MAIN_THREAD, PointsToResult, local_node
+from .single_instance import SingleInstanceInfo
+
+
+def method_node(qualified_name: str):
+    return ("method", qualified_name)
+
+
+def sync_node(qualified_name: str, sync_id: int):
+    return ("sync", qualified_name, sync_id)
+
+
+@dataclass
+class ICG:
+    """The interthread call graph plus its solved dataflow facts."""
+
+    nodes: set
+    preds: dict
+    thread_roots: set[str]
+    #: node -> SO_o (must-held synchronization objects), set of
+    #: AbstractObject or dataflow.TOP for unreachable nodes.
+    must_sync_out: dict
+    #: method -> set of thread-root method names that reach it.
+    th_start: dict[str, set[str]]
+    #: method -> MustThread set (abstract thread objects).
+    must_thread: dict[str, frozenset]
+
+    def enclosing_node(self, method: str, sync_stack: tuple):
+        """The ICG node containing an instruction with ``sync_stack``."""
+        if sync_stack:
+            return sync_node(method, sync_stack[-1])
+        return method_node(method)
+
+    def must_sync_at(self, method: str, sync_stack: tuple) -> frozenset:
+        """MustSync of any statement at the given static sync context."""
+        value = self.must_sync_out.get(self.enclosing_node(method, sync_stack))
+        if value is TOP or value is None:
+            return frozenset()
+        return frozenset(value)
+
+    def must_thread_of(self, method: str) -> frozenset:
+        return self.must_thread.get(method, frozenset())
+
+
+class ICGBuilder:
+    """Builds the ICG and runs MustSync / MustThread."""
+
+    def __init__(
+        self,
+        resolved: ResolvedProgram,
+        points_to: PointsToResult,
+        single: SingleInstanceInfo,
+    ):
+        self._resolved = resolved
+        self._pts = points_to
+        self._single = single
+
+    def build(self) -> ICG:
+        nodes, preds, gens = self._build_graph()
+        thread_roots = {edge.run_method for edge in self._pts.start_edges}
+        main = self._resolved.main_method.qualified_name
+        boundary = {method_node(main)}
+        boundary.update(method_node(root) for root in thread_roots)
+
+        def transfer(node, in_value):
+            if in_value is TOP:
+                return TOP
+            return set(in_value) | gens.get(node, set())
+
+        problem = DataflowProblem(
+            nodes=nodes,
+            preds=lambda n: preds.get(n, ()),
+            boundary_nodes=boundary,
+            boundary_value=set(),
+            transfer=transfer,
+            meet=meet_intersection,
+        )
+        solution = solve_forward(problem)
+        must_sync_out = {node: out for node, (_, out) in solution.items()}
+
+        th_start = self._compute_th_start(thread_roots, main)
+        must_thread = self._compute_must_thread(th_start, thread_roots, main)
+
+        return ICG(
+            nodes=nodes,
+            preds=preds,
+            thread_roots=thread_roots,
+            must_sync_out=must_sync_out,
+            th_start=th_start,
+            must_thread=must_thread,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _build_graph(self):
+        nodes = set()
+        preds: dict = defaultdict(set)
+        gens: dict = {}
+
+        for method in self._pts.reachable_methods:
+            nodes.add(method_node(method))
+            function = self._pts.functions.get(method)
+            if function is None:
+                continue
+            for block in function.blocks:
+                for instr in block.instrs:
+                    if isinstance(instr, ir.MonitorEnter):
+                        node = sync_node(method, instr.sync_id)
+                        nodes.add(node)
+                        # The enter instruction's own sync_stack is the
+                        # *enclosing* context (the block's id is pushed
+                        # after the enter is emitted).
+                        parent = self._enclosing(method, instr.sync_stack)
+                        preds[node].add(parent)
+                        gens[node] = set(self._must_lock(method, instr))
+
+        # Call edges: the callee's method node is preceded by the ICG
+        # node containing the call site.
+        for edge in self._pts.call_edges:
+            callee = method_node(edge.callee)
+            nodes.add(callee)
+            caller_node = self._enclosing(edge.caller, edge.sync_stack)
+            nodes.add(caller_node)
+            preds[callee].add(caller_node)
+
+        # Start edges are interthread: deliberately NOT added to preds —
+        # a freshly started thread holds none of its parent's locks.
+        return nodes, preds, gens
+
+    def _enclosing(self, method: str, sync_stack: tuple):
+        if sync_stack:
+            return sync_node(method, sync_stack[-1])
+        return method_node(method)
+
+    def _must_lock(self, method: str, enter: ir.MonitorEnter) -> frozenset:
+        may = self._pts.points_to(local_node(method, enter.lock))
+        return self._single.must_points_to(may)
+
+    # ------------------------------------------------------------------
+
+    def _compute_th_start(
+        self, thread_roots: set[str], main: str
+    ) -> dict[str, set[str]]:
+        """Intrathread (call-edge) reachability from each thread root."""
+        call_succ: dict[str, set[str]] = defaultdict(set)
+        for edge in self._pts.call_edges:
+            call_succ[edge.caller].add(edge.callee)
+
+        th_start: dict[str, set[str]] = defaultdict(set)
+        for root in sorted(thread_roots | {main}):
+            seen = {root}
+            stack = [root]
+            while stack:
+                method = stack.pop()
+                th_start[method].add(root)
+                for succ in call_succ.get(method, ()):
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(succ)
+        return dict(th_start)
+
+    def _compute_must_thread(
+        self,
+        th_start: dict[str, set[str]],
+        thread_roots: set[str],
+        main: str,
+    ) -> dict[str, frozenset]:
+        root_this: dict[str, frozenset] = {main: frozenset({MAIN_THREAD})}
+        for root in thread_roots:
+            may = self._pts.points_to(local_node(root, "this"))
+            root_this[root] = self._single.must_points_to(may)
+
+        must_thread: dict[str, frozenset] = {}
+        for method, roots in th_start.items():
+            result: Optional[frozenset] = None
+            for root in roots:
+                this_set = root_this.get(root, frozenset())
+                result = this_set if result is None else (result & this_set)
+            must_thread[method] = result if result is not None else frozenset()
+        return must_thread
+
+
+def build_icg(
+    resolved: ResolvedProgram,
+    points_to: PointsToResult,
+    single: SingleInstanceInfo,
+) -> ICG:
+    """Build the ICG and solve MustSync / MustThread."""
+    return ICGBuilder(resolved, points_to, single).build()

@@ -1,0 +1,164 @@
+"""Construction-immutability analysis — the second Section 10 item.
+
+The paper's conclusions plan to extend the co-analysis approach to
+"deadlock detection and immutability analysis".  This module supplies
+the immutability half: a field is **construction-immutable** for a
+class when
+
+* every write to it (on objects of that class) is a ``this``-write
+  inside the class's *init closure* — ``init`` plus methods reachable
+  only from the closure with ``this`` passed as the receiver (the same
+  this-passing closure shape as Section 5.4's thread-specific methods);
+* the class constructs *safely*: ``this`` does not escape the init
+  closure, so no other thread can observe the object mid-construction.
+
+Reads of such fields can never race: all writes are confined to the
+constructing thread before the object is published, and publication in
+MJ is ordered by ``start``/field handoff.  (This leans on the same
+start-ordering argument the ownership model encodes dynamically —
+which is why, like the paper would have it, the analysis is an
+**opt-in** refinement: ``PlannerConfig(immutability_analysis=True)``.)
+
+Effect: conflicting pairs whose only common objects conflict on
+construction-immutable fields are pruned from the static datarace set —
+e.g. tsp2's ``CityInfo.x``/``.y`` coordinate reads need no
+instrumentation at all.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..lang.resolver import ResolvedProgram
+from . import ir
+from .pointsto import AbstractObject, ObjectCategory, PointsToResult
+
+
+@dataclass
+class ImmutabilityInfo:
+    """Per-class construction-immutable fields."""
+
+    #: class name -> frozenset of immutable field names.
+    immutable_fields: dict[str, frozenset]
+    #: class name -> the init-closure method names (diagnostics).
+    init_closures: dict[str, frozenset]
+
+    def field_is_immutable(self, obj: AbstractObject, field_name: str) -> bool:
+        if obj.category is not ObjectCategory.INSTANCE:
+            return False
+        return field_name in self.immutable_fields.get(obj.class_name, ())
+
+
+class ImmutabilityAnalysis:
+    def __init__(self, resolved: ResolvedProgram, points_to: PointsToResult):
+        self._resolved = resolved
+        self._pts = points_to
+
+    def analyze(self) -> ImmutabilityInfo:
+        closures = {
+            class_name: self._init_closure(class_name)
+            for class_name in self._resolved.classes
+        }
+        immutable: dict[str, frozenset] = {}
+        for class_name, info in self._resolved.classes.items():
+            closure = closures[class_name]
+            if closure is None:
+                immutable[class_name] = frozenset()
+                continue
+            candidates = set(info.instance_fields())
+            for site in self._pts.site_bases.values():
+                if not site.is_write or site.kind != "instance":
+                    continue
+                if site.field_name not in candidates:
+                    continue
+                bases = self._pts.points_to(site.base)
+                touches_class = any(
+                    obj.category is ObjectCategory.INSTANCE
+                    and obj.class_name == class_name
+                    for obj in bases
+                )
+                if not touches_class:
+                    continue
+                if site.method not in closure or not site.base_is_this:
+                    candidates.discard(site.field_name)
+            immutable[class_name] = frozenset(candidates)
+        return ImmutabilityInfo(
+            immutable_fields=immutable,
+            init_closures={
+                name: frozenset(closure) if closure is not None else frozenset()
+                for name, closure in closures.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _init_closure(self, class_name: str):
+        """The init-closure method set, or None when construction is
+        unsafe (no init is fine: nothing can leak)."""
+        info = self._resolved.classes[class_name]
+        init = info.resolve_method("init")
+        if init is None or init.is_static:
+            return frozenset()
+        closure = {init.qualified_name}
+
+        edges_by_callee = defaultdict(list)
+        for edge in self._pts.call_edges:
+            edges_by_callee[edge.callee].append(edge)
+
+        changed = True
+        while changed:
+            changed = False
+            for method in self._pts.reachable_methods:
+                if method in closure:
+                    continue
+                decl = self._find_method_decl(method)
+                if decl is None or decl.is_static:
+                    continue
+                edges = edges_by_callee.get(method)
+                if not edges:
+                    continue
+                if all(
+                    edge.caller in closure and edge.receiver_is_this
+                    for edge in edges
+                ):
+                    closure.add(method)
+                    changed = True
+
+        for method in closure:
+            if self._this_escapes(method):
+                return None
+        return frozenset(closure)
+
+    def _find_method_decl(self, qualified_name: str):
+        class_name, _, method_name = qualified_name.partition(".")
+        info = self._resolved.classes.get(class_name)
+        if info is None:
+            return None
+        return info.own_methods.get(method_name)
+
+    def _this_escapes(self, method: str) -> bool:
+        function = self._pts.functions.get(method)
+        if function is None:
+            return True
+        for block in function.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, ir.Move) and instr.src == "this":
+                    return True
+                if isinstance(instr, (ir.PutField, ir.PutStatic, ir.AStore)):
+                    if instr.src == "this":
+                        return True
+                if isinstance(instr, ir.Invoke) and "this" in instr.args:
+                    return True
+                if isinstance(instr, ir.Ret) and instr.src == "this":
+                    return True
+                if isinstance(instr, ir.StartT) and instr.thread == "this":
+                    return True
+        return False
+
+
+def analyze_immutability(
+    resolved: ResolvedProgram, points_to: PointsToResult
+) -> ImmutabilityInfo:
+    """Run the construction-immutability analysis."""
+    return ImmutabilityAnalysis(resolved, points_to).analyze()

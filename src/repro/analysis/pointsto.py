@@ -1,0 +1,467 @@
+"""Flow-insensitive points-to analysis with an on-the-fly call graph.
+
+Section 5.3 of the paper formulates static datarace analysis on top of
+a flow-insensitive, whole-program points-to analysis in which each
+allocation site contributes one abstract object.  This module is an
+Andersen-style (inclusion-based) implementation over the lowered IR:
+
+* one points-to set per IR register (per method), per abstract-object
+  field slot, per static field slot, and per method return value;
+* subset constraints from ``Move``; load/store constraints from field,
+  static, and array instructions (array elements use the ``[]`` slot,
+  matching the paper's one-location-per-array abstraction);
+* calls are resolved *on the fly*: an ``Invoke``'s targets grow as the
+  receiver's points-to set grows, adding parameter/return edges and
+  call-graph edges; only methods reachable from ``Main.main`` are ever
+  analyzed;
+* ``start`` is the ICFG's interthread edge (Section 5.2): the thread
+  expression's abstract objects bind to the ``this`` of their class's
+  ``run`` method, and a *start edge* is recorded for the ICG.
+
+Class objects (static-sync locks) are singleton abstract objects, and
+a distinguished ``MAIN_THREAD`` object stands for the main thread in
+the MustThread computation.
+
+Outputs: points-to sets, the call graph (with each call site's static
+sync context, needed by the ICG), start edges, and per-access-site
+base information for ``AccMayConflict``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.resolver import ARRAY_FIELD, ResolvedProgram
+from . import ir
+
+
+class ObjectCategory(enum.Enum):
+    INSTANCE = "instance"
+    ARRAY = "array"
+    CLASS = "class"
+    MAIN_THREAD = "main-thread"
+
+
+@dataclass(frozen=True)
+class AbstractObject:
+    """One abstract object: an allocation site, a class object, or the
+    pseudo-object representing the main thread."""
+
+    category: ObjectCategory
+    class_name: str
+    alloc_id: Optional[int] = None
+
+    def __repr__(self) -> str:
+        if self.category is ObjectCategory.CLASS:
+            return f"<classobj {self.class_name}>"
+        if self.category is ObjectCategory.MAIN_THREAD:
+            return "<main-thread>"
+        tag = "arr" if self.category is ObjectCategory.ARRAY else "obj"
+        return f"<{tag} {self.class_name}@{self.alloc_id}>"
+
+
+#: The pseudo abstract object for the main thread (MustThread of main).
+MAIN_THREAD = AbstractObject(ObjectCategory.MAIN_THREAD, "<main>")
+
+
+# Pointer-node keys (plain tuples keep the solver simple and hashable):
+#   ("local", method_qname, register)
+#   ("field", AbstractObject, field_name)
+#   ("static", owner_class_name, field_name)
+#   ("ret", method_qname)
+def local_node(method: str, register: str):
+    return ("local", method, register)
+
+
+def field_node(obj: AbstractObject, field_name: str):
+    return ("field", obj, field_name)
+
+
+def static_node(owner_class: str, field_name: str):
+    return ("static", owner_class, field_name)
+
+
+def ret_node(method: str):
+    return ("ret", method)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A resolved call-graph edge.
+
+    ``sync_stack`` is the static sync context of the call site in the
+    caller — the ICG places call sites inside sync-block nodes.
+    """
+
+    caller: str
+    callee: str
+    call_id: Optional[int]
+    sync_stack: tuple
+    loop_depth: int
+    #: True when the call site's receiver is the caller's own ``this``
+    #: register — the this-passing pattern of the thread-specific-method
+    #: definition in Section 5.4.
+    receiver_is_this: bool = False
+    #: True for the implicit ``init`` call of a ``new`` expression.
+    is_init: bool = False
+
+
+@dataclass(frozen=True)
+class StartEdge:
+    """An interthread (start) edge: a ``start`` site to a ``run`` method."""
+
+    caller: str
+    run_method: str
+    thread_object: AbstractObject
+    sync_stack: tuple
+    loop_depth: int
+
+
+@dataclass
+class SiteBase:
+    """Base-object information for one memory-access site."""
+
+    site_id: int
+    kind: str  # "instance" | "static" | "array"
+    field_name: str
+    method: str
+    #: Pointer node of the base reference (instance/array sites).
+    base: Optional[tuple] = None
+    #: Owner class (static sites).
+    owner_class: Optional[str] = None
+    is_write: bool = False
+    #: True when the access's base is the method's own `this` register.
+    base_is_this: bool = False
+    #: Static sync context (enclosing sync-block ids, outermost first).
+    sync_stack: tuple = ()
+
+
+class PointsToResult:
+    """The solved analysis; query helpers for the downstream phases."""
+
+    def __init__(
+        self,
+        pts: dict,
+        call_edges: list[CallEdge],
+        start_edges: list[StartEdge],
+        site_bases: dict[int, SiteBase],
+        reachable_methods: set[str],
+        functions: dict[str, ir.Function],
+    ):
+        self._pts = pts
+        self.call_edges = call_edges
+        self.start_edges = start_edges
+        self.site_bases = site_bases
+        self.reachable_methods = reachable_methods
+        self.functions = functions
+
+    def points_to(self, node) -> frozenset:
+        return frozenset(self._pts.get(node, ()))
+
+    @property
+    def nodes_to_objects(self) -> dict:
+        """The raw solution: pointer node -> set of abstract objects."""
+        return self._pts
+
+    def may_point_to_register(self, method: str, register: str) -> frozenset:
+        return self.points_to(local_node(method, register))
+
+    def site_objects(self, site_id: int) -> frozenset:
+        """MayPT of the site's base: the abstract objects it may access."""
+        base = self.site_bases.get(site_id)
+        if base is None:
+            return frozenset()
+        if base.kind == "static":
+            info = AbstractObject(ObjectCategory.CLASS, base.owner_class)
+            return frozenset({info})
+        return self.points_to(base.base)
+
+    def callees_of(self, method: str) -> set[str]:
+        return {edge.callee for edge in self.call_edges if edge.caller == method}
+
+
+class PointsToAnalysis:
+    """The Andersen-style solver."""
+
+    def __init__(self, resolved: ResolvedProgram, functions=None):
+        self._resolved = resolved
+        self._functions = (
+            functions
+            if functions is not None
+            else _lower_all(resolved)
+        )
+        self._pts: dict = defaultdict(set)
+        self._copy_edges: dict = defaultdict(set)
+        self._loads: dict = defaultdict(list)  # base node -> (field, dest)
+        self._stores: dict = defaultdict(list)  # base node -> (field, src)
+        self._calls: dict = defaultdict(list)  # receiver node -> invoke ctx
+        self._starts: dict = defaultdict(list)  # thread node -> start ctx
+        self._resolved_targets: set = set()
+        self._worklist: list = []
+        self._reachable: set[str] = set()
+        self._call_edges: list[CallEdge] = []
+        self._call_edge_keys: set = set()
+        self._start_edges: list[StartEdge] = []
+        self._start_edge_keys: set = set()
+        self._site_bases: dict[int, SiteBase] = {}
+
+    # ------------------------------------------------------------------
+    # Public API.
+
+    def solve(self) -> PointsToResult:
+        main = self._resolved.main_method.qualified_name
+        self._reach_method(main)
+        self._add_to(local_node("<root>", "<main-this>"), MAIN_THREAD)
+        self._run_worklist()
+        return PointsToResult(
+            pts=dict(self._pts),
+            call_edges=self._call_edges,
+            start_edges=self._start_edges,
+            site_bases=self._site_bases,
+            reachable_methods=self._reachable,
+            functions=self._functions,
+        )
+
+    # ------------------------------------------------------------------
+    # Constraint generation.
+
+    def _reach_method(self, qualified_name: str) -> None:
+        if qualified_name in self._reachable:
+            return
+        self._reachable.add(qualified_name)
+        function = self._functions.get(qualified_name)
+        if function is None:
+            return
+        for block in function.blocks:
+            for instr in block.instrs:
+                self._generate(qualified_name, instr)
+
+    def _generate(self, method: str, instr: ir.Instr) -> None:
+        if isinstance(instr, ir.NewObj):
+            obj = AbstractObject(
+                ObjectCategory.INSTANCE, instr.class_name, instr.alloc_id
+            )
+            self._add_to(local_node(method, instr.dest), obj)
+        elif isinstance(instr, ir.NewArr):
+            obj = AbstractObject(ObjectCategory.ARRAY, "<array>", instr.alloc_id)
+            self._add_to(local_node(method, instr.dest), obj)
+        elif isinstance(instr, ir.ClassConst):
+            obj = AbstractObject(ObjectCategory.CLASS, instr.class_name)
+            self._add_to(local_node(method, instr.dest), obj)
+        elif isinstance(instr, ir.Move):
+            self._add_copy(
+                local_node(method, instr.src), local_node(method, instr.dest)
+            )
+        elif isinstance(instr, ir.GetField):
+            base = local_node(method, instr.obj)
+            dest = local_node(method, instr.dest)
+            self._loads[base].append((instr.field_name, dest))
+            self._replay_loads(base)
+            self._record_site(method, instr, "instance", base=base)
+        elif isinstance(instr, ir.PutField):
+            base = local_node(method, instr.obj)
+            src = local_node(method, instr.src)
+            self._stores[base].append((instr.field_name, src))
+            self._replay_stores(base)
+            self._record_site(method, instr, "instance", base=base)
+        elif isinstance(instr, ir.GetStatic):
+            owner = self._static_owner(instr.class_name, instr.field_name)
+            self._add_copy(
+                static_node(owner, instr.field_name),
+                local_node(method, instr.dest),
+            )
+            self._record_site(method, instr, "static", owner_class=owner)
+        elif isinstance(instr, ir.PutStatic):
+            owner = self._static_owner(instr.class_name, instr.field_name)
+            self._add_copy(
+                local_node(method, instr.src),
+                static_node(owner, instr.field_name),
+            )
+            self._record_site(method, instr, "static", owner_class=owner)
+        elif isinstance(instr, ir.ALoad):
+            base = local_node(method, instr.array)
+            dest = local_node(method, instr.dest)
+            self._loads[base].append((ARRAY_FIELD, dest))
+            self._replay_loads(base)
+            self._record_site(method, instr, "array", base=base)
+        elif isinstance(instr, ir.AStore):
+            base = local_node(method, instr.array)
+            src = local_node(method, instr.src)
+            self._stores[base].append((ARRAY_FIELD, src))
+            self._replay_stores(base)
+            self._record_site(method, instr, "array", base=base)
+        elif isinstance(instr, ir.Invoke):
+            self._generate_call(method, instr)
+        elif isinstance(instr, ir.StartT):
+            node = local_node(method, instr.thread)
+            self._starts[node].append((method, instr))
+            self._replay_starts(node)
+        elif isinstance(instr, ir.Ret):
+            if instr.src is not None:
+                self._add_copy(local_node(method, instr.src), ret_node(method))
+
+    def _record_site(self, method, instr, kind, base=None, owner_class=None):
+        if instr.site_id is None:
+            return
+        self._site_bases[instr.site_id] = SiteBase(
+            site_id=instr.site_id,
+            kind=kind,
+            field_name=getattr(instr, "field_name", ARRAY_FIELD),
+            method=method,
+            base=base,
+            owner_class=owner_class,
+            is_write=isinstance(instr, (ir.PutField, ir.PutStatic, ir.AStore)),
+            base_is_this=(
+                base is not None and base[2].split("#", 1)[0] == "this"
+            ),
+            sync_stack=instr.sync_stack,
+        )
+
+    def _static_owner(self, class_name: str, field_name: str) -> str:
+        info = self._resolved.class_info(class_name)
+        owner = info.static_field_owner(field_name)
+        return owner.name if owner is not None else class_name
+
+    def _generate_call(self, method: str, instr: ir.Invoke) -> None:
+        if instr.static_class is not None:
+            info = self._resolved.class_info(instr.static_class)
+            target = info.resolve_method(instr.method_name)
+            if target is not None and target.is_static:
+                self._bind_call(method, instr, target.qualified_name, receiver=None)
+            return
+        receiver = local_node(method, instr.receiver)
+        self._calls[receiver].append((method, instr))
+        self._replay_calls(receiver)
+
+    def _bind_call(
+        self,
+        caller: str,
+        instr: ir.Invoke,
+        callee: str,
+        receiver: Optional[AbstractObject],
+    ) -> None:
+        key = (caller, instr.call_id, callee, receiver)
+        if key in self._resolved_targets:
+            return
+        self._resolved_targets.add(key)
+        self._reach_method(callee)
+        edge_key = (caller, instr.call_id, callee)
+        if edge_key not in self._call_edge_keys:
+            self._call_edge_keys.add(edge_key)
+            self._call_edges.append(
+                CallEdge(
+                    caller=caller,
+                    callee=callee,
+                    call_id=instr.call_id,
+                    sync_stack=instr.sync_stack,
+                    loop_depth=instr.loop_depth,
+                    receiver_is_this=(instr.receiver == "this"),
+                    is_init=instr.is_init,
+                )
+            )
+        function = self._functions.get(callee)
+        if function is None:
+            return
+        params = list(function.params)
+        if receiver is not None:
+            # Bind `this` to exactly this abstract object (receiver-
+            # filtered dispatch).
+            if params and params[0] == "this":
+                self._add_to(local_node(callee, "this"), receiver)
+                params = params[1:]
+        for arg, param in zip(instr.args, params):
+            self._add_copy(local_node(caller, arg), local_node(callee, param))
+        if instr.dest is not None:
+            self._add_copy(ret_node(callee), local_node(caller, instr.dest))
+
+    def _bind_start(
+        self, caller: str, instr: ir.StartT, obj: AbstractObject
+    ) -> None:
+        if obj.category is not ObjectCategory.INSTANCE:
+            return
+        info = self._resolved.classes.get(obj.class_name)
+        if info is None:
+            return
+        run = info.resolve_method("run")
+        if run is None or run.is_static:
+            return
+        callee = run.qualified_name
+        key = (caller, id(instr), callee, obj)
+        if key in self._start_edge_keys:
+            return
+        self._start_edge_keys.add(key)
+        self._reach_method(callee)
+        self._add_to(local_node(callee, "this"), obj)
+        self._start_edges.append(
+            StartEdge(
+                caller=caller,
+                run_method=callee,
+                thread_object=obj,
+                sync_stack=instr.sync_stack,
+                loop_depth=instr.loop_depth,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Solver core.
+
+    def _add_to(self, node, obj: AbstractObject) -> None:
+        if obj not in self._pts[node]:
+            self._pts[node].add(obj)
+            self._worklist.append((node, obj))
+
+    def _add_copy(self, src, dst) -> None:
+        if dst not in self._copy_edges[src]:
+            self._copy_edges[src].add(dst)
+            for obj in list(self._pts.get(src, ())):
+                self._add_to(dst, obj)
+
+    def _replay_loads(self, base) -> None:
+        for obj in list(self._pts.get(base, ())):
+            self._apply_object_constraints(base, obj)
+
+    _replay_stores = _replay_loads
+    _replay_calls = _replay_loads
+    _replay_starts = _replay_loads
+
+    def _apply_object_constraints(self, node, obj: AbstractObject) -> None:
+        for field_name, dest in self._loads.get(node, ()):
+            self._add_copy(field_node(obj, field_name), dest)
+        for field_name, src in self._stores.get(node, ()):
+            self._add_copy(src, field_node(obj, field_name))
+        for caller, instr in self._calls.get(node, ()):
+            self._dispatch(caller, instr, obj)
+        for caller, instr in self._starts.get(node, ()):
+            self._bind_start(caller, instr, obj)
+
+    def _dispatch(self, caller: str, instr: ir.Invoke, obj: AbstractObject) -> None:
+        if obj.category is ObjectCategory.INSTANCE:
+            info = self._resolved.classes.get(obj.class_name)
+            if info is None:
+                return
+            target = info.resolve_method(instr.method_name)
+            if target is not None and not target.is_static:
+                self._bind_call(caller, instr, target.qualified_name, receiver=obj)
+
+    def _run_worklist(self) -> None:
+        while self._worklist:
+            node, obj = self._worklist.pop()
+            for dst in list(self._copy_edges.get(node, ())):
+                self._add_to(dst, obj)
+            self._apply_object_constraints(node, obj)
+
+
+def _lower_all(resolved: ResolvedProgram) -> dict[str, ir.Function]:
+    from .lower import lower_program
+
+    return lower_program(resolved)
+
+
+def analyze_points_to(
+    resolved: ResolvedProgram, functions=None
+) -> PointsToResult:
+    """Run the whole-program points-to analysis."""
+    return PointsToAnalysis(resolved, functions).solve()

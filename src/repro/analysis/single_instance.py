@@ -1,0 +1,197 @@
+"""Single-instance statements and must points-to (Section 5.3).
+
+A *single-instance* statement executes at most once per program run;
+an object allocated at a single-instance statement is a
+*single-instance object*, and a reference that may point only to such
+an object **must** point to it — the paper's simple, conservative
+must points-to analysis.
+
+We compute a method-multiplicity analysis over the call graph:
+
+* ``Main.main`` runs once;
+* any method in a call-graph cycle (recursion) runs MANY times;
+* otherwise a method runs ONCE iff it has exactly one incoming edge
+  (call or start site), that site is not inside a loop, and the caller
+  itself runs ONCE;
+
+and then a statement is single-instance iff its enclosing method runs
+ONCE and the statement is not inside a loop (``loop_depth == 0``).
+
+Class objects and the main-thread pseudo-object are always singletons.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..lang.resolver import ResolvedProgram
+from . import ir
+from .pointsto import (
+    MAIN_THREAD,
+    AbstractObject,
+    ObjectCategory,
+    PointsToResult,
+)
+
+
+class Multiplicity(enum.Enum):
+    ONE = "one"
+    MANY = "many"
+
+
+@dataclass
+class SingleInstanceInfo:
+    """Method multiplicities plus per-allocation single-instance facts."""
+
+    method_multiplicity: dict[str, Multiplicity]
+    single_instance_allocs: set[int]
+
+    def method_runs_once(self, qualified_name: str) -> bool:
+        return self.method_multiplicity.get(qualified_name) is Multiplicity.ONE
+
+    def object_is_single_instance(self, obj: AbstractObject) -> bool:
+        """True iff at most one concrete object maps to ``obj``."""
+        if obj.category in (ObjectCategory.CLASS, ObjectCategory.MAIN_THREAD):
+            return True
+        return obj.alloc_id in self.single_instance_allocs
+
+    def must_points_to(self, pts: frozenset) -> frozenset:
+        """MustPT derived from MayPT: a singleton single-instance set."""
+        if len(pts) == 1:
+            (obj,) = pts
+            if self.object_is_single_instance(obj):
+                return pts
+        return frozenset()
+
+
+def _call_graph_sccs(nodes: set[str], edges: dict[str, set[str]]) -> dict[str, int]:
+    """Tarjan SCC; returns node -> component id."""
+    index_counter = [0]
+    stack: list[str] = []
+    lowlink: dict[str, int] = {}
+    index: dict[str, int] = {}
+    on_stack: set[str] = set()
+    component: dict[str, int] = {}
+    comp_counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(edges.get(root, ())))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    comp_id = comp_counter[0]
+                    comp_counter[0] += 1
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component[member] = comp_id
+                        if member == node:
+                            break
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return component
+
+
+def analyze_single_instance(
+    resolved: ResolvedProgram, points_to: PointsToResult
+) -> SingleInstanceInfo:
+    """Compute method multiplicities and single-instance allocation sites."""
+    main = resolved.main_method.qualified_name
+    nodes = set(points_to.reachable_methods)
+    nodes.add(main)
+
+    # Incoming sites per method: (caller, loop_depth) per call/start edge.
+    incoming: dict[str, list] = defaultdict(list)
+    succ: dict[str, set[str]] = defaultdict(set)
+    for edge in points_to.call_edges:
+        incoming[edge.callee].append((edge.caller, edge.loop_depth))
+        succ[edge.caller].add(edge.callee)
+    for edge in points_to.start_edges:
+        incoming[edge.run_method].append((edge.caller, edge.loop_depth))
+        succ[edge.caller].add(edge.run_method)
+
+    component = _call_graph_sccs(nodes, succ)
+    comp_members: dict[int, list[str]] = defaultdict(list)
+    for node, comp in component.items():
+        comp_members[comp].append(node)
+    recursive = {
+        node
+        for node, comp in component.items()
+        if len(comp_members[comp]) > 1
+        or node in succ.get(node, ())  # Self-recursion.
+    }
+
+    multiplicity: dict[str, Multiplicity] = {}
+
+    def mult_of(method: str, visiting: set[str]) -> Multiplicity:
+        cached = multiplicity.get(method)
+        if cached is not None:
+            return cached
+        if method in recursive:
+            multiplicity[method] = Multiplicity.MANY
+            return Multiplicity.MANY
+        if method == main:
+            multiplicity[method] = Multiplicity.ONE
+            return Multiplicity.ONE
+        if method in visiting:
+            multiplicity[method] = Multiplicity.MANY
+            return Multiplicity.MANY
+        sites = incoming.get(method, [])
+        if len(sites) != 1:
+            result = Multiplicity.MANY if sites else Multiplicity.ONE
+            multiplicity[method] = result
+            return result
+        caller, loop_depth = sites[0]
+        if loop_depth > 0:
+            multiplicity[method] = Multiplicity.MANY
+            return Multiplicity.MANY
+        result = mult_of(caller, visiting | {method})
+        multiplicity[method] = result
+        return result
+
+    for node in nodes:
+        mult_of(node, set())
+
+    # Allocation sites: single-instance iff not in a loop and in a
+    # once-running method.
+    single_allocs: set[int] = set()
+    for method_name in points_to.reachable_methods:
+        function = points_to.functions.get(method_name)
+        if function is None:
+            continue
+        if multiplicity.get(method_name) is not Multiplicity.ONE:
+            continue
+        for block in function.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, (ir.NewObj, ir.NewArr)):
+                    if instr.loop_depth == 0:
+                        single_allocs.add(instr.alloc_id)
+
+    return SingleInstanceInfo(
+        method_multiplicity=multiplicity,
+        single_instance_allocs=single_allocs,
+    )

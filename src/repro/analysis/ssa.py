@@ -1,0 +1,147 @@
+"""SSA construction (Cytron et al.) over the lowered IR.
+
+The paper's optimizer converts Jalapeño HIR to SSA form after inserting
+trace pseudo-instructions, computing dominance along the way, and then
+runs value numbering to decide ``valnum(o_i) = valnum(o_j)``
+(Section 6.2).  This module is the corresponding step: minimal-SSA phi
+placement via iterated dominance frontiers, followed by the standard
+dominator-tree renaming walk.
+
+Renaming rewrites the function *in place*: every register definition
+gets a fresh ``name#N`` version, and ``Phi`` instructions appear at the
+head of join blocks.  Uses of variables that may be undefined on some
+path rename to the ``UNDEF`` register (MJ's resolver rejects reads of
+undeclared locals, so UNDEF only shows up for genuinely dead paths).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .cfg import FlowGraph
+from .dominators import DominatorInfo
+from .ir import Function, Phi
+
+UNDEF = "⊥undef"
+
+
+class SSABuilder:
+    """Builds pruned-enough minimal SSA for one function."""
+
+    def __init__(self, function: Function, graph: FlowGraph, dom: DominatorInfo):
+        self._function = function
+        self._graph = graph
+        self._dom = dom
+        self._counters: dict[str, int] = defaultdict(int)
+        self._stacks: dict[str, list[str]] = defaultdict(list)
+
+    def build(self) -> None:
+        self._insert_phis()
+        self._rename_block(0)
+
+    # ------------------------------------------------------------------
+    # Phi placement.
+
+    def _definition_blocks(self) -> dict[str, set[int]]:
+        defs: dict[str, set[int]] = defaultdict(set)
+        for block_id in self._graph.reachable:
+            for instr in self._function.blocks[block_id].instrs:
+                dest = instr.defs()
+                if dest is not None:
+                    defs[dest].add(block_id)
+        # Parameters are defined at entry.
+        for param in self._function.params:
+            defs[param].add(0)
+        return defs
+
+    def _insert_phis(self) -> None:
+        defs = self._definition_blocks()
+        for var, def_blocks in defs.items():
+            placed: set[int] = set()
+            worklist = list(def_blocks)
+            while worklist:
+                block_id = worklist.pop()
+                for frontier_block in self._dom.frontiers.get(block_id, ()):
+                    if frontier_block in placed:
+                        continue
+                    placed.add(frontier_block)
+                    phi = Phi(dest=var, var=var, operands={})
+                    self._function.blocks[frontier_block].instrs.insert(0, phi)
+                    if frontier_block not in def_blocks:
+                        worklist.append(frontier_block)
+
+    # ------------------------------------------------------------------
+    # Renaming.
+
+    def _fresh(self, var: str) -> str:
+        self._counters[var] += 1
+        name = f"{var}#{self._counters[var]}"
+        self._stacks[var].append(name)
+        return name
+
+    def _current(self, var: str) -> str:
+        stack = self._stacks[var]
+        return stack[-1] if stack else UNDEF
+
+    def _rename_block(self, block_id: int) -> None:
+        block = self._function.blocks[block_id]
+        pushed: list[str] = []
+
+        if block_id == 0:
+            for param in self._function.params:
+                self._fresh(param)
+                pushed.append(param)
+
+        for instr in block.instrs:
+            if isinstance(instr, Phi):
+                instr.dest = self._fresh(instr.var)
+                pushed.append(instr.var)
+                continue
+            self._rename_uses(instr)
+            dest = instr.defs()
+            if dest is not None:
+                new_name = self._fresh(dest)
+                self._set_def(instr, new_name)
+                pushed.append(dest)
+
+        if block.branch_reg is not None:
+            block.branch_reg = self._current(self._base(block.branch_reg))
+
+        for succ in self._graph.successors(block_id):
+            for instr in self._function.blocks[succ].instrs:
+                if not isinstance(instr, Phi):
+                    break
+                instr.operands[block_id] = self._current(instr.var)
+
+        for child in self._dom.children.get(block_id, ()):
+            self._rename_block(child)
+
+        for var in pushed:
+            self._stacks[var].pop()
+
+    @staticmethod
+    def _base(name: str) -> str:
+        """The original variable of a (possibly renamed) register."""
+        return name.split("#", 1)[0]
+
+    def _rename_uses(self, instr) -> None:
+        for attr in ("src", "obj", "array", "index", "left", "right",
+                     "operand", "lock", "thread", "receiver", "size"):
+            value = getattr(instr, attr, None)
+            if isinstance(value, str):
+                setattr(instr, attr, self._current(value))
+        args = getattr(instr, "args", None)
+        if args is not None:
+            instr.args = [self._current(arg) for arg in args]
+
+    @staticmethod
+    def _set_def(instr, new_name: str) -> None:
+        instr.dest = new_name
+
+
+def build_ssa(function: Function) -> tuple[FlowGraph, DominatorInfo]:
+    """Convert ``function`` to SSA in place; returns its CFG and dominators."""
+    graph = FlowGraph(function)
+    dom = DominatorInfo(graph)
+    SSABuilder(function, graph, dom).build()
+    return graph, dom

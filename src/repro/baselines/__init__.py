@@ -1,0 +1,16 @@
+"""Baseline detectors the paper compares against (Sections 8.3 and 9)."""
+
+from .eraser import EraserDetector, EraserReport, LocationState
+from .happens_before import HappensBeforeDetector, HBRaceReport, VectorClock
+from .object_race import ObjectRaceDetector, ObjectRaceReport
+
+__all__ = [
+    "EraserDetector",
+    "EraserReport",
+    "HBRaceReport",
+    "HappensBeforeDetector",
+    "LocationState",
+    "ObjectRaceDetector",
+    "ObjectRaceReport",
+    "VectorClock",
+]

@@ -1,0 +1,152 @@
+"""The Eraser lockset algorithm (Savage et al., TOCS 1997) — baseline.
+
+Eraser enforces the discipline that every shared location is protected
+by a single lock held on *every* access: each location carries a
+candidate lockset ``C(v)``, refined by intersection with the accessing
+thread's held locks; an empty ``C(v)`` on a (write-involved) shared
+access is reported.  The per-location state machine defers reporting
+through the initialization and read-sharing phases:
+
+    Virgin → Exclusive(t) → Shared (first read by another thread)
+                           ↘ Shared-Modified (first write by another)
+
+Differences from the paper's detector, which this module exists to
+demonstrate (Sections 8.3 and 9):
+
+* **single common lock** — Eraser requires one lock common to *all*
+  accesses, whereas the paper only requires every conflicting *pair*
+  to share some lock.  The mtrt idiom (two children sharing lock
+  ``syncObject``, the parent accessing after ``join``) has pairwise-
+  intersecting locksets ``{S1, sync}``, ``{S2, sync}``, ``{S1, S2}``
+  but no common lock: Eraser reports a spurious race, the paper's
+  detector reports none;
+* **no join modeling** — Eraser has no counterpart of the ``S_j``
+  pseudo-locks.  This implementation still runs *with* them by default
+  so that the single-common-lock difference can be isolated; pass
+  ``join_pseudolocks=False`` for the historically faithful variant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..detector.locksets import LockTracker, join_pseudo_lock
+from ..lang.ast import AccessKind
+from ..runtime.events import AccessEvent, EventSink
+
+
+class LocationState(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class _LocationInfo:
+    state: LocationState = LocationState.VIRGIN
+    owner: Optional[int] = None
+    candidates: Optional[frozenset] = None
+    reported: bool = False
+
+
+@dataclass
+class EraserReport:
+    location: object
+    object_label: str
+    field: str
+    thread_id: int
+    site_id: int
+
+
+class EraserDetector(EventSink):
+    """The Eraser state machine over the MJ event stream."""
+
+    def __init__(self, join_pseudolocks: bool = False):
+        self._join_pseudolocks = join_pseudolocks
+        self.locks = LockTracker()
+        self._locations: dict = {}
+        self.reports: list[EraserReport] = []
+        self.racy_locations: set = set()
+        self.racy_objects: set = set()
+        if join_pseudolocks:
+            self.locks.acquire_pseudo(0, join_pseudo_lock(0))
+
+    # -- synchronization ---------------------------------------------------
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if not reentrant:
+            self.locks.enter(thread_id, lock_uid)
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if not reentrant:
+            self.locks.exit(thread_id, lock_uid)
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        if self._join_pseudolocks:
+            self.locks.acquire_pseudo(child_id, join_pseudo_lock(child_id))
+
+    def on_thread_end(self, thread_id: int) -> None:
+        if self._join_pseudolocks:
+            self.locks.release_pseudo(thread_id, join_pseudo_lock(thread_id))
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        if self._join_pseudolocks:
+            self.locks.acquire_pseudo(joiner_id, join_pseudo_lock(joined_id))
+
+    # -- the state machine --------------------------------------------------
+
+    def on_access(self, event: AccessEvent) -> None:
+        info = self._locations.get(event.location)
+        if info is None:
+            info = _LocationInfo()
+            self._locations[event.location] = info
+        thread = event.thread_id
+        held = self.locks.lockset(thread)
+
+        if info.state is LocationState.VIRGIN:
+            info.state = LocationState.EXCLUSIVE
+            info.owner = thread
+            return
+        if info.state is LocationState.EXCLUSIVE:
+            if thread == info.owner:
+                return
+            info.candidates = held
+            if event.kind is AccessKind.WRITE:
+                info.state = LocationState.SHARED_MODIFIED
+                self._check(info, event)
+            else:
+                info.state = LocationState.SHARED
+            return
+        # Shared / Shared-Modified: refine the candidate set.
+        info.candidates = (
+            held if info.candidates is None else info.candidates & held
+        )
+        if info.state is LocationState.SHARED:
+            if event.kind is AccessKind.WRITE:
+                info.state = LocationState.SHARED_MODIFIED
+                self._check(info, event)
+            return
+        self._check(info, event)
+
+    def _check(self, info: _LocationInfo, event: AccessEvent) -> None:
+        if info.reported or info.candidates:
+            return
+        info.reported = True
+        self.racy_locations.add(event.location)
+        self.racy_objects.add(event.object_label)
+        self.reports.append(
+            EraserReport(
+                location=event.location,
+                object_label=event.object_label,
+                field=event.location.field,
+                thread_id=event.thread_id,
+                site_id=event.site_id,
+            )
+        )
+
+    @property
+    def object_count(self) -> int:
+        return len(self.racy_objects)

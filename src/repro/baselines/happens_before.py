@@ -1,0 +1,165 @@
+"""A happened-before (vector clock) race detector — baseline.
+
+Detectors in the TRaDe/Djit lineage order events by the happened-before
+relation induced by synchronization: lock releases/acquires, thread
+start, and join create edges; two conflicting accesses race iff neither
+happens before the other.
+
+The paper's Section 2.2 argues this definition *under-reports*: when
+two critical sections on the same lock happen to execute in some order,
+the HB edge through the lock hides the race that would have surfaced
+under the opposite acquisition order — a *feasible* datarace.  The
+lockset-based detector reports it; this baseline does not.  The
+``examples/feasible_vs_actual.py`` example and the integration tests
+drive exactly that scenario.
+
+Implementation: Djit-style vector clocks with a full last-read map and
+last-write epoch per location (FastTrack's read-map fallback without
+the epoch fast path — clarity over speed, as this is a baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.ast import AccessKind
+from ..runtime.events import AccessEvent, EventSink
+
+
+class VectorClock(dict):
+    """A sparse vector clock: thread id -> logical time (default 0)."""
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self)
+
+    def join(self, other: dict) -> None:
+        for thread, clock in other.items():
+            if clock > self.get(thread, 0):
+                self[thread] = clock
+
+    def happened_before(self, thread: int, clock: int) -> bool:
+        """True iff the epoch ``(thread, clock)`` ≤ this vector clock."""
+        return clock <= self.get(thread, 0)
+
+
+@dataclass
+class _LocationHistory:
+    #: Last write epoch: (thread, clock), or None.
+    write: Optional[tuple] = None
+    write_label: str = ""
+    #: Last read epoch per thread.
+    reads: dict = field(default_factory=dict)
+
+
+@dataclass
+class HBRaceReport:
+    location: object
+    object_label: str
+    current_thread: int
+    prior_thread: int
+    site_id: int
+    kind: str  # "write-write" | "write-read" | "read-write"
+
+
+class HappensBeforeDetector(EventSink):
+    """Vector-clock datarace detection over the MJ event stream."""
+
+    def __init__(self):
+        self._thread_clocks: dict[int, VectorClock] = {0: VectorClock({0: 1})}
+        self._lock_clocks: dict[int, VectorClock] = {}
+        self._locations: dict = {}
+        self.reports: list[HBRaceReport] = []
+        self.racy_locations: set = set()
+        self.racy_objects: set = set()
+
+    # -- clock plumbing ----------------------------------------------------
+
+    def _clock(self, thread_id: int) -> VectorClock:
+        clock = self._thread_clocks.get(thread_id)
+        if clock is None:
+            clock = VectorClock({thread_id: 1})
+            self._thread_clocks[thread_id] = clock
+        return clock
+
+    def _increment(self, thread_id: int) -> None:
+        clock = self._clock(thread_id)
+        clock[thread_id] = clock.get(thread_id, 0) + 1
+
+    # -- synchronization events ---------------------------------------------
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if reentrant:
+            return
+        lock_clock = self._lock_clocks.get(lock_uid)
+        if lock_clock is not None:
+            self._clock(thread_id).join(lock_clock)
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if reentrant:
+            return
+        self._lock_clocks[lock_uid] = self._clock(thread_id).copy()
+        self._increment(thread_id)
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        child = self._clock(child_id)
+        child.join(self._clock(parent_id))
+        self._increment(parent_id)
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        self._clock(joiner_id).join(self._clock(joined_id))
+        self._increment(joiner_id)
+
+    # -- accesses -----------------------------------------------------------
+
+    def on_access(self, event: AccessEvent) -> None:
+        history = self._locations.get(event.location)
+        if history is None:
+            history = _LocationHistory()
+            self._locations[event.location] = history
+        thread = event.thread_id
+        clock = self._clock(thread)
+
+        if event.kind is AccessKind.WRITE:
+            # Write must be ordered after the previous write and after
+            # every previous read.
+            if history.write is not None:
+                w_thread, w_clock = history.write
+                if w_thread != thread and not clock.happened_before(
+                    w_thread, w_clock
+                ):
+                    self._report(event, w_thread, "write-write")
+            for r_thread, r_clock in history.reads.items():
+                if r_thread != thread and not clock.happened_before(
+                    r_thread, r_clock
+                ):
+                    self._report(event, r_thread, "read-write")
+            history.write = (thread, clock.get(thread, 0))
+            history.write_label = event.object_label
+            history.reads = {}
+        else:
+            if history.write is not None:
+                w_thread, w_clock = history.write
+                if w_thread != thread and not clock.happened_before(
+                    w_thread, w_clock
+                ):
+                    self._report(event, w_thread, "write-read")
+            history.reads[thread] = clock.get(thread, 0)
+
+    def _report(self, event: AccessEvent, prior_thread: int, kind: str) -> None:
+        self.racy_locations.add(event.location)
+        self.racy_objects.add(event.object_label)
+        self.reports.append(
+            HBRaceReport(
+                location=event.location,
+                object_label=event.object_label,
+                current_thread=event.thread_id,
+                prior_thread=prior_thread,
+                site_id=event.site_id,
+                kind=kind,
+            )
+        )
+
+    @property
+    def object_count(self) -> int:
+        return len(self.racy_objects)

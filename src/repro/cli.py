@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``check FILE.mj``
+    Run the full pipeline on an MJ program and print race reports.
+    ``--no-static`` / ``--no-weaker`` / ``--no-peeling`` /
+    ``--no-cache`` / ``--no-ownership`` / ``--fields-merged`` toggle
+    the paper's configuration axes; ``--seed N`` picks a random
+    interleaving; ``--deadlocks`` also runs the lock-order analysis;
+    ``--stats`` prints the event funnel and cache statistics.
+
+``run FILE.mj``
+    Execute a program uninstrumented and print its output.
+
+``explain FILE.mj``
+    Print what the static phases decided: the static datarace set,
+    eliminated trace sites, peeled loops.
+
+``tables``
+    Regenerate the paper's Tables 1/2/3 (``--scale`` and ``--repeats``
+    control cost).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .detector import DeadlockDetector, DetectorConfig, RaceDetector
+from .instrument import PlannerConfig, plan_instrumentation
+from .lang import MJError, compile_source
+from .runtime import MulticastSink, RandomPolicy, RoundRobinPolicy, run_program
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Datarace detection for MJ programs "
+        "(PLDI 2002 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="detect dataraces in a program")
+    check.add_argument("file", type=Path)
+    check.add_argument("--seed", type=int, default=None,
+                       help="random-scheduler seed (default: round-robin)")
+    check.add_argument("--no-static", action="store_true",
+                       help="skip static datarace analysis")
+    check.add_argument("--no-weaker", action="store_true",
+                       help="skip static weaker-than elimination")
+    check.add_argument("--no-peeling", action="store_true",
+                       help="skip loop peeling")
+    check.add_argument("--no-cache", action="store_true",
+                       help="disable the runtime access caches")
+    check.add_argument("--no-ownership", action="store_true",
+                       help="disable the ownership model")
+    check.add_argument("--fields-merged", action="store_true",
+                       help="object-granularity locations (Table 3 variant)")
+    check.add_argument("--deadlocks", action="store_true",
+                       help="also run lock-order deadlock analysis")
+    check.add_argument("--stats", action="store_true",
+                       help="print the event funnel and cache stats")
+
+    run = sub.add_parser("run", help="execute a program (no detection)")
+    run.add_argument("file", type=Path)
+    run.add_argument("--seed", type=int, default=None)
+
+    explain = sub.add_parser(
+        "explain", help="show the static phases' decisions"
+    )
+    explain.add_argument("file", type=Path)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("--scale", type=int, default=4)
+    tables.add_argument("--repeats", type=int, default=1)
+    tables.add_argument("--output", type=Path, default=None,
+                        help="write a markdown report instead of printing")
+    return parser
+
+
+def _policy(seed):
+    return RandomPolicy(seed) if seed is not None else RoundRobinPolicy()
+
+
+def _compile(path: Path):
+    try:
+        source = path.read_text()
+    except OSError as error:
+        raise MJError(f"cannot read {path}: {error}") from error
+    return compile_source(source, filename=str(path))
+
+
+def cmd_check(args) -> int:
+    resolved = _compile(args.file)
+    planner = PlannerConfig(
+        static_analysis=not args.no_static,
+        static_weaker=not args.no_weaker,
+        loop_peeling=not args.no_peeling,
+    )
+    plan = plan_instrumentation(resolved, planner)
+    detector_config = DetectorConfig(
+        cache=not args.no_cache,
+        ownership=not args.no_ownership,
+        fields_merged=args.fields_merged,
+    )
+    detector = RaceDetector(
+        config=detector_config,
+        resolved=resolved,
+        static_races=plan.static_races,
+    )
+    sink = detector
+    deadlocks = None
+    if args.deadlocks:
+        deadlocks = DeadlockDetector()
+        sink = MulticastSink([detector, deadlocks])
+    result = run_program(
+        resolved,
+        sink=sink,
+        trace_sites=plan.trace_sites,
+        policy=_policy(args.seed),
+    )
+    for line in result.output:
+        print(f"[program] {line}")
+    if detector.reports.reports:
+        for report in detector.reports.reports:
+            print(report.describe())
+    else:
+        print("no dataraces detected")
+    if deadlocks is not None:
+        if deadlocks.reports:
+            for report in deadlocks.reports:
+                print(report.describe())
+        else:
+            print("no potential deadlocks detected (dynamic)")
+        from .analysis import analyze_static_deadlocks
+
+        static_reports = analyze_static_deadlocks(resolved)
+        if static_reports:
+            for report in static_reports:
+                print(report.describe())
+        else:
+            print("no potential deadlocks detected (static)")
+    if args.stats:
+        print(f"instrumented sites: {plan.stats.sites_instrumented} of "
+              f"{plan.stats.sites_total} "
+              f"(+{plan.stats.sites_cloned_by_peeling} peeled clones, "
+              f"-{plan.stats.sites_eliminated_weaker} statically weaker)")
+        print(f"funnel: {detector.stats.funnel()}")
+        if detector.cache is not None:
+            print(f"cache hit rate: {detector.cache.stats.hit_rate:.1%}")
+    return 1 if detector.reports.reports else 0
+
+
+def cmd_run(args) -> int:
+    resolved = _compile(args.file)
+    result = run_program(resolved, policy=_policy(args.seed))
+    for line in result.output:
+        print(line)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    resolved = _compile(args.file)
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    races = plan.static_races
+    print(f"access sites:            {plan.stats.sites_total}")
+    print(f"static datarace set:     {races.stats.sites_racy} sites")
+    print(f"  pairs checked:         {races.stats.pairs_checked}")
+    print(f"  pruned (escape):       {races.stats.pairs_pruned_escape}")
+    print(f"  pruned (same thread):  {races.stats.pairs_pruned_same_thread}")
+    print(f"  pruned (common sync):  {races.stats.pairs_pruned_common_sync}")
+    print(f"loops peeled:            {plan.stats.loops_peeled}")
+    print(f"statically weaker sites: {plan.stats.sites_eliminated_weaker}")
+    print(f"instrumented:            {plan.stats.sites_instrumented}")
+    print("\ninstrumented sites:")
+    for site_id in sorted(plan.trace_sites):
+        print(f"  {resolved.sites[site_id].descriptor}")
+    if plan.eliminations:
+        print("\neliminated (justified by a weaker site):")
+        for gone, justifier in sorted(plan.eliminations.items()):
+            print(f"  {resolved.sites[gone].descriptor}")
+            print(f"    <= {resolved.sites[justifier].descriptor}")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .harness import table1, table2, table2_events, table3
+
+    if args.output is not None:
+        from .harness import write_report
+
+        target = write_report(
+            args.output, scale=args.scale, repeats=args.repeats
+        )
+        print(f"wrote {target}")
+        return 0
+    from .workloads import BENCHMARKS, TABLE2_BENCHMARKS
+
+    print("TABLE 1")
+    print(table1(list(BENCHMARKS.values()), scale=args.scale))
+    print("\nTABLE 2")
+    rendered, raw = table2(
+        list(TABLE2_BENCHMARKS.values()),
+        scale=args.scale,
+        repeats=args.repeats,
+    )
+    print(rendered)
+    print("\nTABLE 2 (events)")
+    print(table2_events(raw))
+    print("\nTABLE 3")
+    rendered3, _ = table3(list(BENCHMARKS.values()), scale=args.scale)
+    print(rendered3)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "check": cmd_check,
+        "run": cmd_run,
+        "explain": cmd_explain,
+        "tables": cmd_tables,
+    }
+    try:
+        return handlers[args.command](args)
+    except MJError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+"""The dynamic datarace detector — the paper's core runtime contribution.
+
+Quick use::
+
+    from repro.lang import compile_source
+    from repro.runtime import run_program
+    from repro.detector import RaceDetector
+
+    resolved = compile_source(source_text)
+    detector = RaceDetector(resolved=resolved)
+    run_program(resolved, sink=detector)
+    for report in detector.reports.reports:
+        print(report.describe())
+"""
+
+from .cache import AccessCache, CacheStats
+from .deadlock import DeadlockDetector, DeadlockReport, LockEdge
+from .config import (
+    FIELDS_MERGED,
+    FULL,
+    NO_CACHE,
+    NO_OWNERSHIP,
+    DetectorConfig,
+)
+from .locksets import LockTracker, join_pseudo_lock
+from .ownership import SHARED, OwnershipFilter, OwnershipStats
+from .pipeline import PipelineStats, RaceDetector
+from .postmortem import (
+    PostMortemResult,
+    detect_from_log,
+    detect_post_mortem,
+    record_execution,
+)
+from .trie_packed import PackedLockTrie, PackedNode
+from .reference import RacePair, RecordedAccess, ReferenceDetector
+from .report import RaceReport, ReportCollector
+from .trie import LockTrie, PriorAccess, TrieNode, TrieStats
+from .weaker import (
+    THREAD_BOTTOM,
+    THREAD_TOP,
+    StoredAccess,
+    access_leq,
+    access_meet,
+    is_race,
+    thread_leq,
+    thread_meet,
+    weaker_than,
+)
+
+__all__ = [
+    "AccessCache",
+    "DeadlockDetector",
+    "DeadlockReport",
+    "LockEdge",
+    "CacheStats",
+    "DetectorConfig",
+    "FIELDS_MERGED",
+    "FULL",
+    "LockTracker",
+    "LockTrie",
+    "NO_CACHE",
+    "NO_OWNERSHIP",
+    "OwnershipFilter",
+    "OwnershipStats",
+    "PackedLockTrie",
+    "PackedNode",
+    "PipelineStats",
+    "PostMortemResult",
+    "PriorAccess",
+    "RaceDetector",
+    "RacePair",
+    "RaceReport",
+    "RecordedAccess",
+    "ReferenceDetector",
+    "ReportCollector",
+    "SHARED",
+    "StoredAccess",
+    "THREAD_BOTTOM",
+    "THREAD_TOP",
+    "TrieNode",
+    "TrieStats",
+    "detect_from_log",
+    "detect_post_mortem",
+    "record_execution",
+    "access_leq",
+    "access_meet",
+    "is_race",
+    "join_pseudo_lock",
+    "thread_leq",
+    "thread_meet",
+    "weaker_than",
+]

@@ -1,0 +1,199 @@
+"""The runtime optimizer: per-thread access caches (Section 4).
+
+Each thread has two direct-mapped caches — one for reads, one for
+writes — indexed by memory location.  The design guarantees that any
+entry found on lookup corresponds to a previously recorded access that
+is *weaker than* the incoming access, so a hit means the event can be
+dropped without reaching the trie detector:
+
+* per-thread caches        →  ``p.t = q.t``;
+* separate read/write caches →  ``p.a = q.a``;
+* eviction on monitorexit  →  ``p.L ⊆ q.L`` (every cached entry's
+  lockset is a subset of the thread's *current* lockset at all times);
+* location-indexed lookup  →  ``p.m = q.m``.
+
+Eviction exploits Java's nested (LIFO) locking discipline: when an
+entry is created, the thread's most recently acquired *real* lock is
+the first of the entry's real locks that will be released, so the entry
+is linked onto that lock's eviction list; releasing the lock evicts the
+whole list (Section 4.2).  Entries created while holding no real lock
+are unconditional — only an ownership transition (Section 7.2) or a
+conflict replacement can remove them.  Join pseudo-locks ``S_j`` are
+deliberately *not* eviction anchors: they are monotone (never released
+during the thread's lifetime), so they can never invalidate the subset
+condition.
+
+The hash follows the paper's implementation (Section 4.3): multiply the
+location key's hash by a constant and take the upper bits of a 32-bit
+product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import AccessKind
+
+#: Knuth-style multiplicative hashing constant (the paper multiplies the
+#: 32-bit address by a constant and keeps the upper 16 bits).
+_HASH_MULTIPLIER = 0x9E3779B1
+_MASK32 = 0xFFFFFFFF
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    conflict_evictions: int = 0
+    lock_evictions: int = 0
+    ownership_evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class _Entry:
+    """One cache entry: a location key plus its slot and eviction links."""
+
+    __slots__ = ("key", "index", "valid")
+
+    def __init__(self, key, index: int):
+        self.key = key
+        self.index = index
+        self.valid = True
+
+
+class _DirectMappedCache:
+    """A single direct-mapped cache (one access type of one thread)."""
+
+    def __init__(self, size: int, stats: CacheStats):
+        self._size = size
+        self._slots: list[Optional[_Entry]] = [None] * size
+        self._stats = stats
+        #: lock uid -> entries to evict when the lock is released.
+        self._lock_lists: dict[int, list[_Entry]] = {}
+        #: location key -> entry, for O(1) targeted (ownership) eviction.
+        self._by_key: dict = {}
+
+    def _index(self, key) -> int:
+        product = (hash(key) * _HASH_MULTIPLIER) & _MASK32
+        return (product >> 16) % self._size
+
+    def lookup(self, key) -> bool:
+        entry = self._slots[self._index(key)]
+        if entry is not None and entry.valid and entry.key == key:
+            self._stats.hits += 1
+            return True
+        self._stats.misses += 1
+        return False
+
+    def insert(self, key, anchor_lock: Optional[int]) -> None:
+        index = self._index(key)
+        old = self._slots[index]
+        if old is not None and old.valid:
+            old.valid = False
+            del self._by_key[old.key]
+            self._stats.conflict_evictions += 1
+        entry = _Entry(key, index)
+        self._slots[index] = entry
+        self._by_key[key] = entry
+        if anchor_lock is not None:
+            self._lock_lists.setdefault(anchor_lock, []).append(entry)
+
+    def evict_lock(self, lock_uid: int) -> None:
+        entries = self._lock_lists.pop(lock_uid, None)
+        if not entries:
+            return
+        for entry in entries:
+            if entry.valid:
+                entry.valid = False
+                self._slots[entry.index] = None
+                del self._by_key[entry.key]
+                self._stats.lock_evictions += 1
+
+    def evict_key(self, key) -> None:
+        entry = self._by_key.pop(key, None)
+        if entry is not None and entry.valid:
+            entry.valid = False
+            self._slots[entry.index] = None
+            self._stats.ownership_evictions += 1
+
+
+class ThreadCaches:
+    """The read and write caches of one thread."""
+
+    def __init__(self, size: int, stats: CacheStats):
+        self.read = _DirectMappedCache(size, stats)
+        self.write = _DirectMappedCache(size, stats)
+
+    def cache_for(self, kind: AccessKind) -> _DirectMappedCache:
+        return self.write if kind is AccessKind.WRITE else self.read
+
+
+class AccessCache:
+    """All threads' caches plus the eviction triggers.
+
+    ``size`` defaults to the paper's 256 entries per cache.
+    ``write_covers_read`` is a reproduction extension (off by default,
+    matching the paper): when on, a read lookup that misses the read
+    cache also consults the write cache — sound because a previous
+    *write* with the same ``(m, t)`` and subset lockset is weaker than
+    a read (``WRITE ⊑ READ`` in the access order).
+    """
+
+    def __init__(self, size: int = 256, write_covers_read: bool = False):
+        if size < 1:
+            raise ValueError("cache size must be positive")
+        self._size = size
+        self._write_covers_read = write_covers_read
+        self._threads: dict[int, ThreadCaches] = {}
+        self.stats = CacheStats()
+
+    def _caches(self, thread_id: int) -> ThreadCaches:
+        caches = self._threads.get(thread_id)
+        if caches is None:
+            caches = ThreadCaches(self._size, self.stats)
+            self._threads[thread_id] = caches
+        return caches
+
+    def lookup(self, thread_id: int, key, kind: AccessKind) -> bool:
+        """True on a hit — a weaker access is already recorded."""
+        caches = self._caches(thread_id)
+        if caches.cache_for(kind).lookup(key):
+            return True
+        if self._write_covers_read and kind is AccessKind.READ:
+            # Extension: the write cache holds writes by this thread with
+            # subset locksets; a write is weaker than this read.
+            return caches.write.lookup(key)
+        return False
+
+    def insert(
+        self, thread_id: int, key, kind: AccessKind, anchor_lock: Optional[int]
+    ) -> None:
+        """Record the access after a miss.
+
+        ``anchor_lock`` is the thread's most recently acquired real lock
+        (or ``None``); the entry is evicted when that lock is released.
+        """
+        self._caches(thread_id).cache_for(kind).insert(key, anchor_lock)
+
+    def on_lock_release(self, thread_id: int, lock_uid: int) -> None:
+        """Outermost monitorexit: evict entries anchored to the lock."""
+        caches = self._threads.get(thread_id)
+        if caches is not None:
+            caches.read.evict_lock(lock_uid)
+            caches.write.evict_lock(lock_uid)
+
+    def on_location_shared(self, key) -> None:
+        """Ownership transition: forcibly evict ``key`` from *every*
+        thread's caches (Section 7.2's fix for the run-time optimizer)."""
+        for caches in self._threads.values():
+            caches.read.evict_key(key)
+            caches.write.evict_key(key)

@@ -1,0 +1,181 @@
+"""Dynamic potential-deadlock detection (the paper's Section 10 plan).
+
+The conclusions announce "we plan to broaden the static/dynamic
+coanalysis approach to tackle other problems such as deadlock
+detection"; this module supplies that extension with the classic
+GoodLock-style *lock-order graph*:
+
+* whenever a thread acquires lock ``l2`` while already holding ``l1``,
+  record the edge ``l1 → l2`` together with its context — the acquiring
+  thread and the *gate set* (the other locks held at that moment);
+* a cycle in the graph is a **potential deadlock** when its edges can
+  be attributed to pairwise-distinct threads whose gate sets are
+  pairwise disjoint (a common gate lock serializes the acquisitions
+  and makes the cycle harmless).
+
+Like the race detector, this reports *feasible* problems: the observed
+run need not actually deadlock — the interleaving that would is
+inferred from the order structure, mirroring the paper's feasible-race
+philosophy (Section 2.2) applied to deadlocks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..runtime.events import EventSink
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One observed acquisition-order fact: holder → acquired."""
+
+    holder: int
+    acquired: int
+    thread_id: int
+    #: Other locks held at acquisition time (candidates for gate locks).
+    gates: frozenset
+
+
+@dataclass
+class DeadlockReport:
+    """A potential deadlock: a cycle of locks with witnessing threads."""
+
+    #: The lock cycle, e.g. ``(l1, l2)`` means l1→l2→l1.
+    cycle: tuple
+    #: One witnessing thread per edge, in cycle order.
+    threads: tuple
+
+    def describe(self) -> str:
+        hops = []
+        locks = list(self.cycle)
+        for index, lock in enumerate(locks):
+            nxt = locks[(index + 1) % len(locks)]
+            hops.append(
+                f"thread {self.threads[index]} holds L{lock} "
+                f"while taking L{nxt}"
+            )
+        return "POTENTIAL DEADLOCK: " + "; ".join(hops)
+
+
+class DeadlockDetector(EventSink):
+    """Builds the lock-order graph online; query cycles at any point."""
+
+    def __init__(self, max_cycle_length: int = 4):
+        if max_cycle_length < 2:
+            raise ValueError("cycles need at least two locks")
+        self._max_cycle_length = max_cycle_length
+        #: thread id -> current stack of held lock uids.
+        self._held: dict[int, list[int]] = defaultdict(list)
+        #: (holder, acquired) -> list of contexts (thread, gates).
+        self._edges: dict[tuple, list] = defaultdict(list)
+        self._edge_keys: set = set()
+        self.reports: list[DeadlockReport] = []
+        self._reported_cycles: set = set()
+
+    # ------------------------------------------------------------------
+    # Event intake.
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if reentrant:
+            return
+        held = self._held[thread_id]
+        for position, holder in enumerate(held):
+            gates = frozenset(held[:position] + held[position + 1:])
+            key = (holder, lock_uid, thread_id, gates)
+            if key not in self._edge_keys:
+                self._edge_keys.add(key)
+                self._edges[(holder, lock_uid)].append(
+                    LockEdge(holder, lock_uid, thread_id, gates)
+                )
+        held.append(lock_uid)
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if reentrant:
+            return
+        held = self._held[thread_id]
+        if held and held[-1] == lock_uid:
+            held.pop()
+        elif lock_uid in held:  # Defensive: tolerate non-LIFO streams.
+            held.remove(lock_uid)
+
+    def on_run_end(self) -> None:
+        self.analyze()
+
+    # ------------------------------------------------------------------
+    # Cycle search.
+
+    def analyze(self) -> list[DeadlockReport]:
+        """Search the lock-order graph for valid cycles; returns (and
+        accumulates) the reports."""
+        successors: dict[int, set[int]] = defaultdict(set)
+        for holder, acquired in self._edges:
+            successors[holder].add(acquired)
+
+        for start in sorted(successors):
+            self._search(start, [start], successors)
+        return self.reports
+
+    def _search(self, start: int, path: list[int], successors) -> None:
+        current = path[-1]
+        for nxt in sorted(successors.get(current, ())):
+            if nxt == start and len(path) >= 2:
+                self._try_report(tuple(path))
+            elif (
+                nxt > start  # Canonical: cycle rooted at its minimum.
+                and nxt not in path
+                and len(path) < self._max_cycle_length
+            ):
+                self._search(start, path + [nxt], successors)
+
+    def _try_report(self, cycle: tuple) -> None:
+        canonical = self._canonical(cycle)
+        if canonical in self._reported_cycles:
+            return
+        witnesses = self._witnesses(cycle)
+        if witnesses is None:
+            return
+        self._reported_cycles.add(canonical)
+        self.reports.append(DeadlockReport(cycle=cycle, threads=witnesses))
+
+    @staticmethod
+    def _canonical(cycle: tuple) -> tuple:
+        pivot = cycle.index(min(cycle))
+        return cycle[pivot:] + cycle[:pivot]
+
+    def _witnesses(self, cycle: tuple):
+        """Pick one edge context per hop such that threads are pairwise
+        distinct and gate sets pairwise disjoint; None if impossible."""
+        hops = [
+            (cycle[i], cycle[(i + 1) % len(cycle)])
+            for i in range(len(cycle))
+        ]
+        chosen: list[LockEdge] = []
+
+        def backtrack(index: int) -> bool:
+            if index == len(hops):
+                return True
+            for edge in self._edges.get(hops[index], ()):
+                if any(edge.thread_id == c.thread_id for c in chosen):
+                    continue
+                if any(edge.gates & c.gates for c in chosen):
+                    continue
+                chosen.append(edge)
+                if backtrack(index + 1):
+                    return True
+                chosen.pop()
+            return False
+
+        if backtrack(0):
+            return tuple(edge.thread_id for edge in chosen)
+        return None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(contexts) for contexts in self._edges.values())
+
+    def describe_all(self) -> str:
+        return "\n".join(report.describe() for report in self.reports)

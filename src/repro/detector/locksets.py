@@ -1,0 +1,108 @@
+"""Per-thread lockset tracking for the detection pipeline.
+
+The runtime's access events carry no lockset; the detector observes
+monitor enter/exit notifications and maintains each thread's current set
+of held locks — component ``e.L`` of the paper's access-event 5-tuple
+(Section 2.4).
+
+Two kinds of locks are tracked:
+
+* **real locks** — uids of MJ objects whose monitors the thread holds.
+  They follow Java's nested (LIFO) locking discipline, which the cache's
+  eviction lists rely on (Section 4.2);
+* **pseudo-locks** — the dummy ``S_j`` synchronization objects that
+  model ``join`` ordering (Section 2.3).  Pseudo-locks are *monotone*
+  within a thread's lifetime: a thread holds its own ``S_j`` from its
+  first event, and permanently gains ``S_k`` when it joins thread ``k``.
+  Monotonicity is what keeps the cache sound in their presence: an
+  entry's lockset can only lose *real* locks, and those evictions are
+  handled by the per-lock LIFO lists.
+
+Pseudo-lock ids are negative (``-(thread_id + 1)``) so they can never
+collide with object uids, which are positive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def join_pseudo_lock(thread_id: int) -> int:
+    """The dummy lock ``S_j`` for thread ``j`` (Section 2.3)."""
+    return -(thread_id + 1)
+
+
+class LockTracker:
+    """Tracks every thread's held locks from the monitor event stream."""
+
+    def __init__(self) -> None:
+        #: thread id -> real lock uids in acquisition order (LIFO stack).
+        self._stacks: dict[int, list[int]] = {}
+        #: thread id -> set of held pseudo-locks.
+        self._pseudo: dict[int, set[int]] = {}
+        #: thread id -> cached frozenset lockset (invalidated on change).
+        self._cached: dict[int, Optional[frozenset]] = {}
+
+    # ------------------------------------------------------------------
+    # Real locks (monitor events; the pipeline filters out reentrant ones).
+
+    def enter(self, thread_id: int, lock_uid: int) -> None:
+        """Record an outermost monitorenter."""
+        self._stacks.setdefault(thread_id, []).append(lock_uid)
+        self._cached[thread_id] = None
+
+    def exit(self, thread_id: int, lock_uid: int) -> None:
+        """Record an outermost monitorexit (the actual lock release)."""
+        stack = self._stacks.get(thread_id)
+        if not stack or stack[-1] != lock_uid:
+            # Java enforces block-structured locking, and the MJ runtime
+            # only has `sync` blocks, so releases are always LIFO.
+            raise AssertionError(
+                f"non-LIFO monitorexit of {lock_uid} by thread {thread_id}: "
+                f"stack {stack}"
+            )
+        stack.pop()
+        self._cached[thread_id] = None
+
+    # ------------------------------------------------------------------
+    # Pseudo-locks (thread lifecycle events).
+
+    def acquire_pseudo(self, thread_id: int, pseudo_lock: int) -> None:
+        self._pseudo.setdefault(thread_id, set()).add(pseudo_lock)
+        self._cached[thread_id] = None
+
+    def release_pseudo(self, thread_id: int, pseudo_lock: int) -> None:
+        held = self._pseudo.get(thread_id)
+        if held is not None:
+            held.discard(pseudo_lock)
+        self._cached[thread_id] = None
+
+    # ------------------------------------------------------------------
+    # Queries.
+
+    def lockset(self, thread_id: int) -> frozenset:
+        """The thread's current lockset (real + pseudo), as a frozenset."""
+        cached = self._cached.get(thread_id)
+        if cached is not None:
+            return cached
+        stack = self._stacks.get(thread_id, ())
+        pseudo = self._pseudo.get(thread_id, ())
+        result = frozenset(stack) | frozenset(pseudo)
+        self._cached[thread_id] = result
+        return result
+
+    def last_real_lock(self, thread_id: int) -> Optional[int]:
+        """The most recently acquired *real* lock still held, or ``None``.
+
+        This is the lock under which the cache registers new entries:
+        by the LIFO discipline it is the first of the entry's (real)
+        locks to be released, so evicting the entry then keeps the
+        cache's subset invariant (Section 4.2).
+        """
+        stack = self._stacks.get(thread_id)
+        if stack:
+            return stack[-1]
+        return None
+
+    def holds(self, thread_id: int, lock_uid: int) -> bool:
+        return lock_uid in self.lockset(thread_id)

@@ -1,0 +1,275 @@
+"""The assembled dynamic detection pipeline (Figure 1, runtime half).
+
+Event flow for each access::
+
+    runtime access event
+      → lockset attachment        (LockTracker, Section 2.4's e.L)
+      → ownership filter          (Section 7; optional)
+      → per-thread R/W caches     (Section 4;  optional)
+      → trie detector             (Section 3: weaker-check, race-check,
+                                   insert, prune)
+
+Monitor and thread lifecycle events maintain the locksets, drive cache
+eviction (outermost monitorexit), and implement the ``S_j`` join
+pseudo-locks (Section 2.3).
+
+The pipeline is an :class:`~repro.runtime.events.EventSink`, so it can
+be attached directly to the interpreter (on-the-fly detection) or fed
+from a :class:`~repro.runtime.events.RecordingSink` log (post-mortem
+detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang.resolver import ResolvedProgram
+from ..runtime.events import AccessEvent, EventSink
+from .cache import AccessCache
+from .config import DetectorConfig
+from .locksets import LockTracker, join_pseudo_lock
+from .ownership import OwnershipFilter
+from .report import RaceReport, ReportCollector
+from .trie import LockTrie, TrieStats
+from .trie_packed import PackedLockTrie
+
+
+@dataclass
+class PipelineStats:
+    """End-to-end counters; the per-stage funnel of the event stream."""
+
+    accesses: int = 0
+    owned_filtered: int = 0
+    cache_hits: int = 0
+    detector_weaker_filtered: int = 0
+    detector_processed: int = 0
+    races_reported: int = 0
+
+    def funnel(self) -> str:
+        return (
+            f"{self.accesses} accesses → "
+            f"{self.accesses - self.owned_filtered} shared → "
+            f"{self.accesses - self.owned_filtered - self.cache_hits} cache misses → "
+            f"{self.detector_processed} trie-processed → "
+            f"{self.races_reported} race reports"
+        )
+
+
+class RaceDetector(EventSink):
+    """On-the-fly datarace detector: ownership + caches + lockset tries."""
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        resolved: Optional[ResolvedProgram] = None,
+        static_races=None,
+    ):
+        self.config = config if config is not None else DetectorConfig()
+        self._resolved = resolved
+        #: Optional StaticRaceSet: lets reports name the statically
+        #: identified partner sites (Section 2.6's debugging support).
+        self._static_races = static_races
+        self.locks = LockTracker()
+        self.ownership = OwnershipFilter() if self.config.ownership else None
+        self.cache = (
+            AccessCache(
+                size=self.config.cache_size,
+                write_covers_read=self.config.write_cache_covers_reads,
+            )
+            if self.config.cache
+            else None
+        )
+        self.trie_stats = TrieStats()
+        self._tries: dict = {}
+        self._packed: PackedLockTrie | None = (
+            PackedLockTrie(self.trie_stats) if self.config.packed_tries else None
+        )
+        self.reports = ReportCollector()
+        self.stats = PipelineStats()
+        # Main thread's own pseudo-lock, for uniformity with children.
+        if self.config.join_pseudolocks:
+            self.locks.acquire_pseudo(0, join_pseudo_lock(0))
+
+    # ------------------------------------------------------------------
+    # Location keying.
+
+    def _key(self, event: AccessEvent):
+        if self.config.fields_merged:
+            # Praun/Gross-style coarsening within our detector: all
+            # fields of one object map to one location (Table 3's
+            # "FieldsMerged" column).  Static fields of a class remain
+            # distinguished per the paper's parenthetical — class
+            # objects are exempted from merging.
+            from ..runtime.events import ObjectKind
+
+            if event.object_kind is ObjectKind.CLASS:
+                return event.location
+            return event.location.object_uid
+        return event.location
+
+    # ------------------------------------------------------------------
+    # Synchronization events.
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if reentrant:
+            return  # Nested enter: lockset unchanged (Section 4.2).
+        self.locks.enter(thread_id, lock_uid)
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        if reentrant:
+            return
+        self.locks.exit(thread_id, lock_uid)
+        if self.cache is not None:
+            self.cache.on_lock_release(thread_id, lock_uid)
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        if self.config.join_pseudolocks:
+            # mon-enter(S_j) at the start of T_j's execution.
+            self.locks.acquire_pseudo(child_id, join_pseudo_lock(child_id))
+
+    def on_thread_end(self, thread_id: int) -> None:
+        if self.config.join_pseudolocks:
+            # mon-exit(S_j) at the end of T_j's execution.
+            self.locks.release_pseudo(thread_id, join_pseudo_lock(thread_id))
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        if self.config.join_pseudolocks:
+            # The joiner performs mon-enter(S_j) after the join completes
+            # and holds it from then on: operations after the join cannot
+            # run concurrently with T_j's operations.
+            self.locks.acquire_pseudo(joiner_id, join_pseudo_lock(joined_id))
+
+    # ------------------------------------------------------------------
+    # Access events.
+
+    def on_access(self, event: AccessEvent) -> None:
+        self.stats.accesses += 1
+        key = self._key(event)
+        thread_id = event.thread_id
+
+        if self.ownership is not None:
+            admit, transitioned = self.ownership.admit(key, thread_id)
+            if not admit:
+                self.stats.owned_filtered += 1
+                return
+            if transitioned and self.cache is not None:
+                # The owner may have cached accesses to this location
+                # while it was owned; those entries were never sent to
+                # the detector and must not suppress future events.
+                self.cache.on_location_shared(key)
+
+        if self.cache is not None:
+            if self.cache.lookup(thread_id, key, event.kind):
+                self.stats.cache_hits += 1
+                return
+            self.cache.insert(
+                thread_id,
+                key,
+                event.kind,
+                anchor_lock=self.locks.last_real_lock(thread_id),
+            )
+
+        self._detect(key, event)
+
+    def _detect(self, key, event: AccessEvent) -> None:
+        lockset = self.locks.lockset(event.thread_id)
+        if self._packed is not None:
+            self._detect_packed(key, event, lockset)
+            return
+        trie = self._tries.get(key)
+        if trie is None:
+            trie = LockTrie(self.trie_stats)
+            self._tries[key] = trie
+
+        # Weakness check: the vast majority of accesses stop here.
+        if trie.find_weaker(lockset, event.thread_id, event.kind):
+            self.stats.detector_weaker_filtered += 1
+            return
+        self.stats.detector_processed += 1
+
+        prior = trie.find_race(
+            lockset,
+            event.thread_id,
+            event.kind,
+            read_read_races=self.config.read_read_races,
+        )
+        if prior is not None:
+            self._report(key, event, lockset, prior)
+
+        node = trie.insert(lockset, event.thread_id, event.kind)
+        # Prune with the node's *post-meet* value: if the insert merged
+        # threads to t⊥ (or kinds to WRITE), the node now covers
+        # strictly more stored accesses than the raw event would.
+        trie.prune_stronger(lockset, node.thread, node.kind, keep=node)
+
+    def _detect_packed(self, key, event: AccessEvent, lockset) -> None:
+        trie = self._packed
+        if trie.find_weaker(key, lockset, event.thread_id, event.kind):
+            self.stats.detector_weaker_filtered += 1
+            return
+        self.stats.detector_processed += 1
+        prior = trie.find_race(
+            key,
+            lockset,
+            event.thread_id,
+            event.kind,
+            read_read_races=self.config.read_read_races,
+        )
+        if prior is not None:
+            self._report(key, event, lockset, prior)
+        node, merged = trie.insert(key, lockset, event.thread_id, event.kind)
+        trie.prune_stronger(key, lockset, merged[0], merged[1], keep=node)
+
+    def _report(self, key, event, lockset, prior) -> None:
+        descriptor = ""
+        if self._resolved is not None and event.site_id in self._resolved.sites:
+            descriptor = self._resolved.sites[event.site_id].descriptor
+        report = RaceReport(
+            key=key,
+            field=event.location.field,
+            object_label=event.object_label,
+            current=event,
+            current_lockset=lockset,
+            prior=prior,
+            site_descriptor=descriptor,
+            static_partners=self._static_partners_of(event.site_id),
+        )
+        self.reports.add(report)
+        self.stats.races_reported += 1
+
+    def _static_partners_of(self, site_id: int) -> tuple:
+        """Descriptors of the static may-race partners of a site
+        (mapped through loop-peeling origins), capped for readability."""
+        if self._static_races is None or self._resolved is None:
+            return ()
+        origin = (
+            self._resolved.origin_of(site_id)
+            if site_id in self._resolved.sites
+            else site_id
+        )
+        partners = sorted(self._static_races.partners_of(origin))
+        descriptors = [
+            self._resolved.sites[partner].descriptor
+            for partner in partners[:4]
+            if partner in self._resolved.sites
+        ]
+        if len(partners) > 4:
+            descriptors.append(f"... and {len(partners) - 4} more")
+        return tuple(descriptors)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+
+    @property
+    def monitored_locations(self) -> int:
+        """Locations with trie history (the paper reports 6562 for tsp)."""
+        if self._packed is not None:
+            return self._packed.location_count
+        return len(self._tries)
+
+    def total_trie_nodes(self) -> int:
+        """Live trie nodes (the paper reports 7967 for tsp)."""
+        if self._packed is not None:
+            return self._packed.node_count()
+        return sum(trie.node_count() for trie in self._tries.values())

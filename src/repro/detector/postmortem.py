@@ -1,0 +1,98 @@
+"""Post-mortem datarace detection (Section 1's alternative mode).
+
+    "our approach could be easily modified to perform post-mortem
+    datarace detection by creating a log of access events during
+    program execution and performing the final datarace detection
+    phase off-line."
+
+The moving parts already exist — :class:`~repro.runtime.events.
+RecordingSink` logs the stream, every detector is an
+:class:`~repro.runtime.events.EventSink` — so this module is the thin
+workflow layer: run once while logging, then analyze the log offline
+with any combination of detectors (including the quadratic FullRace
+oracle, which is exactly what one defers to post-mortem time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.resolver import ResolvedProgram
+from ..runtime.events import RecordingSink
+from ..runtime.interpreter import RunResult, run_program
+from .config import DetectorConfig
+from .pipeline import RaceDetector
+from .reference import ReferenceDetector
+
+
+@dataclass
+class PostMortemResult:
+    """Everything the offline phase produced."""
+
+    run: RunResult
+    log: RecordingSink
+    detector: RaceDetector
+    #: The full pair enumeration, when requested (None otherwise).
+    full_race: Optional[list] = None
+
+    @property
+    def reports(self):
+        return self.detector.reports.reports
+
+
+def record_execution(
+    resolved: ResolvedProgram,
+    trace_sites: Optional[set] = None,
+    policy=None,
+    max_steps: int = 10_000_000,
+) -> tuple[RunResult, RecordingSink]:
+    """Phase 1: execute once, logging the full event stream."""
+    log = RecordingSink()
+    result = run_program(
+        resolved,
+        sink=log,
+        trace_sites=trace_sites,
+        policy=policy,
+        max_steps=max_steps,
+    )
+    return result, log
+
+
+def detect_from_log(
+    log: RecordingSink,
+    config: Optional[DetectorConfig] = None,
+    resolved: Optional[ResolvedProgram] = None,
+    enumerate_full_race: bool = False,
+) -> tuple[RaceDetector, Optional[list]]:
+    """Phase 2: run the detector (and optionally the FullRace oracle)
+    over a recorded log."""
+    detector = RaceDetector(config=config, resolved=resolved)
+    log.replay_into(detector)
+    pairs: Optional[list] = None
+    if enumerate_full_race:
+        oracle = ReferenceDetector(config)
+        log.replay_into(oracle)
+        pairs = oracle.full_race
+    return detector, pairs
+
+
+def detect_post_mortem(
+    resolved: ResolvedProgram,
+    config: Optional[DetectorConfig] = None,
+    trace_sites: Optional[set] = None,
+    policy=None,
+    enumerate_full_race: bool = False,
+    max_steps: int = 10_000_000,
+) -> PostMortemResult:
+    """The whole workflow: record, then detect offline."""
+    run, log = record_execution(
+        resolved, trace_sites=trace_sites, policy=policy, max_steps=max_steps
+    )
+    detector, pairs = detect_from_log(
+        log,
+        config=config,
+        resolved=resolved,
+        enumerate_full_race=enumerate_full_race,
+    )
+    return PostMortemResult(run=run, log=log, detector=detector, full_race=pairs)

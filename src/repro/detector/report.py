@@ -1,0 +1,108 @@
+"""Race reports and their collection (Sections 2.5 and 2.6).
+
+The detector reports a racing access *at the moment it occurs*, with
+the current access's full context (thread, lockset, source site) and
+what is known about some earlier conflicting access — its lockset and
+access type always, its thread when the ``t⊥`` space optimization has
+not merged it away (Section 3.1).
+
+Reports are aggregated three ways, matching how the paper counts:
+
+* by *memory location* — the unit of the reporting guarantee
+  (Definition 1: at least one reported access per racy location);
+* by *object* — Table 3 counts distinct objects with dataraces;
+* the raw report list, for debugging support (Section 2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..lang.ast import AccessKind
+from ..runtime.events import AccessEvent
+from .trie import PriorAccess
+from .weaker import THREAD_BOTTOM
+
+
+def _render_lockset(lockset: frozenset) -> str:
+    if not lockset:
+        return "{}"
+    parts = []
+    for lock in sorted(lockset):
+        if lock < 0:
+            parts.append(f"S{-lock - 1}")  # Join pseudo-lock S_j.
+        else:
+            parts.append(f"L{lock}")
+    return "{" + ", ".join(parts) + "}"
+
+
+@dataclass
+class RaceReport:
+    """One reported datarace."""
+
+    #: The detector's location key (coarsened under FieldsMerged).
+    key: object
+    #: Field name involved (from the current access).
+    field: str
+    #: Human label of the racy object, e.g. ``Task#17``.
+    object_label: str
+    #: The access that triggered the report.
+    current: AccessEvent
+    current_lockset: frozenset
+    #: What is known about the earlier conflicting access.
+    prior: PriorAccess
+    #: Where in the source the current access is (site descriptor).
+    site_descriptor: str = ""
+    #: Section 2.6 debugging support: descriptors of the statically
+    #: identified sites that could race with the current access.
+    static_partners: tuple = ()
+
+    def describe(self) -> str:
+        prior_thread = (
+            "some earlier thread(s)"
+            if self.prior.thread is THREAD_BOTTOM
+            else f"thread {self.prior.thread}"
+        )
+        current_kind = "write" if self.current.is_write else "read"
+        prior_kind = "write" if self.prior.kind is AccessKind.WRITE else "read"
+        text = (
+            f"DATARACE on {self.object_label}.{self.field}: "
+            f"thread {self.current.thread_id} {current_kind} with locks "
+            f"{_render_lockset(self.current_lockset)} at "
+            f"{self.site_descriptor or f'site {self.current.site_id}'} "
+            f"conflicts with a {prior_kind} by {prior_thread} with locks "
+            f"{_render_lockset(self.prior.lockset)}"
+        )
+        if self.static_partners:
+            partners = "; ".join(self.static_partners)
+            text += f" [static candidates: {partners}]"
+        return text
+
+
+@dataclass
+class ReportCollector:
+    """Accumulates race reports and the paper's summary counts."""
+
+    reports: list[RaceReport] = field(default_factory=list)
+    racy_locations: set = field(default_factory=set)
+    racy_objects: set = field(default_factory=set)
+    racy_fields: set = field(default_factory=set)
+    racy_sites: set = field(default_factory=set)
+
+    def add(self, report: RaceReport) -> None:
+        self.reports.append(report)
+        self.racy_locations.add(report.key)
+        self.racy_objects.add(report.object_label)
+        self.racy_fields.add((report.object_label, report.field))
+        self.racy_sites.add(report.current.site_id)
+
+    @property
+    def object_count(self) -> int:
+        """Number of distinct objects with reported races (Table 3)."""
+        return len(self.racy_objects)
+
+    @property
+    def location_count(self) -> int:
+        return len(self.racy_locations)
+
+    def describe_all(self) -> str:
+        return "\n".join(report.describe() for report in self.reports)

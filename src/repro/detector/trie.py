@@ -1,0 +1,281 @@
+"""The per-location lockset trie (Section 3.2 of the paper).
+
+For each memory location the detector keeps an edge-labeled trie: edges
+carry lock ids, and each node represents the (possibly empty) set of
+past accesses whose lockset is the node's root path.  Nodes hold the
+*meet* of their accesses' thread and access-type values, so a node is a
+lossy-but-sufficient summary:
+
+* ``t`` — a concrete thread id, ``t⊥`` (two or more distinct threads),
+  or ``t⊤`` (no accesses; pure internal node);
+* ``a`` — READ or WRITE (internal nodes use READ, the meet identity).
+
+Insertion canonicalizes locksets by storing them along the *sorted*
+sequence of lock ids, so a given lockset always maps to one node.
+
+Three traversals implement the algorithm of Section 3.2.1:
+
+``find_weaker``
+    Is there a stored access weaker than the incoming event?  Follows
+    only edges labeled with locks in ``e.L`` (guaranteeing the subset
+    condition) and tests each node's ``(t, a)`` against the partial
+    orders.  In practice this filters the vast majority of events.
+
+``find_race``
+    Case I — the incoming edge's lock is in ``e.L``: the whole subtree
+    shares a lock with ``e``; skip it.
+    Case II — ``e.t ⊓ n.t = t⊥`` and ``e.a ⊓ n.a = WRITE``: datarace;
+    report and stop.
+    Case III — recurse into the children.
+
+``insert`` + ``prune_stronger``
+    Update the node for ``e.L`` with the meets, then remove stored
+    accesses that the new access makes redundant (strictly stronger
+    nodes), demoting their nodes to internal status and trimming
+    childless internal nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.ast import AccessKind
+from .weaker import (
+    THREAD_BOTTOM,
+    THREAD_TOP,
+    ThreadValue,
+    access_leq,
+    access_meet,
+    thread_leq,
+    thread_meet,
+)
+
+
+class TrieNode:
+    """One node of a lockset trie."""
+
+    __slots__ = ("thread", "kind", "children")
+
+    def __init__(self) -> None:
+        self.thread: ThreadValue = THREAD_TOP
+        self.kind: AccessKind = AccessKind.READ
+        self.children: dict[int, "TrieNode"] = {}
+
+    @property
+    def holds_accesses(self) -> bool:
+        """True if this node summarizes at least one stored access."""
+        return self.thread is not THREAD_TOP
+
+    def clear_accesses(self) -> None:
+        self.thread = THREAD_TOP
+        self.kind = AccessKind.READ
+
+
+@dataclass
+class PriorAccess:
+    """What is known about the earlier access of a reported race.
+
+    Because of the ``t⊥`` space optimization the earlier thread cannot
+    always be identified (Section 3.1); ``thread`` is then ``t⊥``.
+    """
+
+    thread: ThreadValue
+    lockset: frozenset
+    kind: AccessKind
+
+
+@dataclass
+class TrieStats:
+    """Operation counters, reported by the space/overhead benchmarks."""
+
+    nodes_allocated: int = 0
+    nodes_freed: int = 0
+    weaker_hits: int = 0
+    weaker_misses: int = 0
+    races_found: int = 0
+    inserts: int = 0
+    updates: int = 0
+
+    @property
+    def live_nodes(self) -> int:
+        return self.nodes_allocated - self.nodes_freed
+
+
+class LockTrie:
+    """The access history of one memory location."""
+
+    def __init__(self, stats: Optional[TrieStats] = None):
+        self.stats = stats if stats is not None else TrieStats()
+        self.root = TrieNode()
+        self.stats.nodes_allocated += 1
+
+    # ------------------------------------------------------------------
+    # Weakness check.
+
+    def find_weaker(
+        self, lockset: frozenset, thread: int, kind: AccessKind
+    ) -> bool:
+        """True iff some stored access is weaker than ``(lockset, thread,
+        kind)`` (so the incoming event can be ignored)."""
+        found = self._find_weaker(self.root, lockset, thread, kind)
+        if found:
+            self.stats.weaker_hits += 1
+        else:
+            self.stats.weaker_misses += 1
+        return found
+
+    def _find_weaker(
+        self, node: TrieNode, lockset: frozenset, thread: int, kind: AccessKind
+    ) -> bool:
+        if (
+            node.holds_accesses
+            and thread_leq(node.thread, thread)
+            and access_leq(node.kind, kind)
+        ):
+            return True
+        for lock, child in node.children.items():
+            if lock in lockset and self._find_weaker(child, lockset, thread, kind):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Race check.
+
+    def find_race(
+        self,
+        lockset: frozenset,
+        thread: int,
+        kind: AccessKind,
+        read_read_races: bool = False,
+    ) -> Optional[PriorAccess]:
+        """Search for a stored access racing with the incoming event.
+
+        Returns information about the prior access of the first race
+        found (depth-first order), or ``None``.
+        """
+        return self._find_race(
+            self.root, (), lockset, thread, kind, read_read_races
+        )
+
+    def _find_race(
+        self,
+        node: TrieNode,
+        path: tuple,
+        lockset: frozenset,
+        thread: int,
+        kind: AccessKind,
+        read_read_races: bool,
+    ) -> Optional[PriorAccess]:
+        # Case II: this node's accesses are lock-disjoint from the event
+        # (guaranteed by Case I pruning below), involve another thread,
+        # and at least one side wrote.
+        if node.holds_accesses and thread_meet(node.thread, thread) is THREAD_BOTTOM:
+            if read_read_races or access_meet(node.kind, kind) is AccessKind.WRITE:
+                self.stats.races_found += 1
+                return PriorAccess(
+                    thread=node.thread,
+                    lockset=frozenset(path),
+                    kind=node.kind,
+                )
+        for lock, child in node.children.items():
+            # Case I: the subtree's accesses all hold `lock`, which the
+            # incoming event also holds — no race anywhere below.
+            if lock in lockset:
+                continue
+            # Case III: recurse.
+            race = self._find_race(
+                child, path + (lock,), lockset, thread, kind, read_read_races
+            )
+            if race is not None:
+                return race
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion and pruning.
+
+    def insert(self, lockset: frozenset, thread: int, kind: AccessKind) -> TrieNode:
+        """Record the access, creating or updating the node for ``lockset``."""
+        node = self.root
+        for lock in sorted(lockset):
+            child = node.children.get(lock)
+            if child is None:
+                child = TrieNode()
+                self.stats.nodes_allocated += 1
+                node.children[lock] = child
+            node = child
+        if node.holds_accesses:
+            self.stats.updates += 1
+        else:
+            self.stats.inserts += 1
+        node.thread = thread_meet(node.thread, thread)
+        node.kind = access_meet(node.kind, kind)
+        return node
+
+    def prune_stronger(
+        self, lockset: frozenset, thread: int, kind: AccessKind, keep: TrieNode
+    ) -> int:
+        """Remove stored accesses strictly stronger than the new access.
+
+        A stored access at node ``n`` (path lockset ``n.L``) is stronger
+        iff ``lockset ⊆ n.L ∧ thread ⊑ n.t ∧ kind ⊑ n.a``.  ``keep`` is
+        the node just inserted (it trivially satisfies the condition and
+        must survive).  Returns the number of nodes demoted.
+        """
+        removed = self._prune(self.root, frozenset(), lockset, thread, kind, keep)
+        return removed
+
+    def _prune(
+        self,
+        node: TrieNode,
+        path_locks: frozenset,
+        lockset: frozenset,
+        thread: int,
+        kind: AccessKind,
+        keep: TrieNode,
+    ) -> int:
+        removed = 0
+        if (
+            node is not keep
+            and node.holds_accesses
+            and lockset <= path_locks
+            and thread_leq(thread, node.thread)
+            and access_leq(kind, node.kind)
+        ):
+            node.clear_accesses()
+            removed += 1
+        dead_children = []
+        for lock, child in node.children.items():
+            removed += self._prune(
+                child, path_locks | {lock}, lockset, thread, kind, keep
+            )
+            if not child.children and not child.holds_accesses and child is not keep:
+                dead_children.append(lock)
+        for lock in dead_children:
+            del node.children[lock]
+            self.stats.nodes_freed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, space accounting).
+
+    def stored_accesses(self) -> list[tuple[frozenset, ThreadValue, AccessKind]]:
+        """All stored accesses as ``(lockset, thread, kind)`` triples."""
+        result = []
+        self._collect(self.root, (), result)
+        return result
+
+    def _collect(self, node: TrieNode, path: tuple, out: list) -> None:
+        if node.holds_accesses:
+            out.append((frozenset(path), node.thread, node.kind))
+        for lock, child in node.children.items():
+            self._collect(child, path + (lock,), out)
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

@@ -1,0 +1,35 @@
+"""Compile-time instrumentation optimization (Section 6)."""
+
+from .loop_peeling import LoopPeeler, PeelingStats, peel_loops
+from .planner import (
+    FULL_PLAN,
+    NO_DOMINATORS,
+    NO_PEELING,
+    NO_STATIC,
+    InstrumentationPlan,
+    PlannerConfig,
+    PlanStats,
+    plan_instrumentation,
+)
+from .static_weaker import (
+    EliminationResult,
+    StaticWeakerAnalysis,
+    eliminate_redundant_traces,
+)
+
+__all__ = [
+    "EliminationResult",
+    "FULL_PLAN",
+    "InstrumentationPlan",
+    "LoopPeeler",
+    "NO_DOMINATORS",
+    "NO_PEELING",
+    "NO_STATIC",
+    "PeelingStats",
+    "PlanStats",
+    "PlannerConfig",
+    "StaticWeakerAnalysis",
+    "eliminate_redundant_traces",
+    "peel_loops",
+    "plan_instrumentation",
+]

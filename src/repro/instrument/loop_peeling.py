@@ -1,0 +1,314 @@
+"""The loop-peeling instrumentation transformation (Section 6.3).
+
+In-loop trace points produce one redundant access event per iteration:
+after the first iteration, the event is identical to the one already
+recorded.  The static weaker-than relation cannot remove the trace —
+the first iteration's event *is* needed — and classic loop-invariant
+hoisting is blocked by potentially-excepting instructions.  The paper's
+answer is to peel the first iteration:
+
+.. code-block:: text
+
+    while (c) { body }
+        ⇒
+    if (c) { body' ; while (c) { body } }
+
+where ``body'`` is a clone of the body.  The clone's trace points then
+*dominate* the in-loop ones with no intervening start/join, so the
+static weaker-than elimination removes the traces inside the residual
+loop; the access is traced at most once.
+
+Cloned access sites receive fresh ``site_id``\\ s whose ``origin``
+points at the site they were derived from, so static datarace facts
+computed before peeling apply to the clones.  Cloned sync blocks get
+fresh ``sync_id``\\ s — a clone's sync block is a *different lock
+acquisition*, and the ``outer`` condition must not conflate the two.
+Nested loops are peeled innermost-first, so the peeled first iteration
+of an outer loop contains already-peeled inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..lang.resolver import ResolvedProgram
+
+
+@dataclass
+class PeelingStats:
+    loops_seen: int = 0
+    loops_peeled: int = 0
+    sites_cloned: int = 0
+
+
+class LoopPeeler:
+    """Applies loop peeling to every method of a resolved program.
+
+    The transformation mutates the program in place; callers that need
+    the unpeeled program should re-compile the source.
+    """
+
+    def __init__(self, resolved: ResolvedProgram):
+        self._resolved = resolved
+        self.stats = PeelingStats()
+
+    def peel_program(self) -> PeelingStats:
+        for method in self._resolved.methods:
+            self._peel_block(method.body)
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _peel_block(self, block: ast.Block) -> None:
+        new_body: list[ast.Stmt] = []
+        for stmt in block.body:
+            new_body.append(self._peel_stmt(stmt))
+        block.body = new_body
+
+    def _peel_stmt(self, stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.While):
+            # Innermost-first: handle loops inside the body, then this one.
+            self._peel_block(stmt.body)
+            return self._peel_while(stmt)
+        if isinstance(stmt, ast.If):
+            self._peel_block(stmt.then_block)
+            if stmt.else_block is not None:
+                self._peel_block(stmt.else_block)
+            return stmt
+        if isinstance(stmt, ast.Sync):
+            self._peel_block(stmt.body)
+            return stmt
+        if isinstance(stmt, ast.Block):
+            self._peel_block(stmt)
+            return stmt
+        return stmt
+
+    def _peel_while(self, loop: ast.While) -> ast.Stmt:
+        self.stats.loops_seen += 1
+        if loop.peeled:
+            return loop
+        if not any(True for _ in ast.access_sites(loop)):
+            # No trace points anywhere in the loop: peeling buys nothing.
+            return loop
+        self.stats.loops_peeled += 1
+
+        peeled_cond = self._clone_expr(loop.cond)
+        peeled_body = self._clone_block(loop.body)
+        loop.peeled = True
+
+        guard = ast.If(
+            cond=peeled_cond,
+            then_block=ast.Block(
+                body=[*peeled_body.body, loop],
+                location=loop.location,
+            ),
+            else_block=None,
+            location=loop.location,
+        )
+        guard.stmt_id = self._resolved.id_allocator.stmt_id()
+        guard.then_block.stmt_id = self._resolved.id_allocator.stmt_id()
+        return guard
+
+    # ------------------------------------------------------------------
+    # Cloning with fresh identifiers.
+
+    def _clone_block(self, block: ast.Block) -> ast.Block:
+        clone = ast.Block(
+            body=[self._clone_stmt(stmt) for stmt in block.body],
+            location=block.location,
+        )
+        clone.stmt_id = self._resolved.id_allocator.stmt_id()
+        return clone
+
+    def _clone_stmt(self, stmt: ast.Stmt) -> ast.Stmt:
+        ids = self._resolved.id_allocator
+        if isinstance(stmt, ast.VarDecl):
+            clone = ast.VarDecl(
+                name=stmt.name,
+                init=self._clone_expr(stmt.init),
+                location=stmt.location,
+            )
+        elif isinstance(stmt, ast.AssignLocal):
+            clone = ast.AssignLocal(
+                name=stmt.name,
+                value=self._clone_expr(stmt.value),
+                location=stmt.location,
+            )
+        elif isinstance(stmt, ast.FieldWrite):
+            clone = ast.FieldWrite(
+                obj=self._clone_expr(stmt.obj),
+                field_name=stmt.field_name,
+                value=self._clone_expr(stmt.value),
+                location=stmt.location,
+            )
+            self._register_clone(clone, stmt)
+        elif isinstance(stmt, ast.StaticFieldWrite):
+            clone = ast.StaticFieldWrite(
+                class_name=stmt.class_name,
+                field_name=stmt.field_name,
+                value=self._clone_expr(stmt.value),
+                location=stmt.location,
+            )
+            self._register_clone(clone, stmt)
+        elif isinstance(stmt, ast.ArrayWrite):
+            clone = ast.ArrayWrite(
+                array=self._clone_expr(stmt.array),
+                index=self._clone_expr(stmt.index),
+                value=self._clone_expr(stmt.value),
+                location=stmt.location,
+            )
+            self._register_clone(clone, stmt)
+        elif isinstance(stmt, ast.If):
+            clone = ast.If(
+                cond=self._clone_expr(stmt.cond),
+                then_block=self._clone_block(stmt.then_block),
+                else_block=(
+                    self._clone_block(stmt.else_block)
+                    if stmt.else_block is not None
+                    else None
+                ),
+                location=stmt.location,
+            )
+        elif isinstance(stmt, ast.While):
+            clone = ast.While(
+                cond=self._clone_expr(stmt.cond),
+                body=self._clone_block(stmt.body),
+                location=stmt.location,
+                peeled=stmt.peeled,
+            )
+        elif isinstance(stmt, ast.Sync):
+            clone = ast.Sync(
+                lock=self._clone_expr(stmt.lock),
+                body=self._clone_block(stmt.body),
+                location=stmt.location,
+            )
+            clone.sync_id = ids.sync_id()
+        elif isinstance(stmt, ast.Start):
+            clone = ast.Start(
+                thread=self._clone_expr(stmt.thread), location=stmt.location
+            )
+        elif isinstance(stmt, ast.Join):
+            clone = ast.Join(
+                thread=self._clone_expr(stmt.thread), location=stmt.location
+            )
+        elif isinstance(stmt, ast.Return):
+            clone = ast.Return(
+                value=(
+                    self._clone_expr(stmt.value)
+                    if stmt.value is not None
+                    else None
+                ),
+                location=stmt.location,
+            )
+        elif isinstance(stmt, ast.Print):
+            clone = ast.Print(
+                value=self._clone_expr(stmt.value), location=stmt.location
+            )
+        elif isinstance(stmt, ast.Assert):
+            clone = ast.Assert(
+                cond=self._clone_expr(stmt.cond), location=stmt.location
+            )
+        elif isinstance(stmt, ast.ExprStmt):
+            clone = ast.ExprStmt(
+                expr=self._clone_expr(stmt.expr), location=stmt.location
+            )
+        elif isinstance(stmt, ast.Block):
+            clone = self._clone_block(stmt)
+            return clone
+        else:
+            raise TypeError(f"unhandled statement {type(stmt).__name__}")
+        clone.stmt_id = ids.stmt_id()
+        return clone
+
+    def _clone_expr(self, expr: ast.Expr) -> ast.Expr:
+        ids = self._resolved.id_allocator
+        if isinstance(
+            expr,
+            (
+                ast.IntLiteral,
+                ast.BoolLiteral,
+                ast.StringLiteral,
+                ast.NullLiteral,
+                ast.VarRef,
+                ast.ThisRef,
+                ast.ClassRef,
+            ),
+        ):
+            return expr  # Immutable leaves can be shared.
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(
+                op=expr.op,
+                left=self._clone_expr(expr.left),
+                right=self._clone_expr(expr.right),
+                location=expr.location,
+            )
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(
+                op=expr.op,
+                operand=self._clone_expr(expr.operand),
+                location=expr.location,
+            )
+        if isinstance(expr, ast.FieldRead):
+            clone = ast.FieldRead(
+                obj=self._clone_expr(expr.obj),
+                field_name=expr.field_name,
+                location=expr.location,
+            )
+            self._register_clone(clone, expr)
+            return clone
+        if isinstance(expr, ast.StaticFieldRead):
+            clone = ast.StaticFieldRead(
+                class_name=expr.class_name,
+                field_name=expr.field_name,
+                location=expr.location,
+            )
+            self._register_clone(clone, expr)
+            return clone
+        if isinstance(expr, ast.ArrayRead):
+            clone = ast.ArrayRead(
+                array=self._clone_expr(expr.array),
+                index=self._clone_expr(expr.index),
+                location=expr.location,
+            )
+            self._register_clone(clone, expr)
+            return clone
+        if isinstance(expr, ast.New):
+            clone = ast.New(
+                class_name=expr.class_name,
+                args=[self._clone_expr(arg) for arg in expr.args],
+                location=expr.location,
+            )
+            clone.alloc_id = ids.alloc_id()
+            return clone
+        if isinstance(expr, ast.NewArray):
+            clone = ast.NewArray(
+                size=self._clone_expr(expr.size), location=expr.location
+            )
+            clone.alloc_id = ids.alloc_id()
+            return clone
+        if isinstance(expr, ast.Call):
+            clone = ast.Call(
+                receiver=(
+                    self._clone_expr(expr.receiver)
+                    if expr.receiver is not None
+                    else None
+                ),
+                method_name=expr.method_name,
+                args=[self._clone_expr(arg) for arg in expr.args],
+                location=expr.location,
+                static_class=expr.static_class,
+            )
+            clone.call_id = ids.call_id()
+            return clone
+        raise TypeError(f"unhandled expression {type(expr).__name__}")
+
+    def _register_clone(self, clone, original) -> None:
+        template = self._resolved.sites[original.site_id]
+        self._resolved.register_cloned_site(clone, template)
+        self.stats.sites_cloned += 1
+
+
+def peel_loops(resolved: ResolvedProgram) -> PeelingStats:
+    """Apply loop peeling to the whole program, in place."""
+    return LoopPeeler(resolved).peel_program()

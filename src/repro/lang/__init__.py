@@ -1,0 +1,70 @@
+"""The MJ language front end: lexer, parser, AST, resolver, printer.
+
+MJ is the small Java-like object-oriented language this reproduction
+uses in place of Java bytecode.  The typical entry point is
+:func:`compile_source`, which parses and resolves a program in one call:
+
+.. code-block:: python
+
+    from repro.lang import compile_source
+
+    resolved = compile_source('''
+        class Main {
+          static def main() {
+            var p = new Point();
+            p.x = 3;
+          }
+        }
+        class Point { field x; }
+    ''')
+"""
+
+from . import ast
+from .errors import (
+    LexError,
+    MJAssertionError,
+    MJError,
+    MJRuntimeError,
+    ParseError,
+    ResolveError,
+    SourceLocation,
+)
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse
+from .printer import render_expr, render_program, render_stmt
+from .resolver import (
+    ARRAY_FIELD,
+    ClassInfo,
+    IdAllocator,
+    ResolvedProgram,
+    Resolver,
+    SiteInfo,
+    compile_source,
+    resolve,
+)
+
+__all__ = [
+    "ARRAY_FIELD",
+    "ClassInfo",
+    "IdAllocator",
+    "LexError",
+    "Lexer",
+    "MJAssertionError",
+    "MJError",
+    "MJRuntimeError",
+    "ParseError",
+    "Parser",
+    "ResolveError",
+    "ResolvedProgram",
+    "Resolver",
+    "SiteInfo",
+    "SourceLocation",
+    "ast",
+    "compile_source",
+    "parse",
+    "render_expr",
+    "render_program",
+    "render_stmt",
+    "resolve",
+    "tokenize",
+]

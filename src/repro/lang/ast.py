@@ -1,0 +1,556 @@
+"""Abstract syntax tree for the MJ language.
+
+MJ is a small dynamically-typed object-oriented language with Java-style
+monitors and threads, designed as the substrate for reproducing the PLDI
+2002 datarace-detection paper.  It supports:
+
+* classes with (optionally static) fields and methods, single inheritance;
+* ``sync`` methods and ``sync (expr) { ... }`` blocks (Java ``synchronized``);
+* ``start e;`` / ``join e;`` thread operations (a class with a ``run``
+  method acts like ``java.lang.Thread``);
+* field, static-field, and array-element accesses — the *access sites*
+  that the instrumentation phases reason about.
+
+Every node carries a :class:`~repro.lang.errors.SourceLocation`.  The
+resolver (:mod:`repro.lang.resolver`) assigns:
+
+* a unique ``site_id`` to every memory-access node (the paper's *trace
+  points*, Section 6.1), and
+* a unique ``stmt_id`` to every statement (the nodes of the statement-level
+  CFG used by the static analyses).
+
+Access nodes also carry ``origin_site_id``: program transformations such
+as loop peeling clone access sites, and the clone points back at the site
+it was derived from so that facts computed before the transformation (the
+static datarace set, Section 5) transfer to the clone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .errors import SourceLocation
+
+
+class AccessKind(enum.Enum):
+    """Whether an access site reads or writes memory (``e.a`` in the paper)."""
+
+    READ = "READ"
+    WRITE = "WRITE"
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation
+
+    def children(self) -> Iterator["Node"]:
+        """Yield the direct child nodes, in source order."""
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    location: SourceLocation
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+    location: SourceLocation
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+    location: SourceLocation
+
+
+@dataclass
+class NullLiteral(Expr):
+    location: SourceLocation
+
+
+@dataclass
+class VarRef(Expr):
+    """A reference to a local variable or parameter."""
+
+    name: str
+    location: SourceLocation
+
+
+@dataclass
+class ThisRef(Expr):
+    location: SourceLocation
+
+
+@dataclass
+class ClassRef(Expr):
+    """A reference to a class object (synthesized by the resolver).
+
+    Each class has a singleton runtime *class object* that holds its
+    static fields and serves as the lock for ``static sync`` methods —
+    mirroring Java's per-class ``Class`` instance.
+    """
+
+    class_name: str
+    location: SourceLocation
+
+
+@dataclass
+class Binary(Expr):
+    """A binary operation; ``op`` is the operator's source spelling."""
+
+    op: str
+    left: Expr
+    right: Expr
+    location: SourceLocation
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass
+class Unary(Expr):
+    op: str
+    operand: Expr
+    location: SourceLocation
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+class AccessExpr(Expr):
+    """Base class for expressions that read a memory location.
+
+    These are the read-side *trace points*.  ``site_id`` is assigned by
+    the resolver; ``origin_site_id`` links clones to their source site.
+    """
+
+    site_id: Optional[int]
+    origin_site_id: Optional[int]
+
+    @property
+    def access_kind(self) -> AccessKind:
+        return AccessKind.READ
+
+
+@dataclass
+class FieldRead(AccessExpr):
+    """``obj.field`` — reads an instance field."""
+
+    obj: Expr
+    field_name: str
+    location: SourceLocation
+    site_id: Optional[int] = None
+    origin_site_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.obj
+
+
+@dataclass
+class StaticFieldRead(AccessExpr):
+    """``Class.field`` — reads a static field."""
+
+    class_name: str
+    field_name: str
+    location: SourceLocation
+    site_id: Optional[int] = None
+    origin_site_id: Optional[int] = None
+
+
+@dataclass
+class ArrayRead(AccessExpr):
+    """``arr[index]`` — reads an array element."""
+
+    array: Expr
+    index: Expr
+    location: SourceLocation
+    site_id: Optional[int] = None
+    origin_site_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.array
+        yield self.index
+
+
+@dataclass
+class New(Expr):
+    """``new Class(args)`` — allocates an object and runs ``init``.
+
+    ``alloc_id`` is assigned by the resolver and identifies the allocation
+    site for the points-to analysis (one abstract object per site,
+    Section 5.3).
+    """
+
+    class_name: str
+    args: list[Expr]
+    location: SourceLocation
+    alloc_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield from self.args
+
+
+@dataclass
+class NewArray(Expr):
+    """``newarray(size)`` — allocates an array of nulls."""
+
+    size: Expr
+    location: SourceLocation
+    alloc_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.size
+
+
+@dataclass
+class Call(Expr):
+    """A method call.
+
+    ``receiver`` is ``None`` for bare calls (``m(...)``) which the
+    resolver binds to either an implicit-``this`` call or a static call
+    on the enclosing class.  When the parser sees ``Name.m(...)`` it
+    produces ``receiver=VarRef("Name")``; the resolver rewrites it into a
+    static call (setting ``static_class``) if ``Name`` names a class.
+    """
+
+    receiver: Optional[Expr]
+    method_name: str
+    args: list[Expr]
+    location: SourceLocation
+    static_class: Optional[str] = None
+    call_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        if self.receiver is not None:
+            yield self.receiver
+        yield from self.args
+
+    @property
+    def is_static(self) -> bool:
+        return self.static_class is not None
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+
+
+class Stmt(Node):
+    """Base class for statements; ``stmt_id`` is assigned by the resolver."""
+
+    stmt_id: Optional[int]
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt]
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield from self.body
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var name = init;``"""
+
+    name: str
+    init: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.init
+
+
+@dataclass
+class AssignLocal(Stmt):
+    """``name = value;`` where ``name`` is a local or parameter."""
+
+    name: str
+    value: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.value
+
+
+class AccessStmt(Stmt):
+    """Base class for statements that write a memory location."""
+
+    site_id: Optional[int]
+    origin_site_id: Optional[int]
+
+    @property
+    def access_kind(self) -> AccessKind:
+        return AccessKind.WRITE
+
+
+@dataclass
+class FieldWrite(AccessStmt):
+    """``obj.field = value;``"""
+
+    obj: Expr
+    field_name: str
+    value: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+    site_id: Optional[int] = None
+    origin_site_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.obj
+        yield self.value
+
+
+@dataclass
+class StaticFieldWrite(AccessStmt):
+    """``Class.field = value;``"""
+
+    class_name: str
+    field_name: str
+    value: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+    site_id: Optional[int] = None
+    origin_site_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.value
+
+
+@dataclass
+class ArrayWrite(AccessStmt):
+    """``arr[index] = value;``"""
+
+    array: Expr
+    index: Expr
+    value: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+    site_id: Optional[int] = None
+    origin_site_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.array
+        yield self.index
+        yield self.value
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_block: Block
+    else_block: Optional[Block]
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then_block
+        if self.else_block is not None:
+            yield self.else_block
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+    #: Set by the loop-peeling transformation on the residual loop so the
+    #: same loop is not peeled twice.
+    peeled: bool = False
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.body
+
+
+@dataclass
+class Sync(Stmt):
+    """``sync (lock) { ... }`` — a Java ``synchronized`` block.
+
+    ``sync_id`` uniquely identifies the block; it doubles as the ICG node
+    for the block in the static analysis (Section 5.2 gives synchronized
+    blocks their own ICG nodes).
+    """
+
+    lock: Expr
+    body: Block
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+    sync_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.lock
+        yield self.body
+
+
+@dataclass
+class Start(Stmt):
+    """``start e;`` — starts the thread object denoted by ``e``."""
+
+    thread: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.thread
+
+
+@dataclass
+class Join(Stmt):
+    """``join e;`` — blocks until the thread denoted by ``e`` terminates."""
+
+    thread: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.thread
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        if self.value is not None:
+            yield self.value
+
+
+@dataclass
+class Print(Stmt):
+    value: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.value
+
+
+@dataclass
+class Assert(Stmt):
+    cond: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (a call)."""
+
+    expr: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.expr
+
+
+# ---------------------------------------------------------------------------
+# Declarations.
+
+
+@dataclass
+class FieldDecl(Node):
+    name: str
+    is_static: bool
+    location: SourceLocation
+
+
+@dataclass
+class MethodDecl(Node):
+    """A method declaration.
+
+    ``is_sync`` marks Java's ``synchronized`` methods — the resolver
+    normalizes them by wrapping the body in ``sync (this) { ... }``
+    (or a sync on the class object for static methods), so downstream
+    phases only ever see explicit sync blocks.
+    """
+
+    name: str
+    params: list[str]
+    body: Block
+    is_sync: bool
+    is_static: bool
+    location: SourceLocation
+    class_name: Optional[str] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.body
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.class_name}.{self.name}"
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str
+    superclass: Optional[str]
+    fields: list[FieldDecl]
+    methods: list[MethodDecl]
+    location: SourceLocation
+
+    def children(self) -> Iterator[Node]:
+        yield from self.fields
+        yield from self.methods
+
+
+@dataclass
+class Program(Node):
+    """A whole MJ program: a set of classes, one of which must be ``Main``
+    with a ``static def main()`` entry point."""
+
+    classes: list[ClassDecl]
+    location: SourceLocation
+
+    def children(self) -> Iterator[Node]:
+        yield from self.classes
+
+
+#: Union of the node classes that constitute memory-access sites.
+ACCESS_NODE_TYPES = (
+    FieldRead,
+    StaticFieldRead,
+    ArrayRead,
+    FieldWrite,
+    StaticFieldWrite,
+    ArrayWrite,
+)
+
+
+def access_sites(root: Node) -> Iterator[Node]:
+    """Yield every memory-access node under ``root``, preorder."""
+    for node in root.walk():
+        if isinstance(node, ACCESS_NODE_TYPES):
+            yield node

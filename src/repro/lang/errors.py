@@ -1,0 +1,72 @@
+"""Diagnostic machinery for the MJ language front end.
+
+All front-end failures (lexing, parsing, resolution) raise subclasses of
+:class:`MJError` carrying a :class:`SourceLocation` so that tools built on
+top of the front end can point users at the offending source text, exactly
+as the paper's detector reports the *source location* component ``s`` of
+each access event (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A position in an MJ source file.
+
+    ``line`` and ``column`` are 1-based.  ``filename`` defaults to the
+    conventional ``<input>`` for programs built from strings.
+    """
+
+    line: int
+    column: int
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used for synthesized nodes (e.g. statements produced by the
+#: loop-peeling transformation) that have no direct source counterpart.
+SYNTHETIC = SourceLocation(line=0, column=0, filename="<synthetic>")
+
+
+class MJError(Exception):
+    """Base class for all MJ front-end errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(MJError):
+    """An invalid character sequence was encountered while tokenizing."""
+
+
+class ParseError(MJError):
+    """The token stream does not conform to the MJ grammar."""
+
+
+class ResolveError(MJError):
+    """A name, class, field, or method reference could not be resolved."""
+
+
+class MJRuntimeError(MJError):
+    """An error raised while interpreting an MJ program.
+
+    Examples: null dereference, out-of-bounds array access, calling a
+    missing method, joining a thread that was never started.  These are
+    the MJ analogues of Java's runtime exceptions; the paper notes that
+    potentially-excepting instructions (PEIs) are pervasive in Java and
+    constrain the compile-time optimizations (Section 6.3).
+    """
+
+
+class MJAssertionError(MJRuntimeError):
+    """An ``assert`` statement in an MJ program evaluated to false."""

@@ -1,0 +1,173 @@
+"""Hand-written lexer for the MJ language.
+
+The lexer is a straightforward single-pass scanner producing a list of
+:class:`~repro.lang.tokens.Token`.  It supports ``//`` line comments and
+``/* ... */`` block comments, decimal integer literals, and double-quoted
+string literals with ``\\n``, ``\\t``, ``\\"`` and ``\\\\`` escapes.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR_OPERATORS = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPERATORS = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "0": "\0"}
+
+
+class Lexer:
+    """Tokenizes MJ source text."""
+
+    def __init__(self, source: str, filename: str = "<input>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Scan the entire input and return its tokens, ending with EOF."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self._at_end():
+                tokens.append(Token(TokenKind.EOF, "", self._location()))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Scanning helpers.
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._column, self._filename)
+
+    def _at_end(self) -> bool:
+        return self._pos >= len(self._source)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self) -> str:
+        char = self._source[self._pos]
+        self._pos += 1
+        if char == "\n":
+            self._line += 1
+            self._column = 1
+        else:
+            self._column += 1
+        return char
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while not self._at_end():
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance()
+                self._advance()
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._at_end():
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Token producers.
+
+    def _next_token(self) -> Token:
+        location = self._location()
+        char = self._peek()
+        if char.isdigit():
+            return self._scan_number(location)
+        if char.isalpha() or char == "_":
+            return self._scan_word(location)
+        if char == '"':
+            return self._scan_string(location)
+        two = self._peek() + self._peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPERATORS[two], two, location)
+        if char in _ONE_CHAR_OPERATORS:
+            self._advance()
+            return Token(_ONE_CHAR_OPERATORS[char], char, location)
+        raise LexError(f"unexpected character {char!r}", location)
+
+    def _scan_number(self, location: SourceLocation) -> Token:
+        text = []
+        while self._peek().isdigit():
+            text.append(self._advance())
+        spelling = "".join(text)
+        return Token(TokenKind.INT, spelling, location, value=int(spelling))
+
+    def _scan_word(self, location: SourceLocation) -> Token:
+        text = []
+        while self._peek().isalnum() or self._peek() == "_":
+            text.append(self._advance())
+        spelling = "".join(text)
+        kind = KEYWORDS.get(spelling, TokenKind.IDENT)
+        return Token(kind, spelling, location)
+
+    def _scan_string(self, location: SourceLocation) -> Token:
+        self._advance()  # Opening quote.
+        chars: list[str] = []
+        while True:
+            if self._at_end() or self._peek() == "\n":
+                raise LexError("unterminated string literal", location)
+            char = self._advance()
+            if char == '"':
+                break
+            if char == "\\":
+                escape = self._advance()
+                if escape not in _ESCAPES:
+                    raise LexError(f"invalid escape \\{escape}", location)
+                chars.append(_ESCAPES[escape])
+            else:
+                chars.append(char)
+        value = "".join(chars)
+        return Token(TokenKind.STRING, f'"{value}"', location, value=value)
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,140 @@
+"""Unparser: renders MJ ASTs back to (canonical) source text.
+
+Used by the test suite to check program transformations such as loop
+peeling (Section 6.3), and by examples to show users what the optimized
+program looks like.  The output is valid MJ that re-parses to an
+equivalent tree.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "  "
+
+
+def render_program(program: ast.Program) -> str:
+    return "\n\n".join(render_class(c) for c in program.classes) + "\n"
+
+
+def render_class(class_decl: ast.ClassDecl) -> str:
+    header = f"class {class_decl.name}"
+    if class_decl.superclass is not None:
+        header += f" extends {class_decl.superclass}"
+    lines = [header + " {"]
+    for field_decl in class_decl.fields:
+        prefix = "static " if field_decl.is_static else ""
+        lines.append(f"{_INDENT}{prefix}field {field_decl.name};")
+    for method in class_decl.methods:
+        lines.append(_render_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_method(method: ast.MethodDecl) -> str:
+    prefix = ""
+    if method.is_static:
+        prefix += "static "
+    params = ", ".join(method.params)
+    header = f"{_INDENT}{prefix}def {method.name}({params}) "
+    return header + _render_block(method.body, depth=1)
+
+
+def _render_block(block: ast.Block, depth: int) -> str:
+    pad = _INDENT * (depth + 1)
+    lines = ["{"]
+    for stmt in block.body:
+        lines.append(pad + render_stmt(stmt, depth + 1))
+    lines.append(_INDENT * depth + "}")
+    return "\n".join(lines)
+
+
+def render_stmt(stmt: ast.Stmt, depth: int = 0) -> str:
+    """Render a single statement (nested blocks included)."""
+    if isinstance(stmt, ast.VarDecl):
+        return f"var {stmt.name} = {render_expr(stmt.init)};"
+    if isinstance(stmt, ast.AssignLocal):
+        return f"{stmt.name} = {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.FieldWrite):
+        return (
+            f"{render_expr(stmt.obj)}.{stmt.field_name} = "
+            f"{render_expr(stmt.value)};"
+        )
+    if isinstance(stmt, ast.StaticFieldWrite):
+        return f"{stmt.class_name}.{stmt.field_name} = {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.ArrayWrite):
+        return (
+            f"{render_expr(stmt.array)}[{render_expr(stmt.index)}] = "
+            f"{render_expr(stmt.value)};"
+        )
+    if isinstance(stmt, ast.If):
+        text = f"if ({render_expr(stmt.cond)}) " + _render_block(
+            stmt.then_block, depth
+        )
+        if stmt.else_block is not None:
+            text += " else " + _render_block(stmt.else_block, depth)
+        return text
+    if isinstance(stmt, ast.While):
+        return f"while ({render_expr(stmt.cond)}) " + _render_block(stmt.body, depth)
+    if isinstance(stmt, ast.Sync):
+        return f"sync ({render_expr(stmt.lock)}) " + _render_block(stmt.body, depth)
+    if isinstance(stmt, ast.Start):
+        return f"start {render_expr(stmt.thread)};"
+    if isinstance(stmt, ast.Join):
+        return f"join {render_expr(stmt.thread)};"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return "return;"
+        return f"return {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.Print):
+        return f"print {render_expr(stmt.value)};"
+    if isinstance(stmt, ast.Assert):
+        return f"assert {render_expr(stmt.cond)};"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{render_expr(stmt.expr)};"
+    if isinstance(stmt, ast.Block):
+        return _render_block(stmt, depth)
+    raise TypeError(f"unhandled statement {type(stmt).__name__}")
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Render an expression (fully parenthesizing binary subterms)."""
+    if isinstance(expr, ast.IntLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StringLiteral):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, ast.NullLiteral):
+        return "null"
+    if isinstance(expr, ast.ThisRef):
+        return "this"
+    if isinstance(expr, ast.ClassRef):
+        return expr.class_name
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Binary):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ast.FieldRead):
+        return f"{render_expr(expr.obj)}.{expr.field_name}"
+    if isinstance(expr, ast.StaticFieldRead):
+        return f"{expr.class_name}.{expr.field_name}"
+    if isinstance(expr, ast.ArrayRead):
+        return f"{render_expr(expr.array)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.New):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"new {expr.class_name}({args})"
+    if isinstance(expr, ast.NewArray):
+        return f"newarray({render_expr(expr.size)})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        if expr.is_static:
+            return f"{expr.static_class}.{expr.method_name}({args})"
+        if expr.receiver is None:
+            return f"{expr.method_name}({args})"
+        return f"{render_expr(expr.receiver)}.{expr.method_name}({args})"
+    raise TypeError(f"unhandled expression {type(expr).__name__}")

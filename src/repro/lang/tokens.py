@@ -1,0 +1,114 @@
+"""Token definitions for the MJ language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """The lexical categories of MJ."""
+
+    # Literals and identifiers.
+    INT = "int-literal"
+    STRING = "string-literal"
+    IDENT = "identifier"
+
+    # Keywords.
+    CLASS = "class"
+    EXTENDS = "extends"
+    FIELD = "field"
+    STATIC = "static"
+    DEF = "def"
+    SYNC = "sync"
+    VAR = "var"
+    IF = "if"
+    ELSE = "else"
+    WHILE = "while"
+    RETURN = "return"
+    PRINT = "print"
+    ASSERT = "assert"
+    START = "start"
+    JOIN = "join"
+    NEW = "new"
+    NEWARRAY = "newarray"
+    TRUE = "true"
+    FALSE = "false"
+    NULL = "null"
+    THIS = "this"
+
+    # Punctuation and operators.
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+
+    EOF = "end-of-file"
+
+
+#: Mapping from keyword spelling to its token kind.
+KEYWORDS = {
+    kind.value: kind
+    for kind in (
+        TokenKind.CLASS,
+        TokenKind.EXTENDS,
+        TokenKind.FIELD,
+        TokenKind.STATIC,
+        TokenKind.DEF,
+        TokenKind.SYNC,
+        TokenKind.VAR,
+        TokenKind.IF,
+        TokenKind.ELSE,
+        TokenKind.WHILE,
+        TokenKind.RETURN,
+        TokenKind.PRINT,
+        TokenKind.ASSERT,
+        TokenKind.START,
+        TokenKind.JOIN,
+        TokenKind.NEW,
+        TokenKind.NEWARRAY,
+        TokenKind.TRUE,
+        TokenKind.FALSE,
+        TokenKind.NULL,
+        TokenKind.THIS,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``text`` is the exact source spelling; for INT tokens ``value`` holds
+    the parsed integer, and for STRING tokens the unescaped contents.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+    value: object = None
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.location}"

@@ -1,0 +1,65 @@
+"""The MJ runtime: values, event stream, deterministic scheduler, interpreter."""
+
+from .events import (
+    AccessEvent,
+    CountingSink,
+    EventSink,
+    MemoryLocation,
+    MulticastSink,
+    ObjectKind,
+    RecordingSink,
+)
+from .interpreter import Frame, Interpreter, RunResult, run_program
+from .replay import (
+    RecordingPolicy,
+    ReplayDivergence,
+    ReplayPolicy,
+    ScheduleTrace,
+    record_run,
+    replay_run,
+)
+from .scheduler import (
+    DeadlockError,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulingPolicy,
+    StepLimitExceeded,
+    ThreadState,
+    ThreadStatus,
+)
+from .values import MJArray, MJClassObject, MJObject, Monitor, Reference, mj_repr
+
+__all__ = [
+    "AccessEvent",
+    "CountingSink",
+    "DeadlockError",
+    "EventSink",
+    "Frame",
+    "Interpreter",
+    "MJArray",
+    "MJClassObject",
+    "MJObject",
+    "MemoryLocation",
+    "Monitor",
+    "MulticastSink",
+    "ObjectKind",
+    "RandomPolicy",
+    "RecordingPolicy",
+    "RecordingSink",
+    "ReplayDivergence",
+    "ReplayPolicy",
+    "ScheduleTrace",
+    "Reference",
+    "RoundRobinPolicy",
+    "RunResult",
+    "Scheduler",
+    "SchedulingPolicy",
+    "StepLimitExceeded",
+    "ThreadState",
+    "ThreadStatus",
+    "mj_repr",
+    "record_run",
+    "replay_run",
+    "run_program",
+]

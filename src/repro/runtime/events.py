@@ -1,0 +1,231 @@
+"""The event stream flowing from the instrumented runtime to detectors.
+
+The paper's instrumented executable generates *access events* plus the
+synchronization notifications the runtime phases need (Figure 1).  The
+MJ interpreter plays the role of the instrumented executable: it emits
+
+* :class:`AccessEvent` for every executed, *instrumented* memory-access
+  site (the instrumentation plan decides which sites are instrumented —
+  Sections 5 and 6),
+* monitor enter/exit notifications (the cache evicts on outermost
+  monitorexit, Section 4.2),
+* thread start / join / end notifications (used for the ownership model
+  and the ``S_j`` join pseudo-locks, Sections 2.3 and 7).
+
+Note the raw :class:`AccessEvent` carries *no lockset*: per the paper's
+architecture the detector itself observes monitor operations, so the
+lockset component ``e.L`` of the formal 5-tuple (Section 2.4) is
+attached by :class:`repro.detector.locksets.LockTracker` inside the
+detection pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..lang.ast import AccessKind
+
+
+class MemoryLocation(NamedTuple):
+    """A logical memory location ``e.m``: an object uid plus a field name.
+
+    Array elements share the pseudo-field ``"[]"`` (footnote 1 of the
+    paper); static fields use the owning class object's uid.  Detector
+    variants may deliberately coarsen the key (the ``FieldsMerged``
+    configuration of Table 3 keys by ``object_uid`` alone).
+    """
+
+    object_uid: int
+    field: str
+
+    def __str__(self) -> str:
+        return f"#{self.object_uid}.{self.field}"
+
+
+class ObjectKind(enum.Enum):
+    """What kind of heap entity a location's object uid refers to."""
+
+    INSTANCE = "instance"
+    ARRAY = "array"
+    CLASS = "class"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One executed memory access, as emitted by an instrumented site.
+
+    ``site_id`` is the paper's source-location component ``e.s``: it is
+    used only for reporting and optimization bookkeeping, never for the
+    race decision itself.
+    """
+
+    location: MemoryLocation
+    thread_id: int
+    kind: AccessKind
+    site_id: int
+    object_kind: ObjectKind = ObjectKind.INSTANCE
+    #: Textual description of the accessed object, for race reports
+    #: (e.g. ``"Task#17"``).  Table 3 counts racy *objects*, so reports
+    #: aggregate on this.
+    object_label: str = ""
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+
+class EventSink:
+    """Receiver interface for the runtime event stream.
+
+    Detectors and statistics collectors subclass this; all methods
+    default to no-ops so sinks override only what they observe.
+    ``reentrant`` is True on monitor events that do not change lock
+    ownership (inner enter/exit of a reentrant monitor).
+    """
+
+    def on_access(self, event: AccessEvent) -> None:
+        """An instrumented memory access executed."""
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        """``thread_id`` entered the monitor of object ``lock_uid``."""
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        """``thread_id`` exited the monitor of object ``lock_uid``."""
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        """``parent_id`` executed ``start`` on thread ``child_id``."""
+
+    def on_thread_end(self, thread_id: int) -> None:
+        """Thread ``thread_id`` finished executing."""
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        """``joiner_id`` completed a ``join`` on finished thread ``joined_id``."""
+
+    def on_run_end(self) -> None:
+        """The whole program execution completed (post-mortem flush point)."""
+
+
+class MulticastSink(EventSink):
+    """Fans the event stream out to several sinks, in order."""
+
+    def __init__(self, sinks):
+        self.sinks = list(sinks)
+
+    def on_access(self, event: AccessEvent) -> None:
+        for sink in self.sinks:
+            sink.on_access(event)
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        for sink in self.sinks:
+            sink.on_monitor_enter(thread_id, lock_uid, reentrant)
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        for sink in self.sinks:
+            sink.on_monitor_exit(thread_id, lock_uid, reentrant)
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        for sink in self.sinks:
+            sink.on_thread_start(parent_id, child_id)
+
+    def on_thread_end(self, thread_id: int) -> None:
+        for sink in self.sinks:
+            sink.on_thread_end(thread_id)
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        for sink in self.sinks:
+            sink.on_thread_join(joiner_id, joined_id)
+
+    def on_run_end(self) -> None:
+        for sink in self.sinks:
+            sink.on_run_end()
+
+
+class CountingSink(EventSink):
+    """Counts events; used by the benchmark harness for the
+    platform-independent side of Table 2."""
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.reads = 0
+        self.writes = 0
+        self.monitor_enters = 0
+        self.monitor_exits = 0
+        self.thread_starts = 0
+        self.thread_joins = 0
+
+    def on_access(self, event: AccessEvent) -> None:
+        self.accesses += 1
+        if event.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        self.monitor_enters += 1
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        self.monitor_exits += 1
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        self.thread_starts += 1
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        self.thread_joins += 1
+
+
+class RecordingSink(EventSink):
+    """Records the full event stream as a list of tuples.
+
+    The backbone of post-mortem detection (Section 1 notes the approach
+    "could be easily modified to perform post-mortem datarace detection
+    by creating a log of access events") and of the deterministic-replay
+    tests.
+    """
+
+    ACCESS = "access"
+    ENTER = "enter"
+    EXIT = "exit"
+    START = "start"
+    END = "end"
+    JOIN = "join"
+
+    def __init__(self) -> None:
+        self.log: list[tuple] = []
+
+    def on_access(self, event: AccessEvent) -> None:
+        self.log.append((self.ACCESS, event))
+
+    def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        self.log.append((self.ENTER, thread_id, lock_uid, reentrant))
+
+    def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
+        self.log.append((self.EXIT, thread_id, lock_uid, reentrant))
+
+    def on_thread_start(self, parent_id: int, child_id: int) -> None:
+        self.log.append((self.START, parent_id, child_id))
+
+    def on_thread_end(self, thread_id: int) -> None:
+        self.log.append((self.END, thread_id))
+
+    def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
+        self.log.append((self.JOIN, joiner_id, joined_id))
+
+    def replay_into(self, sink: EventSink) -> None:
+        """Re-deliver the recorded stream to ``sink`` (post-mortem mode)."""
+        for entry in self.log:
+            tag = entry[0]
+            if tag == self.ACCESS:
+                sink.on_access(entry[1])
+            elif tag == self.ENTER:
+                sink.on_monitor_enter(entry[1], entry[2], entry[3])
+            elif tag == self.EXIT:
+                sink.on_monitor_exit(entry[1], entry[2], entry[3])
+            elif tag == self.START:
+                sink.on_thread_start(entry[1], entry[2])
+            elif tag == self.END:
+                sink.on_thread_end(entry[1])
+            elif tag == self.JOIN:
+                sink.on_thread_join(entry[1], entry[2])
+        sink.on_run_end()

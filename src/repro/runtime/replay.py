@@ -1,0 +1,107 @@
+"""Schedule record/replay — the DejaVu role (Section 2.6).
+
+The paper pairs its on-the-fly detector with the DejaVu record/replay
+platform: rare races are caught cheaply online, and the expensive
+FullRace reconstruction runs offline against a *replayed* execution.
+MJ's scheduler is deterministic given its decision sequence, so
+record/replay here is exact and lightweight:
+
+* :class:`RecordingPolicy` wraps any policy and logs every scheduling
+  decision (the chosen thread id per step) into a
+  :class:`ScheduleTrace`;
+* :class:`ReplayPolicy` re-executes a trace, step for step, raising
+  :class:`ReplayDivergence` if the program's runnable set no longer
+  matches the recorded choice (e.g. the source changed).
+
+Combined with :class:`~repro.runtime.events.RecordingSink` and the
+:class:`~repro.detector.reference.ReferenceDetector`, this gives the
+paper's full post-mortem workflow: detect online with the optimized
+detector, then replay the same schedule and enumerate ``FullRace``
+offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.errors import MJRuntimeError
+from .scheduler import SchedulingPolicy, ThreadState
+
+
+@dataclass
+class ScheduleTrace:
+    """A recorded sequence of scheduling decisions."""
+
+    choices: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+
+class RecordingPolicy(SchedulingPolicy):
+    """Wraps a policy, recording every decision it makes."""
+
+    def __init__(self, inner: SchedulingPolicy):
+        self.inner = inner
+        self.trace = ScheduleTrace()
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        chosen = self.inner.choose(runnable)
+        self.trace.choices.append(chosen.thread_id)
+        return chosen
+
+
+class ReplayDivergence(MJRuntimeError):
+    """The execution being replayed no longer matches the trace."""
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Replays a recorded schedule decision-for-decision."""
+
+    def __init__(self, trace: ScheduleTrace):
+        self._trace = trace
+        self._position = 0
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        if self._position >= len(self._trace.choices):
+            raise ReplayDivergence(
+                f"schedule trace exhausted after {self._position} steps "
+                f"but the program is still running"
+            )
+        wanted = self._trace.choices[self._position]
+        self._position += 1
+        for thread in runnable:
+            if thread.thread_id == wanted:
+                return thread
+        runnable_ids = sorted(t.thread_id for t in runnable)
+        raise ReplayDivergence(
+            f"at step {self._position - 1} the trace chose thread "
+            f"{wanted}, but only {runnable_ids} are runnable — the "
+            f"program or its inputs changed since recording"
+        )
+
+    @property
+    def steps_replayed(self) -> int:
+        return self._position
+
+
+def record_run(resolved, sink=None, inner_policy=None, **run_kwargs):
+    """Execute once while recording the schedule; returns
+    ``(RunResult, ScheduleTrace)``."""
+    from .interpreter import run_program
+    from .scheduler import RoundRobinPolicy
+
+    policy = RecordingPolicy(
+        inner_policy if inner_policy is not None else RoundRobinPolicy()
+    )
+    result = run_program(resolved, sink=sink, policy=policy, **run_kwargs)
+    return result, policy.trace
+
+
+def replay_run(resolved, trace: ScheduleTrace, sink=None, **run_kwargs):
+    """Re-execute under a recorded schedule; returns the RunResult."""
+    from .interpreter import run_program
+
+    return run_program(
+        resolved, sink=sink, policy=ReplayPolicy(trace), **run_kwargs
+    )

@@ -1,0 +1,182 @@
+"""Deterministic thread scheduling for the MJ interpreter.
+
+The paper evaluates on real JVM threads; under CPython a faithful
+wall-clock evaluation is impossible (GIL), so this reproduction executes
+MJ threads as coroutines under a *deterministic, seeded* scheduler.
+Each thread is a Python generator that yields at preemption points
+(statement boundaries, memory accesses, monitor operations).  The
+scheduler picks which runnable thread advances next.
+
+Two policies are provided:
+
+* :class:`RoundRobinPolicy` — rotate between runnable threads with a
+  configurable quantum of steps;
+* :class:`RandomPolicy` — seeded pseudo-random choice per step, which
+  explores more interleavings across seeds (used by the test suite to
+  check the detector's guarantees over many schedules).
+
+Determinism matters doubly here: the dynamic detector's report set can
+legitimately vary across interleavings (it is an *on-the-fly* detector),
+so reproducible experiments need reproducible schedules.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Iterator, Optional
+
+from ..lang.errors import MJRuntimeError
+
+
+class ThreadStatus(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"  # Waiting for a monitor.
+    JOINING = "joining"  # Waiting for another thread to finish.
+    FINISHED = "finished"
+
+
+class ThreadState:
+    """Bookkeeping for one MJ thread.
+
+    ``thread_id`` 0 is always the main thread; children are numbered in
+    start order, matching the paper's ``T1``, ``T2``, ... notation.
+    """
+
+    def __init__(self, thread_id: int, name: str, body: Iterator):
+        self.thread_id = thread_id
+        self.name = name
+        self.body = body
+        self.status = ThreadStatus.RUNNABLE
+        #: Monitor (a values.Monitor) this thread is blocked on, if any.
+        self.blocked_on = None
+        #: ThreadState this thread is joining on, if any.
+        self.joining_on: Optional["ThreadState"] = None
+        self.steps = 0
+
+    def __repr__(self) -> str:
+        return f"<thread {self.name} ({self.status.value})>"
+
+
+class DeadlockError(MJRuntimeError):
+    """All live threads are blocked on monitors or joins."""
+
+
+class StepLimitExceeded(MJRuntimeError):
+    """The scheduler's global step budget was exhausted."""
+
+
+class SchedulingPolicy:
+    """Chooses the next thread to run from the runnable set."""
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Run each thread for up to ``quantum`` consecutive steps."""
+
+    def __init__(self, quantum: int = 10):
+        if quantum < 1:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._current_id: Optional[int] = None
+        self._remaining = 0
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        if self._remaining > 0:
+            for thread in runnable:
+                if thread.thread_id == self._current_id:
+                    self._remaining -= 1
+                    return thread
+        # Rotate: pick the next thread id after the current one.
+        runnable_sorted = sorted(runnable, key=lambda t: t.thread_id)
+        chosen = runnable_sorted[0]
+        if self._current_id is not None:
+            for thread in runnable_sorted:
+                if thread.thread_id > self._current_id:
+                    chosen = thread
+                    break
+        self._current_id = chosen.thread_id
+        self._remaining = self.quantum - 1
+        return chosen
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Seeded uniform choice among runnable threads at every step."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        return self._rng.choice(runnable)
+
+
+class Scheduler:
+    """Drives all MJ threads to completion under a policy.
+
+    The scheduler owns thread registration and the unblocking rules:
+
+    * a ``BLOCKED`` thread becomes runnable when its monitor is free or
+      already owned by it;
+    * a ``JOINING`` thread becomes runnable when its target finished.
+
+    ``max_steps`` bounds total execution to catch accidental infinite
+    loops in workloads.
+    """
+
+    def __init__(self, policy: SchedulingPolicy, max_steps: int = 10_000_000):
+        self.policy = policy
+        self.max_steps = max_steps
+        self.threads: list[ThreadState] = []
+        self.total_steps = 0
+
+    def register(self, thread: ThreadState) -> None:
+        self.threads.append(thread)
+
+    def _refresh_statuses(self) -> None:
+        for thread in self.threads:
+            if thread.status is ThreadStatus.BLOCKED:
+                monitor = thread.blocked_on
+                if monitor is not None and monitor.can_acquire(thread.thread_id):
+                    thread.status = ThreadStatus.RUNNABLE
+                    thread.blocked_on = None
+            elif thread.status is ThreadStatus.JOINING:
+                target = thread.joining_on
+                if target is not None and target.status is ThreadStatus.FINISHED:
+                    thread.status = ThreadStatus.RUNNABLE
+                    thread.joining_on = None
+
+    def run(self) -> int:
+        """Run until every thread finishes; returns total steps executed."""
+        while True:
+            self._refresh_statuses()
+            runnable = [
+                t for t in self.threads if t.status is ThreadStatus.RUNNABLE
+            ]
+            if not runnable:
+                live = [
+                    t for t in self.threads if t.status is not ThreadStatus.FINISHED
+                ]
+                if not live:
+                    return self.total_steps
+                held = ", ".join(
+                    f"{t.name} ({t.status.value})" for t in live
+                )
+                raise DeadlockError(f"deadlock: all live threads waiting: {held}")
+            thread = self.policy.choose(runnable)
+            self._step(thread)
+            self.total_steps += 1
+            if self.total_steps > self.max_steps:
+                raise StepLimitExceeded(
+                    f"execution exceeded {self.max_steps} scheduler steps"
+                )
+
+    def _step(self, thread: ThreadState) -> None:
+        """Advance ``thread`` by one preemption interval."""
+        try:
+            thread.body.send(None)
+            thread.steps += 1
+        except StopIteration:
+            thread.status = ThreadStatus.FINISHED
+            thread.steps += 1

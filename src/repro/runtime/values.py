@@ -1,0 +1,140 @@
+"""Runtime value representations for the MJ interpreter.
+
+MJ integers, booleans, and strings map directly onto Python values.
+Reference values are:
+
+* :class:`MJObject` — an instance of an MJ class;
+* :class:`MJArray`  — a fixed-size array (a single logical memory
+  location, per the paper's footnote 1);
+* :class:`MJClassObject` — the singleton per-class object that holds
+  static fields and is the lock of ``static sync`` methods;
+* ``None`` — MJ ``null``.
+
+Every reference value carries a process-unique ``uid``.  The uid plays
+the role of the *memory address* in the paper's implementation
+(Section 3.3): it identifies logical memory locations ``(uid, field)``
+and lock identities.  Unlike real addresses, uids are never reused, so
+this reproduction is immune to the garbage-collection address-reuse
+caveat the paper works around by over-provisioning the heap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from ..lang.resolver import ClassInfo
+
+
+class _UidAllocator:
+    """Process-wide allocator of reference uids (monotonic, never reused)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self) -> int:
+        self._next += 1
+        return self._next
+
+
+class Monitor:
+    """A reentrant monitor in the style of Java object monitors.
+
+    The interpreter manipulates monitors directly; ``owner`` is a thread
+    id and ``count`` the reentrancy depth.  The paper's runtime cache
+    relies on the distinction between the *outermost* monitorexit (which
+    actually releases the lock and must evict cache entries) and nested
+    exits, which are ignored (Section 4.2).
+    """
+
+    __slots__ = ("owner", "count")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None
+        self.count = 0
+
+    def can_acquire(self, thread_id: int) -> bool:
+        return self.owner is None or self.owner == thread_id
+
+    def acquire(self, thread_id: int) -> bool:
+        """Acquire (or re-enter); returns True if this was the outermost enter."""
+        assert self.can_acquire(thread_id)
+        self.owner = thread_id
+        self.count += 1
+        return self.count == 1
+
+    def release(self, thread_id: int) -> bool:
+        """Release one level; returns True if the lock was actually freed."""
+        assert self.owner == thread_id and self.count > 0
+        self.count -= 1
+        if self.count == 0:
+            self.owner = None
+            return True
+        return False
+
+
+class Reference:
+    """Base class of heap-allocated MJ values; every instance is a monitor."""
+
+    __slots__ = ("uid", "monitor")
+
+    def __init__(self, uids: _UidAllocator):
+        self.uid = uids.allocate()
+        self.monitor = Monitor()
+
+
+class MJObject(Reference):
+    """An instance of an MJ class."""
+
+    __slots__ = ("class_info", "fields", "alloc_id")
+
+    def __init__(self, uids: _UidAllocator, class_info: "ClassInfo", alloc_id: int):
+        super().__init__(uids)
+        self.class_info = class_info
+        self.alloc_id = alloc_id
+        self.fields = {name: None for name in class_info.instance_fields()}
+
+    def __repr__(self) -> str:
+        return f"<{self.class_info.name}#{self.uid}>"
+
+
+class MJArray(Reference):
+    """A fixed-size MJ array; elements start as ``null``."""
+
+    __slots__ = ("elements", "alloc_id")
+
+    def __init__(self, uids: _UidAllocator, size: int, alloc_id: int):
+        super().__init__(uids)
+        self.elements: list = [None] * size
+        self.alloc_id = alloc_id
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __repr__(self) -> str:
+        return f"<array[{len(self.elements)}]#{self.uid}>"
+
+
+class MJClassObject(Reference):
+    """The singleton class object of an MJ class (static fields + lock)."""
+
+    __slots__ = ("class_info", "statics")
+
+    def __init__(self, uids: _UidAllocator, class_info: "ClassInfo"):
+        super().__init__(uids)
+        self.class_info = class_info
+        self.statics = {name: None for name in class_info.own_static_fields}
+
+    def __repr__(self) -> str:
+        return f"<class {self.class_info.name}#{self.uid}>"
+
+
+def mj_repr(value) -> str:
+    """Render a runtime value the way MJ's ``print`` statement shows it."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)

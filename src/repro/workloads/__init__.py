@@ -1,0 +1,51 @@
+"""MJ workload programs: analogs of the paper's Table 1 benchmarks plus
+the figure kernels, each with a documented race inventory."""
+
+from . import elevator2, figure2, figure3, fuzz, hedc2, join_stats, mtrt2, philosophers, sor2, tsp2
+from .base import WorkloadSpec
+
+#: The Table 1/3 benchmark suite, in the paper's order.
+BENCHMARKS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        mtrt2.SPEC,
+        tsp2.SPEC,
+        sor2.SPEC,
+        elevator2.SPEC,
+        hedc2.SPEC,
+    )
+}
+
+#: The CPU-bound subset measured in Table 2 (the paper excludes the
+#: interactive elevator and hedc).
+TABLE2_BENCHMARKS: dict[str, WorkloadSpec] = {
+    name: spec for name, spec in BENCHMARKS.items() if spec.cpu_bound
+}
+
+#: Everything, including the paper-figure kernels.
+ALL_WORKLOADS: dict[str, WorkloadSpec] = {
+    **BENCHMARKS,
+    figure2.SPEC.name: figure2.SPEC,
+    figure2.SPEC_SHARED_LOCK.name: figure2.SPEC_SHARED_LOCK,
+    figure3.SPEC.name: figure3.SPEC,
+    join_stats.SPEC.name: join_stats.SPEC,
+    philosophers.SPEC.name: philosophers.SPEC,
+    philosophers.SPEC_ORDERED.name: philosophers.SPEC_ORDERED,
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BENCHMARKS",
+    "TABLE2_BENCHMARKS",
+    "WorkloadSpec",
+    "elevator2",
+    "figure2",
+    "figure3",
+    "fuzz",
+    "hedc2",
+    "join_stats",
+    "mtrt2",
+    "philosophers",
+    "sor2",
+    "tsp2",
+]

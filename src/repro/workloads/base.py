@@ -1,0 +1,49 @@
+"""Workload infrastructure.
+
+Each workload module recreates one benchmark from the paper's Table 1
+as an MJ program with the same *concurrency structure* and — crucially
+for Table 3 — the same *race inventory* documented in Section 8.3.
+Sizes are parameterized by ``scale`` so benchmarks can trade runtime
+for fidelity.
+
+A :class:`WorkloadSpec` bundles the source generator with the facts the
+test-suite asserts: how many threads run, which objects are expected to
+be reported racy under the Full configuration, and the qualitative
+expectations for the FieldsMerged / NoOwnership variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark program and its expected behaviour."""
+
+    name: str
+    description: str
+    source: Callable[[int], str]
+    default_scale: int
+    #: Total dynamic threads including main (Table 1's column).
+    threads: int
+    #: Whether Table 2 measures it (the paper skips the interactive ones).
+    cpu_bound: bool
+    #: Expected object count reported under Full (None = assert-free).
+    expected_full_objects: Optional[int] = None
+    #: Paper's Table 3 row, for EXPERIMENTS.md: (Full, FieldsMerged,
+    #: NoOwnership).
+    paper_table3: Optional[tuple] = None
+    #: Names of fields expected to appear in Full race reports.
+    expected_racy_fields: frozenset = frozenset()
+
+    def build(self, scale: Optional[int] = None) -> str:
+        """Generate the MJ source at the given (or default) scale."""
+        return self.source(scale if scale is not None else self.default_scale)
+
+    def loc(self, scale: Optional[int] = None) -> int:
+        """Non-blank source lines (Table 1's Lines of Code analog)."""
+        return sum(
+            1 for line in self.build(scale).splitlines() if line.strip()
+        )

@@ -1,0 +1,110 @@
+"""The paper's Figure 2 example program, in MJ.
+
+Three threads: ``main`` writes ``x.f`` (statement T01) before starting
+``T1`` and ``T2``.  ``T1`` runs synchronized method ``foo`` — a write
+``a.f`` (T11) and, inside ``sync(p)``, ``b.g = b.f`` (T14).  ``T2``
+runs ``bar``, writing ``d.f`` (T21) inside ``sync(q)``.
+
+Two aliasing scenarios from Sections 2.1–2.2:
+
+* **Scenario A** (``shared_lock=False``): ``a``, ``b``, ``d``, ``x``
+  alias one object; the locks ``this``/``p``/``q`` are all distinct.
+  T11 and T14 race with T21; T01 does not race (start ordering, which
+  the ownership model captures).
+* **Scenario B** (``shared_lock=True``): ``p`` and ``q`` alias one
+  lock.  Whichever thread locks first creates a happened-before edge
+  that hides the T11↔T21 race from happens-before detectors, yet the
+  race is *feasible* — the opposite acquisition order exhibits it.
+  The paper's lockset-based detector reports it in both scenarios.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadSpec
+
+
+def source(scale: int = 0, shared_lock: bool = False) -> str:
+    q_init = "t2.q = p;" if shared_lock else "t2.q = new Lock();"
+    return f"""
+// Figure 2 of Choi et al., PLDI 2002 (MJ rendition).
+class Main {{
+  static def main() {{
+    var x = new Data();
+    var p = new Lock();
+    x.f = 100;                      // T01: before any start -> owned.
+    var t1 = new ChildOne();
+    t1.a = x;
+    t1.b = x;
+    t1.p = p;
+    var t2 = new ChildTwo();
+    t2.d = x;
+    {q_init}
+    start t1;                       // T04
+    start t2;                       // T05
+    join t1;
+    join t2;
+  }}
+}}
+
+class Data {{
+  field f;
+  field g;
+}}
+
+class Lock {{ }}
+
+class ChildOne {{
+  field a;
+  field b;
+  field p;
+  sync def foo() {{
+    var a = this.a;
+    a.f = 50;                       // T11
+    var p = this.p;
+    sync (p) {{                     // T13
+      var b = this.b;
+      b.g = b.f;                    // T14
+    }}
+  }}
+  def run() {{
+    foo();
+  }}
+}}
+
+class ChildTwo {{
+  field d;
+  field q;
+  def bar() {{
+    sync (this.q) {{                // T20
+      var d = this.d;
+      d.f = 10;                     // T21
+    }}
+  }}
+  def run() {{
+    bar();
+  }}
+}}
+"""
+
+
+SPEC = WorkloadSpec(
+    name="figure2",
+    description="The paper's running example (Figure 2), scenario A",
+    source=lambda scale: source(scale, shared_lock=False),
+    default_scale=0,
+    threads=3,
+    cpu_bound=False,
+    expected_full_objects=1,  # The single Data object (field f).
+    expected_racy_fields=frozenset({"f"}),
+)
+
+SPEC_SHARED_LOCK = WorkloadSpec(
+    name="figure2-shared-lock",
+    description="Figure 2, scenario B: p and q alias (Section 2.2)",
+    source=lambda scale: source(scale, shared_lock=True),
+    default_scale=0,
+    threads=3,
+    cpu_bound=False,
+    expected_full_objects=1,
+    expected_racy_fields=frozenset({"f"}),
+)

@@ -1,0 +1,67 @@
+"""The Figure 3 loop-peeling kernel.
+
+A loop writing ``a.f`` every iteration through a loop-invariant base:
+the in-loop trace is redundant after the first iteration, but cannot be
+removed without peeling (the first iteration's event is required and a
+potentially-excepting instruction blocks hoisting).  Two threads run
+the kernel on a shared object so the site is statically racy and the
+trace actually matters.
+
+Used by ``benchmarks/bench_fig3_loop_peeling.py`` to regenerate the
+figure's effect: with peeling the kernel emits O(1) events per thread;
+without, O(iterations).
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadSpec
+
+
+def source(scale: int = 200) -> str:
+    return f"""
+// Figure 3 of Choi et al., PLDI 2002: redundant in-loop traces.
+class Main {{
+  static def main() {{
+    var shared = new A();
+    var w1 = new Kernel(shared);
+    var w2 = new Kernel(shared);
+    start w1;
+    start w2;
+    join w1;
+    join w2;
+    print shared.f;
+  }}
+}}
+
+class A {{
+  field f;
+}}
+
+class Kernel {{
+  field a;
+  def init(shared) {{
+    this.a = shared;
+  }}
+  def run() {{
+    var a = this.a;
+    var i = 0;
+    while (i < {scale}) {{
+      // The paper's S11 PEI is implicit: in MJ (as in Java) the field
+      // write below can throw on a null base.
+      a.f = i;                      // S12/S13: write + trace point.
+      i = i + 1;
+    }}
+  }}
+}}
+"""
+
+
+SPEC = WorkloadSpec(
+    name="figure3",
+    description="Loop-peeling kernel (Figure 3): invariant-base loop writes",
+    source=source,
+    default_scale=200,
+    threads=3,
+    cpu_bound=True,
+    expected_racy_fields=frozenset({"f"}),
+)

@@ -1,0 +1,174 @@
+"""A seeded random MJ program generator for differential stress testing.
+
+Generates small multithreaded programs with a controlled shape:
+
+* one shared data class with several fields, several lock objects;
+* 2–3 worker threads whose bodies mix plain field accesses, accesses
+  under randomly chosen sync blocks, bounded loops, branches, local
+  arithmetic, and thread-local allocations;
+* ``main`` initializes everything, starts the workers, joins them, and
+  reads the shared state afterwards.
+
+Structural guarantees, so every generated program is usable in
+property tests:
+
+* **termination** — all loops are counter-bounded, there is no
+  recursion;
+* **deadlock freedom** — nested sync blocks always acquire locks in
+  ascending lock-index order (a global lock order);
+* **determinism** — no input, no time; a given (program seed, schedule
+  seed) pair fully determines the execution.
+
+The generator is used by ``tests/property/test_fuzz.py`` to check, on
+hundreds of programs: interpreter robustness, loop-peeling semantics
+preservation, schedule determinism, and the Definition 1 reporting
+guarantee against the FullRace oracle on live event streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ProgramFuzzer:
+    """Generates one random MJ program per seed."""
+
+    def __init__(
+        self,
+        seed: int,
+        n_workers: int = 2,
+        n_fields: int = 3,
+        n_locks: int = 2,
+        max_stmts: int = 6,
+        max_depth: int = 2,
+    ):
+        self._rng = random.Random(seed)
+        self.n_workers = min(max(n_workers, 1), 4)
+        self.n_fields = min(max(n_fields, 1), 5)
+        self.n_locks = min(max(n_locks, 1), 4)
+        self.max_stmts = max_stmts
+        self.max_depth = max_depth
+        self._temp = 0
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        fields = [f"f{i}" for i in range(self.n_fields)]
+        parts = [self._main(), self._shared(fields), "class LockObj { }"]
+        for worker in range(self.n_workers):
+            parts.append(self._worker(worker, fields))
+        parts.append("class Pad { field v; }")
+        return "\n\n".join(parts)
+
+    # ------------------------------------------------------------------
+
+    def _main(self) -> str:
+        lines = ["    var shared = new Shared();"]
+        for i in range(self.n_fields):
+            lines.append(f"    shared.f{i} = {self._rng.randint(0, 9)};")
+        for i in range(self.n_locks):
+            lines.append(f"    var lock{i} = new LockObj();")
+        lock_args = ", ".join(f"lock{i}" for i in range(self.n_locks))
+        for w in range(self.n_workers):
+            lines.append(f"    var w{w} = new Worker{w}(shared, {lock_args});")
+        for w in range(self.n_workers):
+            lines.append(f"    start w{w};")
+        for w in range(self.n_workers):
+            lines.append(f"    join w{w};")
+        for i in range(self.n_fields):
+            lines.append(f"    print shared.f{i};")
+        body = "\n".join(lines)
+        return f"class Main {{\n  static def main() {{\n{body}\n  }}\n}}"
+
+    def _shared(self, fields) -> str:
+        decls = "\n".join(f"  field {f};" for f in fields)
+        return f"class Shared {{\n{decls}\n}}"
+
+    def _worker(self, index: int, fields) -> str:
+        lock_fields = "\n".join(
+            f"  field lock{i};" for i in range(self.n_locks)
+        )
+        lock_params = ", ".join(f"l{i}" for i in range(self.n_locks))
+        lock_inits = "\n".join(
+            f"    this.lock{i} = l{i};" for i in range(self.n_locks)
+        )
+        self._temp = 0
+        body = self._block(fields, depth=0, min_lock=0, indent="    ")
+        return (
+            f"class Worker{index} {{\n"
+            f"  field s;\n{lock_fields}\n"
+            f"  def init(shared, {lock_params}) {{\n"
+            f"    this.s = shared;\n{lock_inits}\n  }}\n"
+            f"  def run() {{\n"
+            f"    var s = this.s;\n"
+            f"    var acc = 0;\n"
+            f"{body}"
+            f"  }}\n}}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._temp += 1
+        return f"{prefix}{self._temp}"
+
+    def _block(self, fields, depth: int, min_lock: int, indent: str) -> str:
+        lines = []
+        for _ in range(self._rng.randint(1, self.max_stmts)):
+            lines.append(self._stmt(fields, depth, min_lock, indent))
+        return "".join(lines)
+
+    def _stmt(self, fields, depth: int, min_lock: int, indent: str) -> str:
+        choices = ["read", "write", "rmw", "local", "pad"]
+        if depth < self.max_depth:
+            choices += ["sync", "loop", "branch"]
+        kind = self._rng.choice(choices)
+        field = self._rng.choice(fields)
+
+        if kind == "read":
+            temp = self._fresh("r")
+            return f"{indent}var {temp} = s.{field};\n"
+        if kind == "write":
+            return f"{indent}s.{field} = acc + {self._rng.randint(0, 9)};\n"
+        if kind == "rmw":
+            return f"{indent}s.{field} = s.{field} + 1;\n"
+        if kind == "local":
+            return f"{indent}acc = acc * 2 + {self._rng.randint(0, 5)};\n"
+        if kind == "pad":
+            temp = self._fresh("p")
+            return (
+                f"{indent}var {temp} = new Pad();\n"
+                f"{indent}{temp}.v = acc;\n"
+                f"{indent}acc = acc + {temp}.v;\n"
+            )
+        if kind == "sync" and min_lock < self.n_locks:
+            lock = self._rng.randint(min_lock, self.n_locks - 1)
+            inner = self._block(fields, depth + 1, lock + 1, indent + "  ")
+            return (
+                f"{indent}sync (this.lock{lock}) {{\n{inner}{indent}}}\n"
+            )
+        if kind == "loop":
+            counter = self._fresh("i")
+            bound = self._rng.randint(1, 4)
+            inner = self._block(fields, depth + 1, min_lock, indent + "  ")
+            return (
+                f"{indent}var {counter} = 0;\n"
+                f"{indent}while ({counter} < {bound}) {{\n"
+                f"{inner}"
+                f"{indent}  {counter} = {counter} + 1;\n"
+                f"{indent}}}\n"
+            )
+        if kind == "branch":
+            then_block = self._block(fields, depth + 1, min_lock, indent + "  ")
+            else_block = self._block(fields, depth + 1, min_lock, indent + "  ")
+            return (
+                f"{indent}if (acc % 2 == 0) {{\n{then_block}{indent}}} "
+                f"else {{\n{else_block}{indent}}}\n"
+            )
+        # Fallback (e.g. sync with no locks left in the order).
+        return f"{indent}acc = acc + 1;\n"
+
+
+def generate_program(seed: int, **kwargs) -> str:
+    """Generate one random MJ program (see :class:`ProgramFuzzer`)."""
+    return ProgramFuzzer(seed, **kwargs).generate()

@@ -1,0 +1,238 @@
+"""``hedc2`` — a web-crawler/metasearch kernel (ETH hedc analog).
+
+hedc is the paper's showcase for precision (Section 8.3): among
+hundreds of object-race-detection reports, their detector finds 5 racy
+objects, all true unsynchronized accesses, including a bug previous
+work had misclassified as benign.  This workload reproduces that race
+inventory:
+
+* **the pool-size race** — worker threads decrement ``TaskPool.size``
+  without the pool lock ("the size of a thread pool is read and written
+  without appropriate locking");
+* **the ``Task.thread_`` race** — a completing worker stores ``null``
+  into ``task.thread_`` with no lock while the canceller thread reads
+  it under the task's monitor: the NullPointerException-if-cancelled
+  bug the paper highlights as "nearly impossible to find during normal
+  testing" (4 tasks → 4 racy objects, + the pool = 5);
+* **granularity traps** for Table 3's FieldsMerged column:
+  ``MetaSearchRequest`` objects mix an immutable ``query`` (read
+  lock-free by workers) with a ``done`` flag the canceller sets under a
+  lock — race-free per field, spurious when merged (5 → 10).
+
+Eight dynamic threads as in Table 1: main, six workers, one canceller.
+Interactive in the original, so accuracy numbers only.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadSpec
+
+
+def source(scale: int = 4) -> str:
+    """``scale`` = number of tasks (the paper's inventory wants 4)."""
+    ntasks = max(2, scale)
+    nrequests = 5
+    return f"""
+// hedc2: metasearch task-pool kernel (ETH hedc analog).
+class Main {{
+  static def main() {{
+    var pool = new TaskPool();
+    var doneLock = new LockObj();
+    var requests = newarray({nrequests});
+    var r = 0;
+    while (r < {nrequests}) {{
+      requests[r] = new MetaSearchRequest(r * 11);
+      r = r + 1;
+    }}
+    var tasks = newarray({ntasks});
+    var i = 0;
+    while (i < {ntasks}) {{
+      var task = new Task(i, requests);
+      tasks[i] = task;
+      pool.submit(task);
+      i = i + 1;
+    }}
+    var w1 = new CrawlWorker(pool);
+    var w2 = new CrawlWorker(pool);
+    var w3 = new CrawlWorker(pool);
+    var w4 = new CrawlWorker(pool);
+    var w5 = new CrawlWorker(pool);
+    var w6 = new CrawlWorker(pool);
+    var canceller = new Canceller(tasks, {ntasks}, requests, doneLock, {nrequests});
+    start w1;
+    start w2;
+    start w3;
+    start w4;
+    start w5;
+    start w6;
+    start canceller;
+    join w1;
+    join w2;
+    join w3;
+    join w4;
+    join w5;
+    join w6;
+    join canceller;
+    print "remaining=" + pool.size;
+  }}
+}}
+
+class LockObj {{ }}
+
+class MetaSearchRequest {{
+  field query;        // Immutable after construction; read lock-free.
+  field done;         // Mutable; guarded by doneLock (canceller only).
+  def init(query) {{
+    this.query = query;
+    this.done = false;
+  }}
+}}
+
+class Task {{
+  field id;
+  field requests;
+  field thread_;      // RACE: lock-free null-ing vs locked cancel read.
+  field result;
+  def init(id, requests) {{
+    this.id = id;
+    this.requests = requests;
+    this.thread_ = null;
+    this.result = 0;
+  }}
+}}
+
+class Node {{
+  field item;
+  field next;
+}}
+
+class TaskPool {{
+  field head;
+  field size;         // RACE: decremented without the pool lock.
+  field submitted;
+  def init() {{
+    this.head = null;
+    this.size = 0;
+    this.submitted = 0;
+  }}
+  def submit(task) {{
+    var node = new Node();
+    node.item = task;
+    sync (this) {{
+      node.next = this.head;
+      this.head = node;
+      this.size = this.size + 1;
+      this.submitted = this.submitted + 1;
+    }}
+  }}
+  def take() {{
+    var node = null;
+    sync (this) {{
+      node = this.head;
+      if (node != null) {{
+        this.head = node.next;
+      }}
+    }}
+    if (node == null) {{
+      return null;
+    }}
+    return node.item;
+  }}
+}}
+
+class CrawlWorker {{
+  field pool;
+  field fetched;      // Thread-specific accumulator.
+  def init(pool) {{
+    this.pool = pool;
+    this.fetched = 0;
+  }}
+  def fetch(task) {{
+    // Simulated page fetch: thread-local accumulation over the task's
+    // request list (queries are immutable, read without locks).
+    var requests = task.requests;
+    var sum = 0;
+    var i = 0;
+    while (i < requests.length) {{
+      var request = requests[i];
+      sum = sum + request.query;
+      i = i + 1;
+    }}
+    this.fetched = this.fetched + 1;
+    return sum;
+  }}
+  def run() {{
+    var pool = this.pool;
+    var working = true;
+    while (working) {{
+      var task = pool.take();
+      if (task == null) {{
+        working = false;
+      }} else {{
+        task.thread_ = this;          // Claim: lock-free write.
+        task.result = fetch(task);
+        task.thread_ = null;          // RACE: completion vs cancel.
+        pool.size = pool.size - 1;    // RACE: lock-free decrement.
+      }}
+    }}
+  }}
+}}
+
+class Canceller {{
+  field tasks;
+  field ntasks;
+  field requests;
+  field doneLock;
+  field nrequests;
+  def init(tasks, ntasks, requests, doneLock, nrequests) {{
+    this.tasks = tasks;
+    this.ntasks = ntasks;
+    this.requests = requests;
+    this.doneLock = doneLock;
+    this.nrequests = nrequests;
+  }}
+  def run() {{
+    // Sweep every task and cancel whatever still has a live thread.
+    // The task monitor guards the read, but the workers' completion
+    // write holds no lock — the Task.thread_ datarace.
+    var tasks = this.tasks;
+    var t = 0;
+    while (t < this.ntasks) {{
+      var task = tasks[t];
+      sync (task) {{
+        var owner = task.thread_;
+        if (owner != null) {{
+          task.result = 0 - 1;        // "Cancelled" marker.
+        }}
+      }}
+      t = t + 1;
+    }}
+    // Mark every request done (guarded), while workers read the
+    // immutable query field lock-free: per-field race-free, spurious
+    // under object-granularity merging.
+    var lock = this.doneLock;
+    var requests = this.requests;
+    var i = 0;
+    while (i < this.nrequests) {{
+      var request = requests[i];
+      sync (lock) {{
+        request.done = true;
+      }}
+      i = i + 1;
+    }}
+  }}
+}}
+"""
+
+
+SPEC = WorkloadSpec(
+    name="hedc2",
+    description="Metasearch task-pool kernel (ETH hedc analog)",
+    source=source,
+    default_scale=4,
+    threads=8,
+    cpu_bound=False,
+    expected_full_objects=5,
+    paper_table3=(5, 10, 29),
+    expected_racy_fields=frozenset({"thread_", "size"}),
+)

@@ -1,0 +1,224 @@
+"""``mtrt2`` — a multithreaded ray-tracer analog of SPECJVM98's mtrt.
+
+Concurrency structure mirrored from the paper's account (Sections 8.1
+and 8.3):
+
+* ``main`` builds a large read-only scene (triangle array + materials)
+  and starts two render workers, each shading a band of rows;
+* the inner shading loop allocates short-lived per-ray vectors —
+  **thread-local** objects whose accesses the static escape analysis
+  removes entirely (this is what makes the ``NoStatic`` configuration
+  explode: every per-ray access gets instrumented, the analog of the
+  paper's Jalapeño running out of memory);
+* each worker accumulates into its own fields — **thread-specific**
+  state (Section 5.4), also statically removed;
+* both workers update shared I/O statistics under a common lock
+  ``syncObject``, and ``main`` reads the statistics after joining both
+  workers *without* a lock.  With the ``S_j`` join pseudo-locks the
+  three locksets ``{S1, sync}``, ``{S2, sync}``, ``{S1, S2}`` pairwise
+  intersect, so no race is reported — while Eraser's single-common-lock
+  rule produces its known spurious report (Section 8.3);
+* **race 1**: ``Scene.threadCount`` is decremented by both workers with
+  no synchronization (the paper: value may become invalid, fortunately
+  unused);
+* **race 2**: ``Stream.startOfLine`` is written by both workers without
+  synchronization (the paper: the SPEC harness's
+  ``ValidityCheckOutputStream.startOfLine``, can corrupt output).
+
+Expected under Full: exactly 2 racy objects — the paper's mtrt row.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadSpec
+
+
+def source(scale: int = 8) -> str:
+    """``scale`` = rows per worker band; width and triangles follow it."""
+    width = max(4, scale)
+    ntris = max(6, scale * 2)
+    return f"""
+// mtrt2: multithreaded ray tracer kernel (SPECJVM98 mtrt analog).
+class Main {{
+  static def main() {{
+    var scene = new Scene({ntris}, {width});
+    var stats = new Stats();
+    var syncObject = new Lock();
+    var stream = new Stream();
+    stream.startOfLine = true;
+    scene.threadCount = 2;
+
+    var r1 = new RayWorker(scene, stats, syncObject, stream, 0, {scale});
+    var r2 = new RayWorker(scene, stats, syncObject, stream, {scale}, {2 * scale});
+    start r1;
+    start r2;
+    join r1;
+    join r2;
+
+    // Post-join, lock-free statistics read: the join pseudo-locks make
+    // this safe; Eraser flags it (no single common lock).
+    print "rays=" + stats.raysTraced;
+    print "hits=" + stats.hits;
+  }}
+}}
+
+class Lock {{ }}
+
+class Scene {{
+  field tris;
+  field materials;
+  field camera;
+  field ntris;
+  field width;
+  field threadCount;
+  def init(ntris, width) {{
+    this.ntris = ntris;
+    this.width = width;
+    var tris = newarray(ntris);
+    var materials = newarray(ntris);
+    var i = 0;
+    while (i < ntris) {{
+      tris[i] = (i * 37) % 101;
+      materials[i] = (i * 53) % 31;
+      i = i + 1;
+    }}
+    this.tris = tris;
+    this.materials = materials;
+    this.camera = new Camera(0, 0, 0 - 10);
+  }}
+}}
+
+class Camera {{
+  field x;
+  field y;
+  field z;
+  def init(x, y, z) {{
+    this.x = x;
+    this.y = y;
+    this.z = z;
+  }}
+}}
+
+class Stats {{
+  field raysTraced;
+  field hits;
+  def init() {{
+    this.raysTraced = 0;
+    this.hits = 0;
+  }}
+}}
+
+class Stream {{
+  field startOfLine;
+}}
+
+// A short-lived per-ray vector: never escapes the shading call, so the
+// static escape analysis proves every access below race-free.
+class Vec {{
+  field x;
+  field y;
+  field z;
+  def init(x, y, z) {{
+    this.x = x;
+    this.y = y;
+    this.z = z;
+  }}
+  def dot(other) {{
+    return this.x * other.x + this.y * other.y + this.z * other.z;
+  }}
+  def scale(k) {{
+    this.x = this.x * k;
+    this.y = this.y * k;
+    this.z = this.z * k;
+  }}
+}}
+
+class RayWorker {{
+  field scene;
+  field stats;
+  field syncObject;
+  field stream;
+  field fromRow;
+  field toRow;
+  field accRays;    // Thread-specific accumulators (Section 5.4):
+  field accHits;    // only ever touched via `this` in init/run/shade.
+  def init(scene, stats, syncObject, stream, fromRow, toRow) {{
+    this.scene = scene;
+    this.stats = stats;
+    this.syncObject = syncObject;
+    this.stream = stream;
+    this.fromRow = fromRow;
+    this.toRow = toRow;
+    this.accRays = 0;
+    this.accHits = 0;
+  }}
+  def shade(x, y) {{
+    var scene = this.scene;
+    var dir = new Vec(x, y, 1);
+    var origin = new Vec(0, 0, 0 - y);
+    dir.scale(3);
+    var camera = scene.camera;
+    var tris = scene.tris;
+    var materials = scene.materials;
+    var n = scene.ntris;
+    var best = 1000000;
+    var i = 0;
+    while (i < n) {{
+      var t = tris[i];
+      var d = dir.dot(origin) + t * (x + 1) - y + camera.z;
+      if (d > 0) {{
+        var m = materials[i];
+        if (d + m < best) {{
+          best = d + m;
+        }}
+      }}
+      i = i + 1;
+    }}
+    this.accRays = this.accRays + 1;
+    if (best < 1000000) {{
+      this.accHits = this.accHits + 1;
+    }}
+    return best;
+  }}
+  def run() {{
+    var y = this.fromRow;
+    while (y < this.toRow) {{
+      var x = 0;
+      var w = this.scene.width;
+      while (x < w) {{
+        shade(x, y);
+        x = x + 1;
+      }}
+      y = y + 1;
+    }}
+
+    // Shared statistics, correctly guarded by the common lock.
+    sync (this.syncObject) {{
+      var s = this.stats;
+      s.raysTraced = s.raysTraced + this.accRays;
+      s.hits = s.hits + this.accHits;
+    }}
+
+    // RACE 2: unsynchronized write to the validity-check stream.
+    var st = this.stream;
+    st.startOfLine = false;
+
+    // RACE 1: unsynchronized read-modify-write of the thread counter.
+    var sc = this.scene;
+    sc.threadCount = sc.threadCount - 1;
+  }}
+}}
+"""
+
+
+SPEC = WorkloadSpec(
+    name="mtrt2",
+    description="Multithreaded ray tracer (SPECJVM98 mtrt analog)",
+    source=source,
+    default_scale=8,
+    threads=3,
+    cpu_bound=True,
+    expected_full_objects=2,
+    paper_table3=(2, 2, 12),
+    expected_racy_fields=frozenset({"threadCount", "startOfLine"}),
+)

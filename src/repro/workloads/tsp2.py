@@ -1,0 +1,293 @@
+"""``tsp2`` — a traveling-salesman solver analog of the ETH tsp benchmark.
+
+Structure mirrored from the paper's account:
+
+* ``main`` builds a read-only distance matrix (one array per city — a
+  flood of spurious reports under ``NoOwnership``, since every row is
+  initialized by main and read by the workers);
+* two worker threads pop start cities from a lock-protected work queue
+  and run a *recursive* branch-and-bound tour search — the deep call
+  chains and re-read fields are exactly what makes the runtime cache
+  vital (tsp is the paper's NoCache catastrophe: 42% → 3722%);
+* **the serious race**: ``Solver.minTourLen`` is read without a lock in
+  the pruning test (``if (length >= solver.minTourLen) return``) and
+  written under ``sync(solver)`` — precisely the tsp bug the paper
+  reports as able to corrupt output;
+* **feasible-but-benign races**: both workers scan a shared pool of
+  ``Candidate`` tours and improve them *without* locking, relying on
+  higher-level phase structure — the paper's ``TourElement`` reports
+  ("cannot in fact happen due to higher-level synchronization") —
+  reported by design, as the paper's detector does;
+* **granularity traps**: ``CityInfo`` objects mix immutable coordinate
+  fields (read lock-free) with a mutable ``visits`` counter (updated
+  under ``statsLock``) — race-free per field, spuriously racy when
+  fields are merged (Table 3: tsp 5 → 20 under FieldsMerged).
+
+Expected under Full: 5 racy objects (solver + 4 candidates), matching
+the paper's tsp row.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadSpec
+
+
+def source(scale: int = 8) -> str:
+    """``scale`` = number of cities; search depth is capped for runtime."""
+    n = max(4, scale)
+    depth = min(n, 5)
+    return f"""
+// tsp2: traveling salesman branch-and-bound (ETH tsp analog).
+class Main {{
+  static def main() {{
+    var solver = new Solver({n}, {depth});
+    var queue = new WorkQueue();
+    var i = 0;
+    while (i < {n}) {{
+      queue.push(new StartCity(i));
+      i = i + 1;
+    }}
+    var w1 = new TspWorker(solver, queue);
+    var w2 = new TspWorker(solver, queue);
+    start w1;
+    start w2;
+    join w1;
+    join w2;
+    print "min=" + solver.minTourLen;
+  }}
+}}
+
+class Solver {{
+  field n;
+  field maxDepth;
+  field minTourLen;      // RACE: unsynchronized pruning reads.
+  field dist;            // Array of per-city distance rows (read-only).
+  field pw;              // Powers of two for the visited bitmask.
+  field candidates;      // Shared Candidate pool (feasible races).
+  field cities;          // CityInfo pool (FieldsMerged trap).
+  field statsLock;
+  def init(n, maxDepth) {{
+    this.n = n;
+    this.maxDepth = maxDepth;
+    this.minTourLen = 1000000;
+    this.statsLock = new LockObj();
+    var dist = newarray(n);
+    var i = 0;
+    while (i < n) {{
+      var row = newarray(n);
+      var j = 0;
+      while (j < n) {{
+        row[j] = 1 + ((i * 7 + j * 13) % 17);
+        j = j + 1;
+      }}
+      dist[i] = row;
+      i = i + 1;
+    }}
+    this.dist = dist;
+    var pw = newarray(n + 1);
+    var p = 1;
+    var k = 0;
+    while (k < n + 1) {{
+      pw[k] = p;
+      p = p * 2;
+      k = k + 1;
+    }}
+    this.pw = pw;
+    var cands = newarray(4);
+    var c = 0;
+    while (c < 4) {{
+      cands[c] = new Candidate(900000 + c);
+      c = c + 1;
+    }}
+    this.candidates = cands;
+    var cities = newarray(n);
+    var m = 0;
+    while (m < n) {{
+      cities[m] = new CityInfo(m * 3, m * 5);
+      m = m + 1;
+    }}
+    this.cities = cities;
+  }}
+}}
+
+class LockObj {{ }}
+
+class Candidate {{
+  field length;          // Feasible race: lock-free improvement writes.
+  def init(length) {{
+    this.length = length;
+  }}
+}}
+
+class CityInfo {{
+  field x;               // Immutable coordinates, read lock-free.
+  field y;
+  field visits;          // Mutable counter, guarded by statsLock.
+  def init(x, y) {{
+    this.x = x;
+    this.y = y;
+    this.visits = 0;
+  }}
+}}
+
+class StartCity {{
+  field city;
+  def init(city) {{
+    this.city = city;
+  }}
+}}
+
+// A per-node scratch record.  It never escapes the search call, so the
+// static escape analysis prunes every access below; without the static
+// phase (NoStatic) each of them is instrumented.
+class Probe {{
+  field city;
+  field len;
+  field score;
+  def init(city, len) {{
+    this.city = city;
+    this.len = len;
+    this.score = 0;
+  }}
+  def bump(delta) {{
+    this.score = this.score + delta;
+    return this.score;
+  }}
+}}
+
+class QueueNode {{
+  field item;            // Immutable payload, read outside the lock.
+  field next;            // Mutable link, guarded by the queue monitor.
+}}
+
+class WorkQueue {{
+  field head;
+  def push(item) {{
+    var node = new QueueNode();
+    node.item = item;
+    sync (this) {{
+      node.next = this.head;
+      this.head = node;
+    }}
+  }}
+  def pop() {{
+    var node = null;
+    sync (this) {{
+      node = this.head;
+      if (node != null) {{
+        this.head = node.next;
+      }}
+    }}
+    if (node == null) {{
+      return null;
+    }}
+    return node.item;    // Lock-free payload read (granularity trap).
+  }}
+}}
+
+class TspWorker {{
+  field solver;
+  field queue;
+  field localBest;       // Thread-specific accumulator.
+  def init(solver, queue) {{
+    this.solver = solver;
+    this.queue = queue;
+    this.localBest = 1000000;
+  }}
+  def search(city, length, visited, depth) {{
+    var solver = this.solver;
+    if (length >= solver.minTourLen) {{       // RACE: lock-free read.
+      return 0;
+    }}
+    if (depth >= solver.maxDepth) {{
+      if (length < this.localBest) {{
+        this.localBest = length;
+      }}
+      sync (solver) {{
+        if (length < solver.minTourLen) {{
+          solver.minTourLen = length;         // Guarded write.
+        }}
+      }}
+      return 1;
+    }}
+    var dist = solver.dist;
+    var row = dist[city];
+    var pw = solver.pw;
+    var n = solver.n;
+    var probe = new Probe(city, length);
+    var next = 0;
+    var count = 0;
+    while (next < n) {{
+      if ((visited / pw[next]) % 2 == 0) {{
+        probe.bump(row[next]);
+        count = count + search(
+            next, length + row[next], visited + pw[next], depth + 1);
+      }}
+      next = next + 1;
+    }}
+    if (probe.score < 0) {{
+      return 0;
+    }}
+    return count;
+  }}
+  def improveCandidates() {{
+    var solver = this.solver;
+    var cands = solver.candidates;
+    var i = 0;
+    while (i < 4) {{
+      var cand = cands[i];
+      if (this.localBest < cand.length) {{    // Feasible race: read...
+        cand.length = this.localBest;         // ...and write, lock-free.
+      }}
+      i = i + 1;
+    }}
+  }}
+  def scanCities() {{
+    var solver = this.solver;
+    var cities = solver.cities;
+    var lock = solver.statsLock;
+    var n = solver.n;
+    var i = 0;
+    var spread = 0;
+    while (i < n) {{
+      var info = cities[i];
+      spread = spread + info.x + info.y;      // Lock-free immutable reads.
+      sync (lock) {{
+        info.visits = info.visits + 1;        // Guarded counter update.
+      }}
+      i = i + 1;
+    }}
+    return spread;
+  }}
+  def run() {{
+    var solver = this.solver;
+    var queue = this.queue;
+    var pw = solver.pw;
+    var going = true;
+    while (going) {{
+      var task = queue.pop();
+      if (task == null) {{
+        going = false;
+      }} else {{
+        var city = task.city;
+        search(city, 0, pw[city], 1);
+      }}
+    }}
+    improveCandidates();
+    scanCities();
+  }}
+}}
+"""
+
+
+SPEC = WorkloadSpec(
+    name="tsp2",
+    description="Traveling salesman branch-and-bound (ETH tsp analog)",
+    source=source,
+    default_scale=8,
+    threads=3,
+    cpu_bound=True,
+    expected_full_objects=5,
+    paper_table3=(5, 20, 241),
+    expected_racy_fields=frozenset({"minTourLen", "length"}),
+)

@@ -1,0 +1,113 @@
+"""Section 2.6 debugging support: static partner sites in reports."""
+
+from repro.detector import RaceDetector
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import run_program
+
+
+def detect_with_static(source):
+    resolved = compile_source(source)
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    detector = RaceDetector(resolved=resolved, static_races=plan.static_races)
+    run_program(resolved, sink=detector, trace_sites=plan.trace_sites)
+    return detector
+
+
+RACY = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+  }
+}
+class Data { field x; }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.x = this.d.x + 1; }
+}
+"""
+
+
+class TestStaticPartnersInReports:
+    def test_partners_attached(self):
+        detector = detect_with_static(RACY)
+        report = detector.reports.reports[0]
+        assert report.static_partners
+        assert any("Worker.run" in p for p in report.static_partners)
+
+    def test_partners_in_description(self):
+        detector = detect_with_static(RACY)
+        text = detector.reports.reports[0].describe()
+        assert "static candidates:" in text
+
+    def test_no_static_set_no_partners(self):
+        resolved = compile_source(RACY)
+        detector = RaceDetector(resolved=resolved)
+        run_program(resolved, sink=detector)
+        for report in detector.reports.reports:
+            assert report.static_partners == ()
+            assert "static candidates" not in report.describe()
+
+    def test_partners_survive_loop_peeling(self):
+        """Peeled clone sites map back through their origins."""
+        source = """
+        class Main {
+          static def main() {
+            var d = new Data();
+            d.x = 0;
+            var a = new Worker(d); var b = new Worker(d);
+            start a; start b; join a; join b;
+          }
+        }
+        class Data { field x; }
+        class Worker {
+          field d;
+          def init(d) { this.d = d; }
+          def run() {
+            var i = 0;
+            while (i < 5) {
+              this.d.x = this.d.x + 1;
+              i = i + 1;
+            }
+          }
+        }
+        """
+        detector = detect_with_static(source)
+        assert detector.reports.reports
+        for report in detector.reports.reports:
+            assert report.static_partners
+
+    def test_partner_list_capped(self):
+        # A field written from many sites: the report shows at most 4
+        # partners plus a summary line.
+        writes = "\n".join(
+            f"    if (sel == {i}) {{ this.d.x = {i}; }}" for i in range(8)
+        )
+        source = f"""
+        class Main {{
+          static def main() {{
+            var d = new Data();
+            d.x = 0;
+            var a = new Worker(d, 1); var b = new Worker(d, 2);
+            start a; start b; join a; join b;
+          }}
+        }}
+        class Data {{ field x; }}
+        class Worker {{
+          field d; field sel;
+          def init(d, sel) {{ this.d = d; this.sel = sel; }}
+          def run() {{
+            var sel = this.sel;
+{writes}
+          }}
+        }}
+        """
+        detector = detect_with_static(source)
+        report = detector.reports.reports[0]
+        assert len(report.static_partners) <= 5
+        if len(report.static_partners) == 5:
+            assert "more" in report.static_partners[-1]

@@ -1,0 +1,45 @@
+"""Packed-trie equivalence on the real benchmark workloads (not just
+synthetic streams): identical reports, strictly fewer trie nodes."""
+
+import pytest
+
+from repro.detector import DetectorConfig, RaceDetector
+from repro.instrument import plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import run_program
+from repro.workloads import BENCHMARKS
+
+SCALES = {"mtrt2": 4, "tsp2": 5, "sor2": 4, "elevator2": 6, "hedc2": 3}
+
+
+def run_detector(source, config):
+    resolved = compile_source(source)
+    plan = plan_instrumentation(resolved)
+    detector = RaceDetector(config=config, resolved=resolved)
+    run_program(resolved, sink=detector, trace_sites=plan.trace_sites)
+    return detector
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_packed_equivalent_on_benchmark(name):
+    source = BENCHMARKS[name].build(SCALES[name])
+    plain = run_detector(source, DetectorConfig())
+    packed = run_detector(source, DetectorConfig(packed_tries=True))
+
+    assert packed.reports.racy_objects == plain.reports.racy_objects
+    assert packed.reports.racy_locations == plain.reports.racy_locations
+    assert packed.stats.detector_processed == plain.stats.detector_processed
+    assert (
+        packed.stats.detector_weaker_filtered
+        == plain.stats.detector_weaker_filtered
+    )
+    assert packed.monitored_locations == plain.monitored_locations
+
+
+@pytest.mark.parametrize("name", ["tsp2", "mtrt2"])
+def test_packing_saves_nodes_on_benchmark(name):
+    source = BENCHMARKS[name].build(SCALES[name])
+    plain = run_detector(source, DetectorConfig())
+    packed = run_detector(source, DetectorConfig(packed_tries=True))
+    if plain.monitored_locations > 5:
+        assert packed.total_trie_nodes() < plain.total_trie_nodes()

@@ -1,0 +1,178 @@
+"""Post-mortem mode, determinism, and the Section 7.2 interaction."""
+
+from repro.detector import DetectorConfig, RaceDetector
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import RandomPolicy, RecordingSink, run_program
+
+from ..conftest import detect, detect_unoptimized, run_source
+
+
+class TestPostMortem:
+    """Section 1: "our approach could be easily modified to perform
+    post-mortem datarace detection by creating a log of access events"."""
+
+    def test_replayed_log_reproduces_reports(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        recording = RecordingSink()
+        run_program(resolved, sink=recording)
+
+        online = RaceDetector(resolved=resolved)
+        recording.replay_into(online)
+
+        live = detect_unoptimized(racy_two_writer_source)
+        assert online.reports.racy_objects == live.reports.racy_objects
+
+    def test_replay_is_repeatable(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        recording = RecordingSink()
+        run_program(resolved, sink=recording)
+        first = RaceDetector(resolved=resolved)
+        second = RaceDetector(resolved=resolved)
+        recording.replay_into(first)
+        recording.replay_into(second)
+        assert first.reports.racy_objects == second.reports.racy_objects
+        assert first.stats.accesses == second.stats.accesses
+
+    def test_log_contains_full_event_stream(self, safe_two_writer_source):
+        resolved = compile_source(safe_two_writer_source)
+        recording = RecordingSink()
+        run_program(resolved, sink=recording)
+        tags = {entry[0] for entry in recording.log}
+        assert {
+            RecordingSink.ACCESS,
+            RecordingSink.ENTER,
+            RecordingSink.EXIT,
+            RecordingSink.START,
+            RecordingSink.END,
+            RecordingSink.JOIN,
+        } <= tags
+
+
+class TestDeterminism:
+    def test_same_seed_same_event_log(self, racy_two_writer_source):
+        logs = []
+        for _ in range(2):
+            resolved = compile_source(racy_two_writer_source)
+            sink = RecordingSink()
+            run_program(resolved, sink=sink, policy=RandomPolicy(7))
+            logs.append(sink.log)
+        assert logs[0] == logs[1]
+
+    def test_different_seeds_may_differ(self, racy_two_writer_source):
+        logs = []
+        for seed in (1, 2, 3, 4):
+            resolved = compile_source(racy_two_writer_source)
+            sink = RecordingSink()
+            run_program(resolved, sink=sink, policy=RandomPolicy(seed))
+            logs.append(tuple(map(tuple, ((e[0],) for e in sink.log))))
+        # Not required to differ, but the scheduler must not crash and
+        # all runs complete with the same event multiset size modulo
+        # interleaving (same program => same access count).
+        resolved = compile_source(racy_two_writer_source)
+        assert len({len(log) for log in logs}) >= 1
+
+
+class TestSection72Interaction:
+    """The documented unsound interaction between the ownership model
+    and the weaker-than optimizations (Section 7.2): a statically
+    eliminated trace can hide the only post-transition access, so the
+    optimized run may miss a race the unoptimized run reports.  The
+    paper chose to ignore this; we reproduce the behaviour exactly."""
+
+    KERNEL = """
+    class Main {
+      static def main() {
+        var w = new Kernel(); var w2 = new Kernel();
+        var a = new A(); w.a = a; w2.a = a;
+        start w; start w2; join w; join w2;
+      }
+    }
+    class A { field f; }
+    class Kernel {
+      field a;
+      def run() {
+        var x = this.a;
+        var i = 0;
+        while (i < 10) {
+          x.f = i;
+          i = i + 1;
+        }
+      }
+    }
+    """
+
+    def test_unoptimized_run_reports_the_race(self):
+        det = detect_unoptimized(self.KERNEL)
+        assert det.reports.object_count == 1
+
+    def test_optimized_run_misses_it_in_this_interleaving(self):
+        det = detect(self.KERNEL)
+        # Peeling leaves one trace per thread; the first thread's only
+        # event is swallowed as the location's owner, so the shared-
+        # state race check never sees two threads: the paper's admitted
+        # unsoundness, reproduced.
+        assert det.reports.object_count == 0
+
+    def test_disabling_ownership_restores_the_report(self):
+        det = detect(
+            self.KERNEL, detector_config=DetectorConfig(ownership=False)
+        )
+        # (Plus the usual NoOwnership init-handoff noise on the Kernel
+        # objects themselves — the A object is what matters here.)
+        assert any(label.startswith("A#") for label in det.reports.racy_objects)
+
+    def test_disabling_the_static_optimizations_restores_the_report(self):
+        det = detect(
+            self.KERNEL,
+            planner_config=PlannerConfig(static_weaker=False, loop_peeling=False),
+        )
+        assert det.reports.object_count == 1
+
+
+class TestStepBudget:
+    def test_step_limit_enforced(self):
+        from repro.runtime import StepLimitExceeded
+        import pytest
+
+        source = """
+        class Main {
+          static def main() {
+            var i = 0;
+            while (true) { i = i + 1; }
+          }
+        }
+        """
+        with pytest.raises(StepLimitExceeded):
+            run_source(source, max_steps=1000)
+
+    def test_deadlock_detected(self):
+        from repro.runtime import DeadlockError
+        import pytest
+
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l2, l1);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field first; field second;
+          def init(first, second) { this.first = first; this.second = second; }
+          def run() {
+            sync (this.first) {
+              var spin = 0;
+              while (spin < 50) { spin = spin + 1; }
+              sync (this.second) { }
+            }
+          }
+        }
+        """
+        # Opposite acquisition order with a long hold: under round-robin
+        # with a small quantum both workers grab their first lock, then
+        # block on each other.
+        with pytest.raises(DeadlockError):
+            run_source(source)

@@ -1,0 +1,59 @@
+"""Tests for the post-mortem workflow module (repro.detector.postmortem)."""
+
+from repro.detector import (
+    DetectorConfig,
+    detect_from_log,
+    detect_post_mortem,
+    record_execution,
+)
+from repro.lang import compile_source
+from repro.runtime import RandomPolicy
+
+
+class TestDetectPostMortem:
+    def test_full_workflow(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        result = detect_post_mortem(resolved, enumerate_full_race=True)
+        assert result.run.output == ["2"]
+        assert result.reports
+        assert result.full_race
+        # FullRace is a superset view: every reported location appears
+        # among the enumerated pairs' locations.
+        pair_locations = {pair.key for pair in result.full_race}
+        for report in result.reports:
+            assert report.key in pair_locations
+
+    def test_without_enumeration(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        result = detect_post_mortem(resolved)
+        assert result.full_race is None
+        assert result.reports
+
+    def test_clean_program(self, safe_two_writer_source):
+        resolved = compile_source(safe_two_writer_source)
+        result = detect_post_mortem(resolved, enumerate_full_race=True)
+        assert not result.reports
+        assert result.full_race == []
+
+    def test_log_reusable_for_other_configs(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        _, log = record_execution(resolved, policy=RandomPolicy(3))
+        plain, _ = detect_from_log(log)
+        merged, _ = detect_from_log(
+            log, config=DetectorConfig(fields_merged=True)
+        )
+        no_own, _ = detect_from_log(
+            log, config=DetectorConfig(ownership=False)
+        )
+        # One execution, three analyses — the log decouples them.
+        assert plain.reports.racy_objects
+        assert merged.reports.object_count >= plain.reports.object_count
+        assert no_own.reports.object_count >= plain.reports.object_count
+
+    def test_respects_trace_sites(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        result = detect_post_mortem(resolved, trace_sites=set())
+        assert not result.reports
+        assert not any(
+            entry[0] == "access" for entry in result.log.log
+        )

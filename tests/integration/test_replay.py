@@ -1,0 +1,76 @@
+"""Integration tests for schedule record/replay (the DejaVu role)."""
+
+import pytest
+
+from repro.detector import RaceDetector, ReferenceDetector
+from repro.lang import compile_source
+from repro.runtime import (
+    RandomPolicy,
+    RecordingSink,
+    ReplayDivergence,
+    ScheduleTrace,
+    record_run,
+    replay_run,
+)
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_output(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        result, trace = record_run(resolved, inner_policy=RandomPolicy(5))
+        resolved2 = compile_source(racy_two_writer_source)
+        replayed = replay_run(resolved2, trace)
+        assert replayed.output == result.output
+        assert replayed.steps == result.steps
+
+    def test_replay_reproduces_event_stream(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        original = RecordingSink()
+        _, trace = record_run(
+            resolved, sink=original, inner_policy=RandomPolicy(11)
+        )
+        resolved2 = compile_source(racy_two_writer_source)
+        replayed_sink = RecordingSink()
+        replay_run(resolved2, trace, sink=replayed_sink)
+        assert replayed_sink.log == original.log
+
+    def test_detect_online_reconstruct_offline(self, racy_two_writer_source):
+        """The paper's workflow (Section 2.6): cheap detection during
+        recording, full FullRace reconstruction during replay."""
+        resolved = compile_source(racy_two_writer_source)
+        online = RaceDetector(resolved=resolved)
+        _, trace = record_run(
+            resolved, sink=online, inner_policy=RandomPolicy(2)
+        )
+        assert online.reports.object_count == 1
+
+        resolved2 = compile_source(racy_two_writer_source)
+        offline = ReferenceDetector()
+        replay_run(resolved2, trace, sink=offline)
+        # The oracle's racy locations cover the online reports and
+        # enumerate the full pair set.
+        assert offline.racy_locations
+        assert offline.full_race
+
+    def test_divergence_on_changed_program(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        _, trace = record_run(resolved, inner_policy=RandomPolicy(1))
+        changed = racy_two_writer_source.replace(
+            "t.x = t.x + 1;", "t.x = t.x + 1; t.x = t.x + 1;"
+        )
+        resolved2 = compile_source(changed)
+        with pytest.raises(ReplayDivergence):
+            replay_run(resolved2, trace)
+
+    def test_divergence_on_truncated_trace(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        _, trace = record_run(resolved, inner_policy=RandomPolicy(1))
+        truncated = ScheduleTrace(choices=trace.choices[: len(trace) // 2])
+        resolved2 = compile_source(racy_two_writer_source)
+        with pytest.raises(ReplayDivergence):
+            replay_run(resolved2, truncated)
+
+    def test_trace_length_equals_steps(self, safe_two_writer_source):
+        resolved = compile_source(safe_two_writer_source)
+        result, trace = record_run(resolved)
+        assert len(trace) == result.steps

@@ -1,0 +1,121 @@
+"""Equivalence of the packed (lockset-major) trie and the per-location
+tries — the Section 8.2 packing scheme must be a pure representation
+change."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.detector import DetectorConfig, RaceDetector
+from repro.detector.trie import LockTrie
+from repro.detector.trie_packed import PackedLockTrie
+from repro.lang.ast import AccessKind
+
+from .test_detector_vs_reference import feed, materialize, streams
+
+
+class TestDetectorEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(streams, st.booleans(), st.booleans())
+    def test_packed_pipeline_reports_identically(self, raw, ownership, cache):
+        events = materialize(raw)
+        base = DetectorConfig(
+            ownership=ownership, cache=cache, join_pseudolocks=False
+        )
+        per_location = RaceDetector(base)
+        packed = RaceDetector(base.but(packed_tries=True))
+        feed(per_location, events)
+        feed(packed, events)
+        assert (
+            per_location.reports.racy_locations
+            == packed.reports.racy_locations
+        )
+        assert per_location.stats.detector_processed == packed.stats.detector_processed
+        assert (
+            per_location.stats.detector_weaker_filtered
+            == packed.stats.detector_weaker_filtered
+        )
+
+    @settings(max_examples=150, deadline=None)
+    @given(streams)
+    def test_packed_stored_sets_match_per_location(self, raw):
+        events = materialize(raw)
+        config = DetectorConfig(
+            ownership=False, cache=False, join_pseudolocks=False
+        )
+        per_location = RaceDetector(config)
+        packed = RaceDetector(config.but(packed_tries=True))
+        feed(per_location, events)
+        feed(packed, events)
+        per_tries = per_location._tries  # noqa: SLF001
+        packed_trie = packed._packed  # noqa: SLF001
+        for key, trie in per_tries.items():
+            expected = sorted(
+                (tuple(sorted(l)), repr(t), k.value)
+                for l, t, k in trie.stored_accesses()
+            )
+            actual = sorted(
+                (tuple(sorted(l)), repr(t), k.value)
+                for l, t, k in packed_trie.stored_accesses(key)
+            )
+            assert actual == expected, key
+
+    @settings(max_examples=100, deadline=None)
+    @given(streams)
+    def test_packing_never_uses_more_nodes(self, raw):
+        events = materialize(raw)
+        config = DetectorConfig(
+            ownership=False, cache=False, join_pseudolocks=False
+        )
+        per_location = RaceDetector(config)
+        packed = RaceDetector(config.but(packed_tries=True))
+        feed(per_location, events)
+        feed(packed, events)
+        assert packed.total_trie_nodes() <= max(
+            per_location.total_trie_nodes(), 1
+        )
+
+
+class TestDirectStructures:
+    def test_single_location_behaves_like_plain_trie(self):
+        plain = LockTrie()
+        packed = PackedLockTrie()
+        key = "m"
+        history = [
+            (frozenset(), 1, AccessKind.READ),
+            (frozenset({1}), 2, AccessKind.WRITE),
+            (frozenset({1, 2}), 1, AccessKind.READ),
+            (frozenset(), 2, AccessKind.WRITE),
+        ]
+        for lockset, thread, kind in history:
+            if not plain.find_weaker(lockset, thread, kind):
+                node = plain.insert(lockset, thread, kind)
+                plain.prune_stronger(lockset, node.thread, node.kind, keep=node)
+            if not packed.find_weaker(key, lockset, thread, kind):
+                node, merged = packed.insert(key, lockset, thread, kind)
+                packed.prune_stronger(
+                    key, lockset, merged[0], merged[1], keep=node
+                )
+        normalize = lambda entries: sorted(
+            (tuple(sorted(l)), repr(t), k.value) for l, t, k in entries
+        )
+        assert normalize(packed.stored_accesses(key)) == normalize(
+            plain.stored_accesses()
+        )
+
+    def test_locations_are_isolated(self):
+        packed = PackedLockTrie()
+        packed.insert("a", frozenset({1}), 1, AccessKind.WRITE)
+        packed.insert("b", frozenset({2}), 2, AccessKind.READ)
+        assert packed.find_weaker("a", frozenset({1}), 1, AccessKind.WRITE)
+        assert not packed.find_weaker("b", frozenset({1}), 1, AccessKind.WRITE)
+        assert packed.find_race("a", frozenset(), 2, AccessKind.READ)
+        assert packed.find_race("b", frozenset(), 1, AccessKind.WRITE)
+        assert packed.location_count == 2
+
+    def test_entry_count_and_node_sharing(self):
+        packed = PackedLockTrie()
+        for key in ("a", "b", "c"):
+            packed.insert(key, frozenset({7, 8}), 1, AccessKind.READ)
+        # Three locations share one lock path: 3 nodes (root, 7, 78),
+        # three entries at the leaf.
+        assert packed.node_count() == 3
+        assert packed.entry_count() == 3

@@ -1,0 +1,102 @@
+"""Property tests over the runtime and front end.
+
+* front-end round-trip: rendering a parsed program and re-parsing it
+  yields the same rendered text (printer/parser fixpoint), for every
+  workload source;
+* scheduler determinism: identical seeds give identical event logs;
+* schedule independence of final state for race-free programs: the
+  lock-disciplined workloads print the same output under many seeds;
+* Definition 1 end-to-end: for the racy workloads, over many seeds,
+  the optimized-pipeline detector reports a superset of the reference
+  oracle's racy locations on the *same* event log.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detector import DetectorConfig, RaceDetector, ReferenceDetector
+from repro.lang import compile_source, parse, render_program
+from repro.runtime import RandomPolicy, RecordingSink, run_program
+from repro.workloads import ALL_WORKLOADS
+
+SMALL_SCALES = {
+    "mtrt2": 3,
+    "tsp2": 5,
+    "sor2": 3,
+    "elevator2": 5,
+    "hedc2": 3,
+    "figure2": 0,
+    "figure2-shared-lock": 0,
+    "figure3": 10,
+    "join_stats": 4,
+    "philosophers": 3,
+    "philosophers-ordered": 3,
+}
+
+
+def small_source(name):
+    return ALL_WORKLOADS[name].build(SMALL_SCALES[name])
+
+
+class TestFrontEndRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_render_parse_fixpoint(self, name):
+        source = small_source(name)
+        first = render_program(parse(source))
+        second = render_program(parse(first))
+        assert first == second
+
+
+class TestSchedulerDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_seed_same_log(self, seed):
+        source = small_source("join_stats")
+        logs = []
+        for _ in range(2):
+            resolved = compile_source(source)
+            sink = RecordingSink()
+            run_program(resolved, sink=sink, policy=RandomPolicy(seed))
+            logs.append(sink.log)
+        assert logs[0] == logs[1]
+
+
+class TestRaceFreeOutputsStable:
+    @pytest.mark.parametrize("name", ["join_stats", "elevator2"])
+    def test_output_schedule_independent(self, name):
+        source = small_source(name)
+        outputs = set()
+        for seed in range(6):
+            resolved = compile_source(source)
+            result = run_program(resolved, policy=RandomPolicy(seed))
+            outputs.add(tuple(result.output))
+        assert len(outputs) == 1
+
+
+class TestDefinition1EndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["figure2", "mtrt2", "tsp2", "hedc2", "sor2"]
+    )
+    def test_detector_covers_reference_locations(self, name):
+        source = small_source(name)
+        for seed in range(4):
+            resolved = compile_source(source)
+            recording = RecordingSink()
+            run_program(resolved, sink=recording, policy=RandomPolicy(seed))
+
+            reference = ReferenceDetector()
+            detector = RaceDetector()
+            recording.replay_into(reference)
+            recording.replay_into(detector)
+            assert (
+                reference.racy_locations <= detector.reports.racy_locations
+            ), f"{name} seed {seed}"
+
+    @pytest.mark.parametrize("name", ["elevator2", "join_stats"])
+    def test_clean_workloads_have_empty_reference(self, name):
+        source = small_source(name)
+        for seed in range(4):
+            resolved = compile_source(source)
+            reference = ReferenceDetector()
+            run_program(resolved, sink=reference, policy=RandomPolicy(seed))
+            assert not reference.racy_locations, f"{name} seed {seed}"

@@ -1,0 +1,135 @@
+"""Unit tests for the per-thread access caches (Section 4)."""
+
+from repro.detector import AccessCache
+from repro.lang.ast import AccessKind
+
+READ = AccessKind.READ
+WRITE = AccessKind.WRITE
+
+
+class TestBasicLookup:
+    def test_miss_on_empty_cache(self):
+        cache = AccessCache()
+        assert not cache.lookup(1, "m", READ)
+        assert cache.stats.misses == 1
+
+    def test_hit_after_insert(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        assert cache.lookup(1, "m", READ)
+        assert cache.stats.hits == 1
+
+    def test_read_and_write_caches_are_separate(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        assert not cache.lookup(1, "m", WRITE)
+
+    def test_write_does_not_satisfy_read_by_default(self):
+        # Faithful to the paper: reads consult only the read cache.
+        cache = AccessCache()
+        cache.insert(1, "m", WRITE, anchor_lock=None)
+        assert not cache.lookup(1, "m", READ)
+
+    def test_write_covers_read_extension(self):
+        cache = AccessCache(write_covers_read=True)
+        cache.insert(1, "m", WRITE, anchor_lock=None)
+        assert cache.lookup(1, "m", READ)
+
+    def test_threads_have_independent_caches(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        assert not cache.lookup(2, "m", READ)
+
+    def test_different_locations_do_not_collide_logically(self):
+        cache = AccessCache()
+        cache.insert(1, "a", READ, anchor_lock=None)
+        assert not cache.lookup(1, "b", READ)
+
+
+class TestConflictEviction:
+    def test_direct_mapped_conflict_evicts_old_entry(self):
+        # Size-1 cache: every distinct key maps to the same slot.
+        cache = AccessCache(size=1)
+        cache.insert(1, "a", READ, anchor_lock=None)
+        cache.insert(1, "b", READ, anchor_lock=None)
+        assert not cache.lookup(1, "a", READ)
+        assert cache.lookup(1, "b", READ)
+        assert cache.stats.conflict_evictions == 1
+
+    def test_invalid_size_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AccessCache(size=0)
+
+
+class TestLockEviction:
+    def test_release_evicts_anchored_entries(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=77)
+        cache.on_lock_release(1, 77)
+        assert not cache.lookup(1, "m", READ)
+        assert cache.stats.lock_evictions == 1
+
+    def test_release_of_other_lock_keeps_entry(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=77)
+        cache.on_lock_release(1, 78)
+        assert cache.lookup(1, "m", READ)
+
+    def test_unanchored_entry_survives_all_releases(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        cache.on_lock_release(1, 77)
+        assert cache.lookup(1, "m", READ)
+
+    def test_release_only_affects_that_thread(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=77)
+        cache.insert(2, "m", READ, anchor_lock=77)
+        cache.on_lock_release(1, 77)
+        assert cache.lookup(2, "m", READ)
+
+    def test_release_evicts_both_read_and_write_entries(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=5)
+        cache.insert(1, "m", WRITE, anchor_lock=5)
+        cache.on_lock_release(1, 5)
+        assert not cache.lookup(1, "m", READ)
+        assert not cache.lookup(1, "m", WRITE)
+
+    def test_conflict_evicted_entry_not_double_freed_by_release(self):
+        cache = AccessCache(size=1)
+        cache.insert(1, "a", READ, anchor_lock=3)
+        cache.insert(1, "b", READ, anchor_lock=3)  # Conflict-evicts "a".
+        cache.on_lock_release(1, 3)  # Must evict only "b".
+        assert cache.stats.lock_evictions == 1
+
+
+class TestOwnershipEviction:
+    def test_shared_transition_evicts_from_every_thread(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        cache.insert(2, "m", WRITE, anchor_lock=None)
+        cache.on_location_shared("m")
+        assert not cache.lookup(1, "m", READ)
+        assert not cache.lookup(2, "m", WRITE)
+        assert cache.stats.ownership_evictions == 2
+
+    def test_shared_transition_of_other_key_is_noop(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        cache.on_location_shared("other")
+        assert cache.lookup(1, "m", READ)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = AccessCache()
+        cache.insert(1, "m", READ, anchor_lock=None)
+        cache.lookup(1, "m", READ)
+        cache.lookup(1, "n", READ)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert AccessCache().stats.hit_rate == 0.0

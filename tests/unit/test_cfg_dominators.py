@@ -1,0 +1,146 @@
+"""Unit tests for CFG utilities, dominators, and dominance frontiers."""
+
+from repro.analysis import FlowGraph, DominatorInfo, lower_program
+from repro.lang import compile_source
+
+
+def graph_of(body: str, extra: str = "") -> tuple:
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    function = lower_program(resolved)["Main.main"]
+    graph = FlowGraph(function)
+    return function, graph, DominatorInfo(graph)
+
+
+class TestFlowGraph:
+    def test_straight_line_single_block(self):
+        _, graph, _ = graph_of("var x = 1; var y = 2;")
+        assert graph.reachable == {0}
+
+    def test_if_produces_diamond_or_triangle(self):
+        _, graph, _ = graph_of("if (true) { var x = 1; }")
+        # Entry, then-block, join.
+        assert len(graph.reachable) == 3
+
+    def test_if_else_diamond(self):
+        _, graph, _ = graph_of("if (true) { var x = 1; } else { var y = 2; }")
+        assert len(graph.reachable) == 4
+
+    def test_while_creates_cycle(self):
+        function, graph, _ = graph_of("var i = 0; while (i < 3) { i = i + 1; }")
+        # There must be a back edge: some block's successor has a
+        # smaller RPO index.
+        has_back_edge = any(
+            graph.rpo_index[succ] <= graph.rpo_index[block_id]
+            for block_id in graph.reachable
+            for succ in graph.successors(block_id)
+        )
+        assert has_back_edge
+
+    def test_code_after_return_is_unreachable(self):
+        _, graph, _ = graph_of("return; var x = 1;")
+        total_blocks = len(graph.function.blocks)
+        assert len(graph.reachable) < total_blocks
+
+    def test_rpo_starts_at_entry(self):
+        _, graph, _ = graph_of("if (true) { } else { }")
+        assert graph.rpo[0] == 0
+
+    def test_rpo_visits_preds_before_succs_in_acyclic_graph(self):
+        _, graph, _ = graph_of("if (true) { var x = 1; } else { var y = 2; }")
+        for block_id in graph.reachable:
+            for succ in graph.successors(block_id):
+                if graph.rpo_index[succ] > graph.rpo_index[block_id]:
+                    continue
+                # Back edge in acyclic graph would be a bug.
+                raise AssertionError("unexpected back edge")
+
+    def test_preds_are_inverse_of_succs(self):
+        _, graph, _ = graph_of("if (true) { } while (false) { }")
+        for block_id in graph.reachable:
+            for succ in graph.successors(block_id):
+                assert block_id in graph.preds[succ]
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        _, graph, dom = graph_of(
+            "if (true) { var x = 1; } else { var y = 2; } var z = 3;"
+        )
+        for block_id in graph.reachable:
+            assert dom.dominates(0, block_id)
+
+    def test_entry_has_no_idom(self):
+        _, _, dom = graph_of("var x = 1;")
+        assert dom.idom[0] is None
+
+    def test_branch_arms_do_not_dominate_join(self):
+        function, graph, dom = graph_of(
+            "if (true) { var x = 1; } else { var y = 2; } var z = 3;"
+        )
+        # Identify the join block: the one with two predecessors.
+        join = next(b for b in graph.reachable if len(graph.preds[b]) == 2)
+        for pred in graph.preds[join]:
+            assert not dom.dominates(pred, join)
+        assert dom.idom[join] == 0
+
+    def test_dominance_is_reflexive(self):
+        _, graph, dom = graph_of("if (true) { }")
+        for block_id in graph.reachable:
+            assert dom.dominates(block_id, block_id)
+
+    def test_strict_dominance_excludes_self(self):
+        _, _, dom = graph_of("var x = 1;")
+        assert not dom.strictly_dominates(0, 0)
+
+    def test_loop_header_dominates_body(self):
+        _, graph, dom = graph_of("var i = 0; while (i < 3) { i = i + 1; }")
+        # The loop header is the block with a predecessor whose RPO
+        # index is larger (target of the back edge).
+        header = next(
+            b
+            for b in graph.reachable
+            for p in graph.preds[b]
+            if graph.rpo_index[p] > graph.rpo_index[b]
+        )
+        body = next(
+            s
+            for s in graph.successors(header)
+            if graph.rpo_index[s] > graph.rpo_index[header]
+        )
+        assert dom.dominates(header, body)
+
+    def test_dominance_transitivity_sample(self):
+        _, graph, dom = graph_of(
+            "if (true) { if (true) { var x = 1; } } var z = 3;"
+        )
+        blocks = sorted(graph.reachable)
+        for a in blocks:
+            for b in blocks:
+                for c in blocks:
+                    if dom.dominates(a, b) and dom.dominates(b, c):
+                        assert dom.dominates(a, c)
+
+
+class TestDominanceFrontiers:
+    def test_join_block_in_frontier_of_both_arms(self):
+        _, graph, dom = graph_of(
+            "if (true) { var x = 1; } else { var y = 2; } var z = 3;"
+        )
+        join = next(b for b in graph.reachable if len(graph.preds[b]) == 2)
+        for pred in graph.preds[join]:
+            assert join in dom.frontiers[pred]
+
+    def test_straight_line_has_empty_frontiers(self):
+        _, graph, dom = graph_of("var x = 1; var y = 2;")
+        assert all(not dom.frontiers[b] for b in graph.reachable)
+
+    def test_loop_header_in_own_frontier(self):
+        _, graph, dom = graph_of("var i = 0; while (i < 3) { i = i + 1; }")
+        header = next(
+            b
+            for b in graph.reachable
+            for p in graph.preds[b]
+            if graph.rpo_index[p] > graph.rpo_index[b]
+        )
+        assert header in dom.frontiers[header]

@@ -1,0 +1,201 @@
+"""Unit tests for the lock-order deadlock detector (Section 10 extension)."""
+
+import pytest
+
+from repro.detector import DeadlockDetector
+
+
+def enters(det, thread, *locks):
+    for lock in locks:
+        det.on_monitor_enter(thread, lock, reentrant=False)
+
+
+def exits(det, thread, *locks):
+    for lock in locks:
+        det.on_monitor_exit(thread, lock, reentrant=False)
+
+
+def nest(det, thread, *locks):
+    """Acquire locks in order, then release in LIFO order."""
+    enters(det, thread, *locks)
+    exits(det, thread, *reversed(locks))
+
+
+class TestTwoLockCycles:
+    def test_ab_ba_reported(self):
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 2, 20, 10)
+        det.analyze()
+        assert len(det.reports) == 1
+        report = det.reports[0]
+        assert set(report.cycle) == {10, 20}
+        assert set(report.threads) == {1, 2}
+
+    def test_consistent_order_silent(self):
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 2, 10, 20)
+        det.analyze()
+        assert not det.reports
+
+    def test_single_thread_inversion_silent(self):
+        # One thread alone acquiring in both orders (at different
+        # times) cannot deadlock with itself.
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 1, 20, 10)
+        det.analyze()
+        assert not det.reports
+
+    def test_gate_lock_suppresses(self):
+        det = DeadlockDetector()
+        nest(det, 1, 99, 10, 20)  # Gate 99 held around both orders.
+        nest(det, 2, 99, 20, 10)
+        det.analyze()
+        assert not det.reports
+
+    def test_gate_on_one_side_only_still_reported(self):
+        det = DeadlockDetector()
+        nest(det, 1, 99, 10, 20)
+        nest(det, 2, 20, 10)  # No gate here: the cycle is feasible.
+        det.analyze()
+        assert len(det.reports) == 1
+
+    def test_reentrant_events_ignored(self):
+        det = DeadlockDetector()
+        det.on_monitor_enter(1, 10, reentrant=False)
+        det.on_monitor_enter(1, 10, reentrant=True)
+        det.on_monitor_enter(1, 20, reentrant=False)
+        exits(det, 1, 20)
+        det.on_monitor_exit(1, 10, reentrant=True)
+        exits(det, 1, 10)
+        nest(det, 2, 20, 10)
+        det.analyze()
+        assert len(det.reports) == 1
+
+    def test_duplicate_cycles_reported_once(self):
+        det = DeadlockDetector()
+        for _ in range(3):
+            nest(det, 1, 10, 20)
+            nest(det, 2, 20, 10)
+        det.analyze()
+        det.analyze()
+        assert len(det.reports) == 1
+
+
+class TestLongerCycles:
+    def test_three_way_cycle(self):
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 2, 20, 30)
+        nest(det, 3, 30, 10)
+        det.analyze()
+        assert len(det.reports) == 1
+        assert set(det.reports[0].cycle) == {10, 20, 30}
+        assert set(det.reports[0].threads) == {1, 2, 3}
+
+    def test_three_way_needs_three_threads(self):
+        # Two threads cannot realize a 3-cycle where each hop must be
+        # blocked simultaneously... our witness rule requires pairwise
+        # distinct threads per edge.
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 2, 20, 30)
+        nest(det, 1, 30, 10)
+        det.analyze()
+        assert not det.reports
+
+    def test_cycle_length_cap(self):
+        det = DeadlockDetector(max_cycle_length=2)
+        nest(det, 1, 10, 20)
+        nest(det, 2, 20, 30)
+        nest(det, 3, 30, 10)
+        det.analyze()
+        assert not det.reports
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlockDetector(max_cycle_length=1)
+
+
+class TestEdgeBookkeeping:
+    def test_edges_deduplicated(self):
+        det = DeadlockDetector()
+        for _ in range(5):
+            nest(det, 1, 10, 20)
+        assert det.edge_count == 1
+
+    def test_distinct_contexts_kept(self):
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 2, 10, 20)
+        assert det.edge_count == 2
+
+    def test_deep_nest_generates_all_pairs(self):
+        det = DeadlockDetector()
+        nest(det, 1, 1, 2, 3)
+        # Edges: 1→2, 1→3, 2→3.
+        assert det.edge_count == 3
+
+    def test_describe(self):
+        det = DeadlockDetector()
+        nest(det, 1, 10, 20)
+        nest(det, 2, 20, 10)
+        det.analyze()
+        text = det.describe_all()
+        assert "POTENTIAL DEADLOCK" in text
+        assert "thread 1" in text and "thread 2" in text
+
+
+class TestOnPrograms:
+    def test_potential_deadlock_from_serialized_run(self):
+        """The whole point: the run never deadlocks (workers are
+        serialized by joins) but the order inversion is reported."""
+        from repro.lang import compile_source
+        from repro.runtime import run_program
+
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l2, l1);
+            start a; join a;
+            start b; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() { sync (this.x) { sync (this.y) { } } }
+        }
+        """
+        resolved = compile_source(source)
+        det = DeadlockDetector()
+        run_program(resolved, sink=det)
+        assert len(det.reports) == 1
+
+    def test_lock_ordered_program_silent(self):
+        from repro.lang import compile_source
+        from repro.runtime import run_program
+
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l1, l2);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() { sync (this.x) { sync (this.y) { } } }
+        }
+        """
+        resolved = compile_source(source)
+        det = DeadlockDetector()
+        run_program(resolved, sink=det)
+        assert not det.reports

@@ -1,0 +1,246 @@
+"""Unit tests for the static lock-order deadlock analysis."""
+
+from repro.analysis import analyze_static_deadlocks
+from repro.lang import compile_source
+
+
+def analyze(source: str):
+    return analyze_static_deadlocks(compile_source(source))
+
+
+TWO_LOCK_TEMPLATE = """
+class Main {{
+  static def main() {{
+    var l1 = new L(); var l2 = new L();
+    var a = new W({a_args}); var b = new W({b_args});
+    start a; start b; join a; join b;
+  }}
+}}
+class L {{ }}
+class W {{
+  field x; field y;
+  def init(x, y) {{ this.x = x; this.y = y; }}
+  def run() {{ sync (this.x) {{ sync (this.y) {{ }} }} }}
+}}
+"""
+
+
+class TestTwoLockCycles:
+    def test_opposite_orders_reported(self):
+        reports = analyze(
+            TWO_LOCK_TEMPLATE.format(a_args="l1, l2", b_args="l2, l1")
+        )
+        assert len(reports) == 1
+        assert "POTENTIAL STATIC DEADLOCK" in reports[0].describe()
+        assert len(reports[0].cycle) == 2
+
+    def test_consistent_order_clean(self):
+        reports = analyze(
+            TWO_LOCK_TEMPLATE.format(a_args="l1, l2", b_args="l1, l2")
+        )
+        assert not reports
+
+    def test_single_worker_both_orders_pruned_by_must_thread(self):
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2);
+            start a; join a;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() {
+            sync (this.x) { sync (this.y) { } }
+            sync (this.y) { sync (this.x) { } }
+          }
+        }
+        """
+        assert not analyze(source)
+
+    def test_two_workers_both_orders_reported(self):
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l1, l2);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() {
+            sync (this.x) { sync (this.y) { } }
+            sync (this.y) { sync (this.x) { } }
+          }
+        }
+        """
+        # Two W objects → MustThread of W.run is empty → a real cycle.
+        assert len(analyze(source)) == 1
+
+    def test_gate_lock_prunes(self):
+        source = """
+        class Main {
+          static def main() {
+            var g = new L(); var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2, g); var b = new W(l2, l1, g);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y; field g;
+          def init(x, y, g) { this.x = x; this.y = y; this.g = g; }
+          def run() {
+            sync (this.g) { sync (this.x) { sync (this.y) { } } }
+          }
+        }
+        """
+        assert not analyze(source)
+
+    def test_gate_on_one_path_only_still_reported(self):
+        source = """
+        class Main {
+          static def main() {
+            var g = new L(); var l1 = new L(); var l2 = new L();
+            var a = new WGated(l1, l2, g); var b = new WBare(l2, l1);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class WGated {
+          field x; field y; field g;
+          def init(x, y, g) { this.x = x; this.y = y; this.g = g; }
+          def run() { sync (this.g) { sync (this.x) { sync (this.y) { } } } }
+        }
+        class WBare {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() { sync (this.x) { sync (this.y) { } } }
+        }
+        """
+        assert len(analyze(source)) >= 1
+
+
+class TestInterprocedural:
+    def test_cycle_through_calls_detected(self):
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l2, l1);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def inner() { sync (this.y) { } }
+          def run() { sync (this.x) { inner(); } }
+        }
+        """
+        # The second acquisition happens in a callee: the may-held set
+        # flows over the ICG call edge.
+        assert len(analyze(source)) == 1
+
+    def test_no_nesting_no_report(self):
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l2, l1);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() {
+            sync (this.x) { }
+            sync (this.y) { }
+          }
+        }
+        """
+        assert not analyze(source)
+
+    def test_three_lock_cycle(self):
+        # Three distinct worker classes so the context-insensitive
+        # points-to keeps the three lock pairs apart.
+        worker = """
+        class W{n} {{
+          field x; field y;
+          def init(x, y) {{ this.x = x; this.y = y; }}
+          def run() {{ sync (this.x) {{ sync (this.y) {{ }} }} }}
+        }}
+        """
+        source = (
+            """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L(); var l3 = new L();
+            var a = new W1(l1, l2); var b = new W2(l2, l3);
+            var c = new W3(l3, l1);
+            start a; start b; start c;
+            join a; join b; join c;
+          }
+        }
+        class L { }
+        """
+            + worker.format(n=1)
+            + worker.format(n=2)
+            + worker.format(n=3)
+        )
+        reports = analyze(source)
+        assert len(reports) == 1
+        assert len(reports[0].cycle) == 3
+
+    def test_one_worker_class_conflates_conservatively(self):
+        # With a single worker class, the context-insensitive analysis
+        # merges all lock fields; it still reports (conservatively),
+        # just with coarser cycles.
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L(); var l3 = new L();
+            var a = new W(l1, l2); var b = new W(l2, l3);
+            var c = new W(l3, l1);
+            start a; start b; start c;
+            join a; join b; join c;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() { sync (this.x) { sync (this.y) { } } }
+        }
+        """
+        assert analyze(source)
+
+    def test_conflation_is_conservative(self):
+        # One allocation site in a loop produces MANY locks; a nested
+        # acquisition of "the same" abstract lock from another order
+        # still reports — conservative, like IsMayRace.
+        source = """
+        class Main {
+          static def main() {
+            var l1 = new L(); var l2 = new L();
+            var a = new W(l1, l2); var b = new W(l2, l1);
+            start a; start b; join a; join b;
+          }
+        }
+        class L { }
+        class W {
+          field x; field y;
+          def init(x, y) { this.x = x; this.y = y; }
+          def run() { sync (this.x) { sync (this.y) { } } }
+        }
+        """
+        assert analyze(source)

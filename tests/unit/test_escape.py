@@ -1,0 +1,175 @@
+"""Unit tests for escape analysis and the thread-specific extension (§5.4)."""
+
+from repro.analysis import analyze_escape, analyze_points_to
+from repro.lang import compile_source
+
+
+def analyze(body: str, extra: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    pts = analyze_points_to(resolved)
+    return resolved, pts, analyze_escape(resolved, pts)
+
+
+def objects_of_class(pts, method, register, class_name):
+    return [
+        o
+        for o in pts.may_point_to_register(method, register)
+        if o.class_name == class_name
+    ]
+
+
+class TestThreadLocal:
+    def test_unshared_object_is_thread_local(self):
+        _, pts, esc = analyze("var p = new P();", "class P { field f; }")
+        (obj,) = pts.may_point_to_register("Main.main", "p")
+        assert esc.is_thread_local(obj)
+
+    def test_object_in_static_field_escapes(self):
+        _, pts, esc = analyze(
+            "G.slot = new P();",
+            "class G { static field slot; } class P { }",
+        )
+        (obj,) = pts.may_point_to_register("Main.main", "G") if False else (
+            next(iter(pts.points_to(("static", "G", "slot")))),
+        )
+        assert not esc.is_thread_local(obj)
+        assert obj in esc.shared_objects
+
+    def test_started_thread_object_escapes(self):
+        _, pts, esc = analyze(
+            "var w = new W(); start w;", "class W { def run() { } }"
+        )
+        (obj,) = pts.may_point_to_register("Main.main", "w")
+        assert not esc.is_thread_local(obj)
+
+    def test_object_reachable_from_thread_escapes(self):
+        _, pts, esc = analyze(
+            "var w = new W(); var d = new D(); w.data = d; start w;",
+            "class W { field data; def run() { } } class D { }",
+        )
+        (obj,) = pts.may_point_to_register("Main.main", "d")
+        assert not esc.is_thread_local(obj)
+
+    def test_transitively_reachable_escapes(self):
+        _, pts, esc = analyze(
+            "var w = new W(); var box = new Box(); box.inner = new D(); "
+            "w.data = box; start w;",
+            "class W { field data; def run() { } } "
+            "class Box { field inner; } class D { }",
+        )
+        inner_objs = objects_of_class(pts, "Main.main", "box", "Box")
+        assert inner_objs and not esc.is_thread_local(inner_objs[0])
+        d_objs = [o for o in esc.shared_objects if o.class_name == "D"]
+        assert d_objs
+
+    def test_object_local_to_worker_thread(self):
+        _, pts, esc = analyze(
+            "var w = new W(); start w;",
+            "class W { def run() { var scratch = new S(); scratch.v = 1; } } "
+            "class S { field v; }",
+        )
+        s_objs = [
+            o
+            for o in pts.may_point_to_register("W.run", "scratch")
+        ]
+        assert s_objs and esc.is_thread_local(s_objs[0])
+
+
+class TestThreadSpecificMethods:
+    WORKER = """
+    class W {
+      field acc;
+      def init() { this.acc = 0; }
+      def step() { this.acc = this.acc + 1; }
+      def run() { step(); }
+    }
+    """
+
+    def test_init_and_run_are_thread_specific(self):
+        _, _, esc = analyze("var w = new W(); start w;", self.WORKER)
+        specific = esc.thread_specific_methods["W"]
+        assert "W.init" in specific
+        assert "W.run" in specific
+
+    def test_this_passed_helper_is_thread_specific(self):
+        _, _, esc = analyze("var w = new W(); start w;", self.WORKER)
+        assert "W.step" in esc.thread_specific_methods["W"]
+
+    def test_explicitly_invoked_run_not_thread_specific(self):
+        _, _, esc = analyze(
+            "var w = new W(); w.run(); start w;", self.WORKER
+        )
+        assert "W.run" not in esc.thread_specific_methods["W"]
+
+    def test_externally_called_helper_not_thread_specific(self):
+        _, _, esc = analyze(
+            "var w = new W(); w.step(); start w;", self.WORKER
+        )
+        assert "W.step" not in esc.thread_specific_methods["W"]
+
+
+class TestSafeThreads:
+    def test_plain_constructor_safe(self):
+        _, _, esc = analyze(
+            "var w = new W(); start w;",
+            "class W { field a; def init() { this.a = 0; } def run() { } }",
+        )
+        assert "W" in esc.safe_thread_classes
+
+    def test_constructor_starting_thread_unsafe(self):
+        _, _, esc = analyze(
+            "var w = new W(new H()); start w;",
+            "class H { def run() { } } "
+            "class W { field h; def init(h) { this.h = h; start h; } "
+            "def run() { } }",
+        )
+        assert "W" not in esc.safe_thread_classes
+
+    def test_this_leak_via_field_unsafe(self):
+        _, _, esc = analyze(
+            "var reg = new Registry(); var w = new W(reg); start w;",
+            "class Registry { field last; } "
+            "class W { field r; def init(r) { this.r = r; r.last = this; } "
+            "def run() { } }",
+        )
+        assert "W" not in esc.safe_thread_classes
+
+    def test_this_leak_via_argument_unsafe(self):
+        _, _, esc = analyze(
+            "var w = new W(); start w;",
+            "class W { def init() { Util.register(this); } def run() { } } "
+            "class Util { static def register(x) { } }",
+        )
+        assert "W" not in esc.safe_thread_classes
+
+    def test_no_constructor_safe(self):
+        _, _, esc = analyze(
+            "var w = new W(); start w;", "class W { def run() { } }"
+        )
+        assert "W" in esc.safe_thread_classes
+
+
+class TestThreadSpecificFields:
+    def test_this_only_field_is_thread_specific(self):
+        _, _, esc = analyze(
+            "var w = new W(); start w;",
+            "class W { field acc; def init() { this.acc = 0; } "
+            "def run() { this.acc = this.acc + 1; } }",
+        )
+        assert "acc" in esc.thread_specific_fields["W"]
+
+    def test_externally_written_field_not_thread_specific(self):
+        _, _, esc = analyze(
+            "var w = new W(); w.acc = 5; start w;",
+            "class W { field acc; def run() { this.acc = this.acc + 1; } }",
+        )
+        assert "acc" not in esc.thread_specific_fields["W"]
+
+    def test_field_accessed_by_non_specific_method_not_thread_specific(self):
+        _, _, esc = analyze(
+            "var w = new W(); w.peek(); start w;",
+            "class W { field acc; def peek() { return this.acc; } "
+            "def run() { this.acc = 1; } }",
+        )
+        assert "acc" not in esc.thread_specific_fields["W"]

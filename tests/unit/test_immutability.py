@@ -1,0 +1,165 @@
+"""Unit tests for the construction-immutability analysis (§10 extension)."""
+
+from repro.analysis import analyze_immutability, analyze_points_to, analyze_static_races
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+
+
+def immutable_fields_of(source: str, class_name: str) -> frozenset:
+    resolved = compile_source(source)
+    pts = analyze_points_to(resolved)
+    info = analyze_immutability(resolved, pts)
+    return info.immutable_fields.get(class_name, frozenset())
+
+
+SHARED_CONFIG = """
+class Main {{
+  static def main() {{
+    var cfg = new Config(7);
+    var a = new R(cfg); var b = new R(cfg);
+    start a; start b; join a; join b;
+    {post}
+  }}
+}}
+class Config {{
+  field x;
+  field mutable;
+  def init(x) {{ this.x = x; this.mutable = 0; {init_extra} }}
+  {extra_methods}
+}}
+class R {{
+  field cfg;
+  def init(cfg) {{ this.cfg = cfg; }}
+  def run() {{
+    var v = this.cfg.x;
+    this.cfg.mutable = v;
+  }}
+}}
+"""
+
+
+def cfg_source(post="", init_extra="", extra_methods=""):
+    return SHARED_CONFIG.format(
+        post=post, init_extra=init_extra, extra_methods=extra_methods
+    )
+
+
+class TestFieldClassification:
+    def test_init_only_field_is_immutable(self):
+        fields = immutable_fields_of(cfg_source(), "Config")
+        assert "x" in fields
+
+    def test_worker_written_field_is_not(self):
+        fields = immutable_fields_of(cfg_source(), "Config")
+        assert "mutable" not in fields
+
+    def test_post_construction_write_in_main_disqualifies(self):
+        fields = immutable_fields_of(cfg_source(post="cfg.x = 99;"), "Config")
+        assert "x" not in fields
+
+    def test_helper_in_init_closure_allowed(self):
+        source = cfg_source(
+            init_extra="setup();",
+            extra_methods="def setup() { this.x = this.x * 2; }",
+        )
+        fields = immutable_fields_of(source, "Config")
+        assert "x" in fields
+
+    def test_externally_called_helper_disqualifies(self):
+        source = cfg_source(
+            init_extra="setup();",
+            extra_methods="def setup() { this.x = this.x * 2; }",
+            post="cfg.setup();",
+        )
+        fields = immutable_fields_of(source, "Config")
+        assert "x" not in fields
+
+    def test_this_escape_from_init_disqualifies_class(self):
+        source = """
+        class Main {
+          static def main() {
+            var reg = new Registry();
+            var cfg = new Config(7, reg);
+            var a = new R(cfg);
+            start a; join a;
+          }
+        }
+        class Registry { field last; }
+        class Config {
+          field x;
+          def init(x, reg) { this.x = x; reg.last = this; }
+        }
+        class R {
+          field cfg;
+          def init(cfg) { this.cfg = cfg; }
+          def run() { var v = this.cfg.x; }
+        }
+        """
+        assert immutable_fields_of(source, "Config") == frozenset()
+
+    def test_class_without_init_all_fields_immutable_nominally(self):
+        # No constructor: no writer inside the closure; any write site
+        # elsewhere disqualifies, so only never-written fields remain.
+        source = """
+        class Main {
+          static def main() {
+            var p = new P();
+            var v = p.a;
+            p.b = 1;
+          }
+        }
+        class P { field a; field b; }
+        """
+        fields = immutable_fields_of(source, "P")
+        assert "a" in fields
+        assert "b" not in fields
+
+
+class TestRaceSetIntegration:
+    RACY_READS = cfg_source()
+
+    def test_flag_off_keeps_immutable_reads(self):
+        resolved = compile_source(self.RACY_READS)
+        result = analyze_static_races(resolved, immutability=False)
+        fields = {resolved.sites[s].field_name for s in result.racy_sites}
+        assert "x" in fields
+
+    def test_flag_on_prunes_immutable_reads(self):
+        resolved = compile_source(self.RACY_READS)
+        result = analyze_static_races(resolved, immutability=True)
+        fields = {resolved.sites[s].field_name for s in result.racy_sites}
+        assert "x" not in fields
+        assert "mutable" in fields  # Still racy.
+        assert result.stats.pairs_pruned_immutability > 0
+
+    def test_planner_flag_reduces_instrumentation(self):
+        resolved = compile_source(self.RACY_READS)
+        base_plan = plan_instrumentation(resolved, PlannerConfig())
+
+        resolved2 = compile_source(self.RACY_READS)
+        opt_plan = plan_instrumentation(
+            resolved2, PlannerConfig(immutability_analysis=True)
+        )
+        assert opt_plan.stats.sites_instrumented < base_plan.stats.sites_instrumented
+
+    def test_detection_still_finds_real_races_with_flag(self):
+        from repro.detector import RaceDetector
+        from repro.runtime import run_program
+
+        resolved = compile_source(self.RACY_READS)
+        plan = plan_instrumentation(
+            resolved, PlannerConfig(immutability_analysis=True)
+        )
+        detector = RaceDetector(resolved=resolved)
+        run_program(resolved, sink=detector, trace_sites=plan.trace_sites)
+        assert {r.field for r in detector.reports.reports} == {"mutable"}
+
+    def test_tsp2_city_coordinates_pruned(self):
+        from repro.workloads import BENCHMARKS
+
+        resolved = compile_source(BENCHMARKS["tsp2"].build(5))
+        result = analyze_static_races(resolved, immutability=True)
+        info = result.immutability
+        assert "x" in info.immutable_fields.get("CityInfo", ())
+        assert "y" in info.immutable_fields.get("CityInfo", ())
+        assert "visits" not in info.immutable_fields.get("CityInfo", ())

@@ -1,0 +1,108 @@
+"""Negative-path interpreter tests: every runtime error fires correctly."""
+
+import pytest
+
+from repro.lang import MJRuntimeError
+
+from ..conftest import run_source
+
+
+def expect_error(body: str, extra: str = "", fragment: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    with pytest.raises(MJRuntimeError) as excinfo:
+        run_source(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+class TestCallErrors:
+    def test_call_on_integer(self):
+        expect_error("var x = 1; x.m();", fragment="cannot call")
+
+    def test_call_on_null(self):
+        expect_error(
+            "var x = null; x.m();", fragment="null dereference"
+        )
+
+    def test_static_method_via_instance_rejected(self):
+        expect_error(
+            "var p = new P(); p.s();",
+            "class P { static def s() { } }",
+            fragment="no instance method",
+        )
+
+    def test_unknown_method_on_instance(self):
+        expect_error(
+            "var p = new P(); p.ghost();", "class P { }",
+            fragment="no instance method",
+        )
+
+    def test_arity_error_names_method(self):
+        error = expect_error(
+            "var p = new P(); p.m(1, 2, 3);",
+            "class P { def m(a) { } }",
+        )
+        assert "P.m" in str(error)
+
+
+class TestMemoryErrors:
+    def test_sync_on_integer(self):
+        expect_error("sync (5) { }", fragment="sync requires an object")
+
+    def test_sync_on_null(self):
+        expect_error("var x = null; sync (x) { }", fragment="sync requires")
+
+    def test_field_on_string(self):
+        expect_error('var s = "str"; print s.f;', fragment="cannot read")
+
+    def test_field_write_on_array(self):
+        expect_error(
+            "var a = newarray(2); a.f = 1;",
+            fragment="cannot write field",
+        )
+
+    def test_array_read_on_object(self):
+        expect_error(
+            "var p = new P(); print p[0];", "class P { }",
+            fragment="array read applied",
+        )
+
+    def test_array_write_on_null(self):
+        expect_error("var a = null; a[0] = 1;", fragment="null dereference")
+
+    def test_array_length_write_rejected(self):
+        expect_error(
+            "var a = newarray(2); a.length = 5;",
+            fragment="cannot write field",
+        )
+
+    def test_error_location_points_to_source(self):
+        error = expect_error("var x = null;\nprint x.f;", "class D { field f; }")
+        assert error.location is not None
+        assert error.location.line == 2
+
+
+class TestThreadErrors:
+    def test_start_on_null(self):
+        expect_error("var x = null; start x;", fragment="start requires")
+
+    def test_start_on_non_thread_value(self):
+        expect_error("start 5;", fragment="start requires")
+
+    def test_join_on_int(self):
+        expect_error("join 5;", fragment="join requires")
+
+    def test_start_class_with_static_run_rejected(self):
+        expect_error(
+            "var p = new P(); start p;",
+            "class P { static def run() { } }",
+            fragment="no 'run' method",
+        )
+
+    def test_errors_in_child_thread_propagate(self):
+        expect_error(
+            "var w = new W(); start w; join w;",
+            "class W { def run() { var x = null; print x.f; } }",
+            fragment="null dereference",
+        )

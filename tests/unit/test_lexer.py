@@ -1,0 +1,203 @@
+"""Unit tests for the MJ lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only_yields_eof(self):
+        assert kinds("  \t \n\r\n ") == [TokenKind.EOF]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT
+        assert token.value == 42
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_large_integer(self):
+        assert tokenize("123456789012345")[0].value == 123456789012345
+
+    def test_identifier(self):
+        token = tokenize("fooBar_12")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "fooBar_12"
+
+    def test_identifier_leading_underscore(self):
+        assert tokenize("_x")[0].kind is TokenKind.IDENT
+
+    @pytest.mark.parametrize(
+        "keyword,kind",
+        [
+            ("class", TokenKind.CLASS),
+            ("extends", TokenKind.EXTENDS),
+            ("field", TokenKind.FIELD),
+            ("static", TokenKind.STATIC),
+            ("def", TokenKind.DEF),
+            ("sync", TokenKind.SYNC),
+            ("var", TokenKind.VAR),
+            ("if", TokenKind.IF),
+            ("else", TokenKind.ELSE),
+            ("while", TokenKind.WHILE),
+            ("return", TokenKind.RETURN),
+            ("print", TokenKind.PRINT),
+            ("assert", TokenKind.ASSERT),
+            ("start", TokenKind.START),
+            ("join", TokenKind.JOIN),
+            ("new", TokenKind.NEW),
+            ("newarray", TokenKind.NEWARRAY),
+            ("true", TokenKind.TRUE),
+            ("false", TokenKind.FALSE),
+            ("null", TokenKind.NULL),
+            ("this", TokenKind.THIS),
+        ],
+    )
+    def test_keywords(self, keyword, kind):
+        assert tokenize(keyword)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        # "classes" starts with the keyword "class" but is an identifier.
+        assert tokenize("classes")[0].kind is TokenKind.IDENT
+
+    @pytest.mark.parametrize(
+        "op,kind",
+        [
+            ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE),
+            ("<=", TokenKind.LE),
+            (">=", TokenKind.GE),
+            ("&&", TokenKind.AND),
+            ("||", TokenKind.OR),
+            ("<", TokenKind.LT),
+            (">", TokenKind.GT),
+            ("=", TokenKind.ASSIGN),
+            ("!", TokenKind.NOT),
+            ("+", TokenKind.PLUS),
+            ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH),
+            ("%", TokenKind.PERCENT),
+        ],
+    )
+    def test_operators(self, op, kind):
+        assert tokenize(op)[0].kind is kind
+
+    def test_two_char_operator_beats_one_char(self):
+        # "<=" must not lex as "<" then "=".
+        assert kinds("a <= b")[:3] == [
+            TokenKind.IDENT,
+            TokenKind.LE,
+            TokenKind.IDENT,
+        ]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_empty_string(self):
+        assert tokenize('""')[0].value == ""
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\"d\\e"')[0].value == 'a\nb\tc"d\\e'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_invalid_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("1 // comment\n2") == [
+            TokenKind.INT,
+            TokenKind.INT,
+            TokenKind.EOF,
+        ]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("1 // trailing") == [TokenKind.INT, TokenKind.EOF]
+
+    def test_block_comment_skipped(self):
+        assert kinds("1 /* x\ny */ 2") == [
+            TokenKind.INT,
+            TokenKind.INT,
+            TokenKind.EOF,
+        ]
+
+    def test_block_comment_with_stars(self):
+        assert kinds("/* ** * */ 7") == [TokenKind.INT, TokenKind.EOF]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_propagates(self):
+        token = tokenize("x", filename="prog.mj")[0]
+        assert token.location.filename == "prog.mj"
+
+    def test_unexpected_character_reports_location(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a\n  @")
+        assert excinfo.value.location.line == 2
+        assert excinfo.value.location.column == 3
+
+
+class TestRealisticInput:
+    def test_method_declaration(self):
+        source = "sync def foo(a, b) { return a + b; }"
+        assert kinds(source) == [
+            TokenKind.SYNC,
+            TokenKind.DEF,
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.COMMA,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.LBRACE,
+            TokenKind.RETURN,
+            TokenKind.IDENT,
+            TokenKind.PLUS,
+            TokenKind.IDENT,
+            TokenKind.SEMI,
+            TokenKind.RBRACE,
+            TokenKind.EOF,
+        ]
+
+    def test_field_access_chain(self):
+        assert texts("a.b.c") == ["a", ".", "b", ".", "c"]

@@ -1,0 +1,235 @@
+"""Unit tests for the loop peeling transformation (Section 6.3)."""
+
+from repro.instrument import PlannerConfig, peel_loops, plan_instrumentation
+from repro.lang import ast, compile_source, render_program
+
+from ..conftest import run_source
+
+
+def compile_and_peel(body: str, extra: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    stats = peel_loops(resolved)
+    return resolved, stats
+
+
+class TestShape:
+    def test_loop_with_access_is_peeled(self):
+        resolved, stats = compile_and_peel(
+            "var p = new P(); var i = 0; "
+            "while (i < 3) { p.f = i; i = i + 1; }",
+            "class P { field f; }",
+        )
+        assert stats.loops_peeled == 1
+        # The loop statement is replaced by an if guarding peel + loop.
+        main_body = resolved.main_method.body.body
+        guard = next(s for s in main_body if isinstance(s, ast.If))
+        assert isinstance(guard.then_block.body[-1], ast.While)
+        assert guard.then_block.body[-1].peeled
+
+    def test_loop_without_accesses_not_peeled(self):
+        _, stats = compile_and_peel(
+            "var i = 0; while (i < 3) { i = i + 1; }"
+        )
+        assert stats.loops_peeled == 0
+
+    def test_nested_loops_peeled_inner_first(self):
+        resolved, stats = compile_and_peel(
+            "var p = new P(); var i = 0; "
+            "while (i < 3) { var j = 0; while (j < 3) { p.f = j; j = j + 1; } "
+            "i = i + 1; }",
+            "class P { field f; }",
+        )
+        # Inner loop peeled, then the outer (which now contains the
+        # peeled inner structure): 2 original loops peeled, plus the
+        # cloned inner loop inside the outer peel is already marked.
+        assert stats.loops_peeled == 2
+
+    def test_cloned_sites_get_fresh_ids_with_origins(self):
+        resolved, stats = compile_and_peel(
+            "var p = new P(); var i = 0; "
+            "while (i < 3) { p.f = i; i = i + 1; }",
+            "class P { field f; }",
+        )
+        assert stats.sites_cloned >= 1
+        clones = [
+            sid
+            for sid in resolved.sites
+            if resolved.origin_of(sid) != sid
+        ]
+        assert len(clones) == stats.sites_cloned
+        for clone in clones:
+            assert resolved.origin_of(clone) in resolved.sites
+
+    def test_cloned_sync_blocks_get_fresh_sync_ids(self):
+        resolved, _ = compile_and_peel(
+            "var p = new P(); var i = 0; "
+            "while (i < 3) { sync (p) { p.f = i; } i = i + 1; }",
+            "class P { field f; }",
+        )
+        sync_ids = [
+            node.sync_id
+            for node in resolved.main_method.body.walk()
+            if isinstance(node, ast.Sync)
+        ]
+        assert len(sync_ids) == len(set(sync_ids)) == 2
+
+    def test_peeling_is_idempotent(self):
+        resolved, first = compile_and_peel(
+            "var p = new P(); var i = 0; "
+            "while (i < 3) { p.f = i; i = i + 1; }",
+            "class P { field f; }",
+        )
+        second = peel_loops(resolved)
+        assert second.loops_peeled == 0
+
+    def test_rendered_output_reparses(self):
+        resolved, _ = compile_and_peel(
+            "var p = new P(); var i = 0; "
+            "while (i < 3) { p.f = i; i = i + 1; }",
+            "class P { field f; }",
+        )
+        text = render_program(resolved.program)
+        recompiled = compile_source(text)
+        assert recompiled is not None
+
+
+class TestSemanticsPreserved:
+    def kernel(self, n):
+        return f"""
+        class Main {{
+          static def main() {{
+            var p = new P();
+            p.f = 0;
+            var i = 0;
+            while (i < {n}) {{
+              p.f = p.f + i;
+              i = i + 1;
+            }}
+            print p.f;
+            print i;
+          }}
+        }}
+        class P {{ field f; }}
+        """
+
+    def test_same_output_after_peeling(self):
+        for n in (0, 1, 2, 7):
+            source = self.kernel(n)
+            plain = run_source(source).output
+            resolved = compile_source(source)
+            peel_loops(resolved)
+            from repro.runtime import run_program
+
+            peeled = run_program(resolved).output
+            assert peeled == plain
+
+    def test_condition_side_effects_preserved(self):
+        source = """
+        class Main {
+          static def main() {
+            var c = new Counter();
+            var i = 0;
+            while (c.tick() < 4) {
+              i = i + 1;
+            }
+            print c.n;
+            print i;
+          }
+        }
+        class Counter {
+          field n;
+          def init() { this.n = 0; }
+          def tick() { this.n = this.n + 1; return this.n; }
+        }
+        """
+        plain = run_source(source).output
+        resolved = compile_source(source)
+        peel_loops(resolved)
+        from repro.runtime import run_program
+
+        assert run_program(resolved).output == plain
+
+    def test_multithreaded_output_preserved(self):
+        source = """
+        class Main {
+          static def main() {
+            var s = new S();
+            s.total = 0;
+            var a = new W(s); var b = new W(s);
+            start a; start b; join a; join b;
+            print s.total;
+          }
+        }
+        class S { field total; }
+        class W {
+          field s;
+          def init(s) { this.s = s; }
+          def run() {
+            var i = 0;
+            while (i < 10) {
+              sync (this.s) { this.s.total = this.s.total + 1; }
+              i = i + 1;
+            }
+          }
+        }
+        """
+        plain = run_source(source, seed=3).output
+        resolved = compile_source(source)
+        peel_loops(resolved)
+        from repro.runtime import RandomPolicy, run_program
+
+        assert run_program(resolved, policy=RandomPolicy(3)).output == plain
+
+
+class TestPlannerIntegration:
+    def test_full_plan_removes_in_loop_trace(self):
+        source = """
+        class Main {
+          static def main() {
+            var shared = new P();
+            var w1 = new K(shared); var w2 = new K(shared);
+            start w1; start w2; join w1; join w2;
+          }
+        }
+        class P { field f; }
+        class K {
+          field a;
+          def init(shared) { this.a = shared; }
+          def run() {
+            var a = this.a;
+            var i = 0;
+            while (i < 50) { a.f = i; i = i + 1; }
+          }
+        }
+        """
+        resolved = compile_source(source)
+        plan = plan_instrumentation(resolved, PlannerConfig())
+        assert plan.stats.loops_peeled >= 1
+        assert plan.stats.sites_eliminated_weaker >= 1
+
+    def test_no_peeling_config_keeps_loop_trace(self):
+        source = """
+        class Main {
+          static def main() {
+            var shared = new P();
+            var w1 = new K(shared); var w2 = new K(shared);
+            start w1; start w2; join w1; join w2;
+          }
+        }
+        class P { field f; }
+        class K {
+          field a;
+          def init(shared) { this.a = shared; }
+          def run() {
+            var a = this.a;
+            var i = 0;
+            while (i < 50) { a.f = i; i = i + 1; }
+          }
+        }
+        """
+        resolved = compile_source(source)
+        plan = plan_instrumentation(
+            resolved, PlannerConfig(loop_peeling=False)
+        )
+        assert plan.stats.loops_peeled == 0

@@ -1,0 +1,172 @@
+"""Unit tests for AST → IR lowering."""
+
+from repro.analysis import ir, lower_program
+from repro.lang import compile_source
+
+
+def lower_main(body: str, extra: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    return lower_program(resolved)["Main.main"], resolved
+
+
+def instructions(function, cls):
+    return [i for _, _, i in function.instructions() if isinstance(i, cls)]
+
+
+class TestBasicLowering:
+    def test_constants_and_moves(self):
+        function, _ = lower_main("var x = 1; var y = x;")
+        assert instructions(function, ir.Const)
+        moves = instructions(function, ir.Move)
+        assert any(m.dest == "y" for m in moves)
+
+    def test_field_access_lowering(self):
+        function, resolved = lower_main(
+            "var p = new P(); p.f = 1; var v = p.f;", "class P { field f; }"
+        )
+        puts = instructions(function, ir.PutField)
+        gets = instructions(function, ir.GetField)
+        assert len(puts) == 1 and len(gets) == 1
+        assert puts[0].site_id in resolved.sites
+        assert gets[0].site_id in resolved.sites
+        assert puts[0].site_id != gets[0].site_id
+
+    def test_array_lowering(self):
+        function, _ = lower_main("var a = newarray(2); a[0] = 1; var v = a[1];")
+        assert instructions(function, ir.NewArr)
+        assert instructions(function, ir.AStore)
+        assert instructions(function, ir.ALoad)
+
+    def test_static_lowering(self):
+        function, _ = lower_main(
+            "G.c = 1; var v = G.c;", "class G { static field c; }"
+        )
+        assert instructions(function, ir.PutStatic)
+        assert instructions(function, ir.GetStatic)
+
+    def test_new_with_init_emits_invoke(self):
+        function, _ = lower_main(
+            "var p = new P(3);",
+            "class P { field v; def init(v) { this.v = v; } }",
+        )
+        invokes = instructions(function, ir.Invoke)
+        assert len(invokes) == 1
+        assert invokes[0].is_init
+        assert invokes[0].method_name == "init"
+
+    def test_new_without_init_emits_no_invoke(self):
+        function, _ = lower_main("var p = new P();", "class P { }")
+        assert not instructions(function, ir.Invoke)
+
+    def test_calls_are_barriers(self):
+        function, _ = lower_main(
+            "Util.f();", "class Util { static def f() { } }"
+        )
+        (invoke,) = instructions(function, ir.Invoke)
+        assert invoke.is_barrier
+        assert invoke.static_class == "Util"
+
+    def test_start_join_lowering(self):
+        function, _ = lower_main(
+            "var w = new W(); start w; join w;", "class W { def run() { } }"
+        )
+        assert instructions(function, ir.StartT)
+        assert instructions(function, ir.JoinT)
+        assert instructions(function, ir.StartT)[0].is_barrier
+
+
+class TestSyncContext:
+    def test_sync_emits_enter_exit_pair(self):
+        function, _ = lower_main(
+            "var p = new P(); sync (p) { p.f = 1; }", "class P { field f; }"
+        )
+        enters = instructions(function, ir.MonitorEnter)
+        exits = instructions(function, ir.MonitorExit)
+        assert len(enters) == len(exits) == 1
+        assert enters[0].sync_id == exits[0].sync_id
+
+    def test_sync_stack_annotation(self):
+        function, _ = lower_main(
+            "var p = new P(); var q = new P(); "
+            "sync (p) { sync (q) { p.f = 1; } p.f = 2; } p.f = 3;",
+            "class P { field f; }",
+        )
+        puts = instructions(function, ir.PutField)
+        depths = sorted(len(put.sync_stack) for put in puts)
+        assert depths == [0, 1, 2]
+        inner = max(puts, key=lambda p: len(p.sync_stack))
+        outer = [p for p in puts if len(p.sync_stack) == 1][0]
+        # Nesting: the outer block's id prefixes the inner stack.
+        assert inner.sync_stack[: 1] == outer.sync_stack
+
+    def test_monitor_enter_carries_enclosing_stack(self):
+        function, _ = lower_main(
+            "var p = new P(); sync (p) { sync (p) { } }", "class P { field f; }"
+        )
+        enters = instructions(function, ir.MonitorEnter)
+        stacks = sorted(len(e.sync_stack) for e in enters)
+        # The outer enter sits at depth 0, the inner at depth 1.
+        assert stacks == [0, 1]
+
+    def test_sync_method_normalization_reaches_ir(self):
+        source = (
+            "class Main { static def main() { } }\n"
+            "class A { field f; sync def m() { this.f = 1; } }"
+        )
+        resolved = compile_source(source)
+        function = lower_program(resolved)["A.m"]
+        (put,) = instructions(function, ir.PutField)
+        assert len(put.sync_stack) == 1
+
+
+class TestLoopDepth:
+    def test_loop_depth_annotation(self):
+        function, _ = lower_main(
+            "var p = new P(); p.f = 0; var i = 0; "
+            "while (i < 2) { p.f = 1; var j = 0; "
+            "while (j < 2) { p.f = 2; j = j + 1; } i = i + 1; }",
+            "class P { field f; }",
+        )
+        puts = instructions(function, ir.PutField)
+        assert sorted(p.loop_depth for p in puts) == [0, 1, 2]
+
+    def test_loop_condition_counts_as_inside(self):
+        function, _ = lower_main(
+            "var p = new P(); p.f = 1; while (p.f < 3) { p.f = p.f + 1; }",
+            "class P { field f; }",
+        )
+        gets = instructions(function, ir.GetField)
+        # The condition read executes once per iteration: depth 1.
+        assert any(g.loop_depth == 1 for g in gets)
+
+    def test_alloc_in_loop_depth(self):
+        function, _ = lower_main(
+            "var i = 0; while (i < 2) { var p = new P(); i = i + 1; }",
+            "class P { }",
+        )
+        (new_obj,) = instructions(function, ir.NewObj)
+        assert new_obj.loop_depth == 1
+
+
+class TestControlFlowShape:
+    def test_return_ends_block(self):
+        function, _ = lower_main("return; print 1;")
+        rets = instructions(function, ir.Ret)
+        assert rets  # At least the explicit one.
+
+    def test_short_circuit_produces_branches(self):
+        function, _ = lower_main("var x = true && false; print x;")
+        branching = [b for b in function.blocks if b.branch_reg is not None]
+        assert branching
+
+    def test_every_block_terminates_well(self):
+        function, _ = lower_main(
+            "var i = 0; if (i < 1) { i = 2; } else { i = 3; } "
+            "while (i < 5) { i = i + 1; }"
+        )
+        for block in function.blocks:
+            if block.branch_reg is not None:
+                assert len(block.successors) == 2
+            else:
+                assert len(block.successors) <= 1

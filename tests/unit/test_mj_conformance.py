@@ -1,0 +1,179 @@
+"""Table-driven MJ conformance suite: program → expected output.
+
+Each case is a complete program and its exact printed output under the
+deterministic default scheduler.  These pin the language semantics the
+rest of the reproduction rests on.
+"""
+
+import pytest
+
+from ..conftest import run_source
+
+CASES = [
+    # --- arithmetic and operators ------------------------------------
+    ("int-arith", "print 2 + 3 * 4 - 1;", ["13"]),
+    ("division-truncates", "print 9 / 2; print (0 - 9) / 2;", ["4", "-4"]),
+    ("modulo-java-sign", "print 9 % 4; print (0 - 9) % 4;", ["1", "-1"]),
+    ("comparison-chain", "print 1 < 2; print 2 <= 1;", ["true", "false"]),
+    ("equality-mixed", "print 1 == 1; print 1 != 2;", ["true", "true"]),
+    ("unary", "print -3; print !false;", ["-3", "true"]),
+    ("precedence-parens", "print (2 + 3) * (4 - 2);", ["10"]),
+    ("bool-ops", "print true && false || true;", ["true"]),
+    (
+        "short-circuit-order",
+        "var x = 0; print false && (1 / x == 0); print true || (1 / x == 0);",
+        ["false", "true"],
+    ),
+    # --- strings -------------------------------------------------------
+    ("string-concat", 'print "a" + "b" + "c";', ["abc"]),
+    ("string-int-concat", 'print "n=" + (1 + 2);', ["n=3"]),
+    ("string-eq", 'print "x" == "x"; print "x" == "y";', ["true", "false"]),
+    ("string-escapes", r'print "a\tb";', ["a\tb"]),
+    # --- control flow ----------------------------------------------------
+    ("if-else-chain",
+     "var n = 5; if (n < 3) { print 1; } else if (n < 7) { print 2; } "
+     "else { print 3; }",
+     ["2"]),
+    ("while-sum",
+     "var i = 0; var s = 0; while (i < 10) { s = s + i; i = i + 1; } print s;",
+     ["45"]),
+    ("nested-loops",
+     "var c = 0; var i = 0; while (i < 3) { var j = 0; "
+     "while (j < 3) { c = c + 1; j = j + 1; } i = i + 1; } print c;",
+     ["9"]),
+    ("loop-never-entered",
+     "var i = 9; while (i < 3) { i = 100; } print i;",
+     ["9"]),
+    # --- objects ----------------------------------------------------------
+    ("field-defaults", "var p = new Pair(); print p.a; print p.b;", ["null", "null"]),
+    ("constructor-order",
+     "var p = new Pair2(1, 2); print p.a; print p.b;",
+     ["1", "2"]),
+    ("aliasing",
+     "var p = new Pair(); var q = p; p.a = 7; print q.a;",
+     ["7"]),
+    ("null-checks",
+     "var p = new Pair(); print p.a == null; p.a = 0; print p.a == null;",
+     ["true", "false"]),
+    ("method-return",
+     "var c = new Calc(); print c.add(20, 22);",
+     ["42"]),
+    ("this-dispatch",
+     "var c = new Calc(); print c.twiceAdd(10, 11);",
+     ["42"]),
+    ("inheritance-override",
+     "var d = new Derived(); print d.describe(); var b = new Base2(); "
+     "print b.describe();",
+     ["derived", "base"]),
+    ("inherited-field",
+     "var d = new Derived(); d.tag = 5; print d.tag;",
+     ["5"]),
+    ("recursion-fib",
+     "print Fib.of(10);",
+     ["55"]),
+    # --- arrays ------------------------------------------------------------
+    ("array-sum",
+     "var a = newarray(5); var i = 0; while (i < 5) { a[i] = i * i; "
+     "i = i + 1; } var s = 0; i = 0; while (i < 5) { s = s + a[i]; "
+     "i = i + 1; } print s;",
+     ["30"]),
+    ("array-of-objects",
+     "var a = newarray(2); a[0] = new Pair(); a[0].a = 3; print a[0].a;",
+     ["3"]),
+    ("array-length-expr",
+     "var a = newarray(7); print a.length - 2;",
+     ["5"]),
+    # --- statics ------------------------------------------------------------
+    ("static-counter",
+     "Counter.n = 0; Counter.bump(); Counter.bump(); print Counter.n;",
+     ["2"]),
+    ("static-method-args",
+     "print MathUtil.max(3, 9); print MathUtil.max(9, 3);",
+     ["9", "9"]),
+    # --- threads -------------------------------------------------------------
+    ("thread-result",
+     "var w = new Doubler(21); start w; join w; print w.result;",
+     ["42"]),
+    ("two-threads-locked",
+     "var acc = new Acc(); var x = new Adder(acc, 10); "
+     "var y = new Adder(acc, 32); start x; start y; join x; join y; "
+     "print acc.total;",
+     ["42"]),
+    ("sync-method-on-shared",
+     "var acc = new Acc(); acc.bump(); acc.bump(); print acc.total;",
+     ["2"]),
+]
+
+SUPPORT = """
+class Pair { field a; field b; }
+class Pair2 {
+  field a; field b;
+  def init(a, b) { this.a = a; this.b = b; }
+}
+class Calc {
+  def add(x, y) { return x + y; }
+  def twiceAdd(x, y) { return add(x, y) * 2; }
+}
+class Base2 {
+  field tag;
+  def describe() { return "base"; }
+}
+class Derived extends Base2 {
+  def describe() { return "derived"; }
+}
+class Fib {
+  static def of(n) {
+    if (n < 2) { return n; }
+    return Fib.of(n - 1) + Fib.of(n - 2);
+  }
+}
+class Counter {
+  static field n;
+  static def bump() { Counter.n = Counter.n + 1; }
+}
+class MathUtil {
+  static def max(a, b) {
+    if (a > b) { return a; }
+    return b;
+  }
+}
+class Doubler {
+  field input; field result;
+  def init(input) { this.input = input; this.result = 0; }
+  def run() { this.result = this.input * 2; }
+}
+class Acc {
+  field total;
+  def init() { this.total = 0; }
+  sync def bump() { this.total = this.total + 1; }
+}
+class Adder {
+  field acc; field amount;
+  def init(acc, amount) { this.acc = acc; this.amount = amount; }
+  def run() {
+    sync (this.acc) { this.acc.total = this.acc.total + this.amount; }
+  }
+}
+"""
+
+
+@pytest.mark.parametrize(
+    "body,expected", [(body, exp) for _, body, exp in CASES],
+    ids=[name for name, _, _ in CASES],
+)
+def test_conformance(body, expected):
+    source = (
+        "class Main { static def main() { " + body + " } }\n" + SUPPORT
+    )
+    assert run_source(source).output == expected
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_conformance_race_free_cases_schedule_independent(seed):
+    """The threaded cases print the same values under random seeds."""
+    threaded = [case for case in CASES if "thread" in case[0] or "locked" in case[0]]
+    for name, body, expected in threaded:
+        source = (
+            "class Main { static def main() { " + body + " } }\n" + SUPPORT
+        )
+        assert run_source(source, seed=seed).output == expected, name

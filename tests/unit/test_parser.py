@@ -1,0 +1,236 @@
+"""Unit tests for the MJ parser."""
+
+import pytest
+
+from repro.lang import ParseError, ast, parse
+
+
+def parse_stmts(body: str):
+    program = parse(
+        "class Main { static def main() { " + body + " } }"
+    )
+    return program.classes[0].methods[0].body.body
+
+
+def parse_expr(expr: str):
+    stmt = parse_stmts("var x = " + expr + ";")[0]
+    return stmt.init
+
+
+class TestClassDeclarations:
+    def test_empty_class(self):
+        program = parse("class A { }")
+        assert len(program.classes) == 1
+        assert program.classes[0].name == "A"
+        assert program.classes[0].superclass is None
+
+    def test_extends(self):
+        program = parse("class A { } class B extends A { }")
+        assert program.classes[1].superclass == "A"
+
+    def test_fields(self):
+        program = parse("class A { field x; static field y; }")
+        fields = program.classes[0].fields
+        assert [f.name for f in fields] == ["x", "y"]
+        assert [f.is_static for f in fields] == [False, True]
+
+    def test_method_modifiers(self):
+        program = parse(
+            "class A { def a() { } sync def b() { } "
+            "static def c() { } static sync def d() { } }"
+        )
+        methods = program.classes[0].methods
+        assert [(m.is_sync, m.is_static) for m in methods] == [
+            (False, False),
+            (True, False),
+            (False, True),
+            (True, True),
+        ]
+
+    def test_method_params(self):
+        program = parse("class A { def m(p, q, r) { } }")
+        assert program.classes[0].methods[0].params == ["p", "q", "r"]
+
+    def test_missing_brace_raises(self):
+        with pytest.raises(ParseError):
+            parse("class A {")
+
+    def test_stray_token_raises(self):
+        with pytest.raises(ParseError):
+            parse("class A { } ;")
+
+
+class TestStatements:
+    def test_var_decl(self):
+        (stmt,) = parse_stmts("var x = 1;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.name == "x"
+
+    def test_local_assignment(self):
+        stmts = parse_stmts("var x = 1; x = 2;")
+        assert isinstance(stmts[1], ast.AssignLocal)
+
+    def test_field_write(self):
+        (stmt,) = parse_stmts("this.f = 1;")
+        assert isinstance(stmt, ast.FieldWrite)
+        assert stmt.field_name == "f"
+
+    def test_array_write(self):
+        (stmt,) = parse_stmts("a[0] = 1;")
+        assert isinstance(stmt, ast.ArrayWrite)
+
+    def test_nested_lvalue(self):
+        (stmt,) = parse_stmts("a.b.c = 1;")
+        assert isinstance(stmt, ast.FieldWrite)
+        assert stmt.field_name == "c"
+        assert isinstance(stmt.obj, ast.FieldRead)
+
+    def test_if_without_else(self):
+        (stmt,) = parse_stmts("if (true) { return; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_block is None
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts("if (true) { } else { }")
+        assert stmt.else_block is not None
+
+    def test_else_if_chain(self):
+        (stmt,) = parse_stmts("if (true) { } else if (false) { } else { }")
+        nested = stmt.else_block.body[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_block is not None
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while (true) { }")
+        assert isinstance(stmt, ast.While)
+
+    def test_sync(self):
+        (stmt,) = parse_stmts("sync (this) { }")
+        assert isinstance(stmt, ast.Sync)
+
+    def test_start_join(self):
+        stmts = parse_stmts("start t; join t;")
+        assert isinstance(stmts[0], ast.Start)
+        assert isinstance(stmts[1], ast.Join)
+
+    def test_return_value_and_void(self):
+        stmts = parse_stmts("return 1; return;")
+        assert stmts[0].value is not None
+        assert stmts[1].value is None
+
+    def test_print_and_assert(self):
+        stmts = parse_stmts("print 1; assert true;")
+        assert isinstance(stmts[0], ast.Print)
+        assert isinstance(stmts[1], ast.Assert)
+
+    def test_call_statement(self):
+        (stmt,) = parse_stmts("foo();")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+    def test_non_call_expression_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("1 + 2;")
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("foo() = 1;")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_stmts("var x = 1")
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert isinstance(parse_expr("42"), ast.IntLiteral)
+        assert isinstance(parse_expr("true"), ast.BoolLiteral)
+        assert isinstance(parse_expr("false"), ast.BoolLiteral)
+        assert isinstance(parse_expr("null"), ast.NullLiteral)
+        assert isinstance(parse_expr('"s"'), ast.StringLiteral)
+        assert isinstance(parse_expr("this"), ast.ThisRef)
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_add_over_compare(self):
+        expr = parse_expr("1 + 2 < 3")
+        assert expr.op == "<"
+
+    def test_precedence_compare_over_equality(self):
+        expr = parse_expr("1 < 2 == true")
+        assert expr.op == "=="
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("1 - 2 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_operators(self):
+        assert parse_expr("!x").op == "!"
+        assert parse_expr("-x").op == "-"
+        nested = parse_expr("!!x")
+        assert nested.operand.op == "!"
+
+    def test_new_with_args(self):
+        expr = parse_expr("new Point(1, 2)")
+        assert isinstance(expr, ast.New)
+        assert expr.class_name == "Point"
+        assert len(expr.args) == 2
+
+    def test_newarray(self):
+        expr = parse_expr("newarray(10)")
+        assert isinstance(expr, ast.NewArray)
+
+    def test_field_read_chain(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, ast.FieldRead)
+        assert expr.field_name == "c"
+        assert isinstance(expr.obj, ast.FieldRead)
+
+    def test_array_read(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.ArrayRead)
+        assert isinstance(expr.index, ast.Binary)
+
+    def test_method_call_with_receiver(self):
+        expr = parse_expr("obj.m(1)")
+        assert isinstance(expr, ast.Call)
+        assert expr.method_name == "m"
+        assert expr.receiver is not None
+
+    def test_bare_call(self):
+        expr = parse_expr("m()")
+        assert isinstance(expr, ast.Call)
+        assert expr.receiver is None
+
+    def test_chained_calls(self):
+        expr = parse_expr("a.b().c()")
+        assert expr.method_name == "c"
+        assert expr.receiver.method_name == "b"
+
+    def test_call_then_field(self):
+        expr = parse_expr("a.b().f")
+        assert isinstance(expr, ast.FieldRead)
+        assert isinstance(expr.obj, ast.Call)
+
+    def test_mixed_postfix(self):
+        expr = parse_expr("a.rows[1].data")
+        assert isinstance(expr, ast.FieldRead)
+        assert isinstance(expr.obj, ast.ArrayRead)
+
+    def test_unclosed_paren_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")

@@ -1,0 +1,178 @@
+"""Unit tests for the points-to analysis and on-the-fly call graph."""
+
+from repro.analysis import (
+    ObjectCategory,
+    analyze_points_to,
+    local_node,
+)
+from repro.lang import compile_source
+
+
+def analyze(body: str, extra: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    return resolved, analyze_points_to(resolved)
+
+
+def class_names(pts_set):
+    return sorted(obj.class_name for obj in pts_set)
+
+
+class TestBasicPointsTo:
+    def test_allocation_flows_to_local(self):
+        _, pts = analyze("var p = new P();", "class P { }")
+        objs = pts.may_point_to_register("Main.main", "p")
+        assert class_names(objs) == ["P"]
+
+    def test_copy_propagates(self):
+        _, pts = analyze("var p = new P(); var q = p;", "class P { }")
+        assert class_names(pts.may_point_to_register("Main.main", "q")) == ["P"]
+
+    def test_distinct_allocation_sites_distinct_objects(self):
+        _, pts = analyze("var p = new P(); var q = new P();", "class P { }")
+        p_objs = pts.may_point_to_register("Main.main", "p")
+        q_objs = pts.may_point_to_register("Main.main", "q")
+        assert p_objs != q_objs
+
+    def test_field_store_then_load(self):
+        _, pts = analyze(
+            "var box = new Box(); box.item = new P(); var got = box.item;",
+            "class Box { field item; } class P { }",
+        )
+        assert class_names(pts.may_point_to_register("Main.main", "got")) == ["P"]
+
+    def test_array_store_then_load(self):
+        _, pts = analyze(
+            "var a = newarray(2); a[0] = new P(); var got = a[1];",
+            "class P { }",
+        )
+        # One location per array: any element load sees any stored object.
+        assert class_names(pts.may_point_to_register("Main.main", "got")) == ["P"]
+
+    def test_static_field_flow(self):
+        _, pts = analyze(
+            "G.holder = new P(); var got = G.holder;",
+            "class G { static field holder; } class P { }",
+        )
+        assert class_names(pts.may_point_to_register("Main.main", "got")) == ["P"]
+
+    def test_merging_over_branches(self):
+        _, pts = analyze(
+            "var p = new A(); if (true) { p = new B(); }",
+            "class A { } class B { }",
+        )
+        assert class_names(pts.may_point_to_register("Main.main", "p")) == ["A", "B"]
+
+
+class TestCalls:
+    def test_static_call_params_and_return(self):
+        _, pts = analyze(
+            "var got = Util.pass(new P());",
+            "class Util { static def pass(x) { return x; } } class P { }",
+        )
+        assert class_names(pts.may_point_to_register("Main.main", "got")) == ["P"]
+
+    def test_instance_call_binds_this(self):
+        _, pts = analyze(
+            "var p = new P(); p.me();",
+            "class P { def me() { return this; } }",
+        )
+        this_objs = pts.may_point_to_register("P.me", "this")
+        assert class_names(this_objs) == ["P"]
+
+    def test_dispatch_by_receiver_class(self):
+        _, pts = analyze(
+            "var a = new A(); var b = new B(); a.m(); b.m();",
+            "class A { def m() { } } class B { def m() { } }",
+        )
+        callees = pts.callees_of("Main.main")
+        assert {"A.m", "B.m"} <= callees
+
+    def test_receiver_filtered_dispatch(self):
+        # Only classes actually flowing to the receiver produce edges.
+        _, pts = analyze(
+            "var a = new A(); a.m();",
+            "class A { def m() { } } class B { def m() { } }",
+        )
+        assert "B.m" not in pts.callees_of("Main.main")
+
+    def test_only_reachable_methods_analyzed(self):
+        _, pts = analyze(
+            "var a = new A(); a.m();",
+            "class A { def m() { } def dead() { } }",
+        )
+        assert "A.dead" not in pts.reachable_methods
+
+    def test_init_edge_recorded(self):
+        _, pts = analyze(
+            "var p = new P(1);",
+            "class P { field x; def init(v) { this.x = v; } }",
+        )
+        init_edges = [e for e in pts.call_edges if e.is_init]
+        assert len(init_edges) == 1
+        assert init_edges[0].callee == "P.init"
+
+    def test_override_dispatch(self):
+        _, pts = analyze(
+            "var b = new B(); b.m();",
+            "class A { def m() { } } class B extends A { def m() { } }",
+        )
+        assert pts.callees_of("Main.main") >= {"B.m"}
+        assert "A.m" not in pts.callees_of("Main.main")
+
+
+class TestStartEdges:
+    SOURCE = (
+        "class W { field item; def run() { var x = this.item; } }"
+    )
+
+    def test_start_creates_edge_and_binds_this(self):
+        _, pts = analyze(
+            "var w = new W(); start w; join w;", self.SOURCE
+        )
+        assert len(pts.start_edges) == 1
+        edge = pts.start_edges[0]
+        assert edge.run_method == "W.run"
+        assert edge.thread_object.class_name == "W"
+        this_objs = pts.may_point_to_register("W.run", "this")
+        assert class_names(this_objs) == ["W"]
+
+    def test_run_reachable_via_start_only(self):
+        _, pts = analyze("var w = new W(); start w;", self.SOURCE)
+        assert "W.run" in pts.reachable_methods
+
+    def test_start_edge_records_loop_depth(self):
+        _, pts = analyze(
+            "var i = 0; while (i < 2) { var w = new W(); start w; i = i + 1; }",
+            self.SOURCE,
+        )
+        assert pts.start_edges[0].loop_depth == 1
+
+
+class TestSiteBases:
+    def test_site_objects_for_field_access(self):
+        resolved, pts = analyze(
+            "var p = new P(); p.f = 1;", "class P { field f; }"
+        )
+        (write_site,) = [
+            s for s in resolved.sites.values() if s.access_kind.value == "WRITE"
+        ]
+        objs = pts.site_objects(write_site.site_id)
+        assert class_names(objs) == ["P"]
+
+    def test_static_site_objects_are_class_objects(self):
+        resolved, pts = analyze(
+            "C.x = 1;", "class C { static field x; }"
+        )
+        (site_id,) = resolved.sites
+        (obj,) = pts.site_objects(site_id)
+        assert obj.category is ObjectCategory.CLASS
+
+    def test_sync_stack_recorded_on_sites(self):
+        resolved, pts = analyze(
+            "var p = new P(); sync (p) { p.f = 1; }", "class P { field f; }"
+        )
+        write = next(
+            s for s in pts.site_bases.values() if s.is_write
+        )
+        assert len(write.sync_stack) == 1

@@ -1,0 +1,124 @@
+"""Unit tests for report rendering, configs, and error types."""
+
+import pytest
+
+from repro.detector import DetectorConfig
+from repro.detector.report import RaceReport, ReportCollector, _render_lockset
+from repro.detector.trie import PriorAccess
+from repro.detector.weaker import THREAD_BOTTOM
+from repro.instrument import PlannerConfig
+from repro.lang.ast import AccessKind
+from repro.lang.errors import (
+    MJError,
+    ParseError,
+    SourceLocation,
+)
+from repro.runtime.events import AccessEvent, MemoryLocation, ObjectKind
+
+
+def make_report(prior_thread=1, prior_locks=frozenset({5}),
+                current_locks=frozenset()):
+    event = AccessEvent(
+        location=MemoryLocation(9, "balance"),
+        thread_id=2,
+        kind=AccessKind.WRITE,
+        site_id=3,
+        object_kind=ObjectKind.INSTANCE,
+        object_label="Account#9",
+    )
+    return RaceReport(
+        key=event.location,
+        field="balance",
+        object_label="Account#9",
+        current=event,
+        current_lockset=current_locks,
+        prior=PriorAccess(
+            thread=prior_thread, lockset=prior_locks, kind=AccessKind.READ
+        ),
+        site_descriptor="write of .balance in Bank.move at bank.mj:10:3",
+    )
+
+
+class TestLocksetRendering:
+    def test_empty(self):
+        assert _render_lockset(frozenset()) == "{}"
+
+    def test_real_locks(self):
+        assert _render_lockset(frozenset({3, 1})) == "{L1, L3}"
+
+    def test_pseudo_locks(self):
+        assert _render_lockset(frozenset({-1, -3})) == "{S2, S0}"
+
+    def test_mixed(self):
+        assert _render_lockset(frozenset({7, -2})) == "{S1, L7}"
+
+
+class TestRaceReport:
+    def test_describe_known_thread(self):
+        text = make_report().describe()
+        assert "DATARACE on Account#9.balance" in text
+        assert "thread 2 write" in text
+        assert "read by thread 1" in text
+        assert "{L5}" in text
+        assert "bank.mj:10:3" in text
+
+    def test_describe_merged_thread(self):
+        text = make_report(prior_thread=THREAD_BOTTOM).describe()
+        assert "some earlier thread(s)" in text
+
+    def test_collector_aggregation(self):
+        collector = ReportCollector()
+        collector.add(make_report())
+        collector.add(make_report())
+        assert len(collector.reports) == 2
+        assert collector.object_count == 1
+        assert collector.location_count == 1
+        assert ("Account#9", "balance") in collector.racy_fields
+        assert 3 in collector.racy_sites
+
+    def test_describe_all_joins_lines(self):
+        collector = ReportCollector()
+        collector.add(make_report())
+        assert collector.describe_all().count("DATARACE") == 1
+
+
+class TestConfigs:
+    def test_detector_config_but(self):
+        base = DetectorConfig()
+        variant = base.but(cache=False, fields_merged=True)
+        assert not variant.cache
+        assert variant.fields_merged
+        assert base.cache  # Original untouched (frozen dataclass).
+
+    def test_planner_config_but(self):
+        base = PlannerConfig()
+        variant = base.but(loop_peeling=False)
+        assert not variant.loop_peeling
+        assert base.loop_peeling
+
+    def test_configs_hashable(self):
+        assert len({DetectorConfig(), DetectorConfig(cache=False)}) == 2
+
+
+class TestErrors:
+    def test_source_location_str(self):
+        loc = SourceLocation(3, 14, "x.mj")
+        assert str(loc) == "x.mj:3:14"
+
+    def test_source_location_ordering(self):
+        a = SourceLocation(1, 5)
+        b = SourceLocation(2, 1)
+        assert a < b
+
+    def test_error_message_includes_location(self):
+        error = ParseError("bad token", SourceLocation(7, 2, "p.mj"))
+        assert "p.mj:7:2" in str(error)
+        assert error.location.line == 7
+
+    def test_error_without_location(self):
+        error = MJError("plain")
+        assert str(error) == "plain"
+        assert error.location is None
+
+    def test_error_hierarchy(self):
+        assert issubclass(ParseError, MJError)

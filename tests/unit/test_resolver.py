@@ -1,0 +1,270 @@
+"""Unit tests for the MJ resolver (semantic analysis)."""
+
+import pytest
+
+from repro.lang import ResolveError, ast, compile_source
+
+
+def wrap(body: str, extra_classes: str = "") -> str:
+    return (
+        "class Main { static def main() { " + body + " } }\n" + extra_classes
+    )
+
+
+class TestClassTable:
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source("class A { } class A { } class Main { static def main() { } }")
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source("class A extends B { } class Main { static def main() { } }")
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                "class A extends B { } class B extends A { } "
+                "class Main { static def main() { } }"
+            )
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                "class A { field x; field x; } "
+                "class Main { static def main() { } }"
+            )
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                "class A { def m() { } def m() { } } "
+                "class Main { static def main() { } }"
+            )
+
+    def test_inherited_method_resolution(self):
+        resolved = compile_source(
+            "class A { def m() { return 1; } } class B extends A { } "
+            "class Main { static def main() { } }"
+        )
+        info = resolved.class_info("B")
+        assert info.resolve_method("m").class_name == "A"
+
+    def test_method_override(self):
+        resolved = compile_source(
+            "class A { def m() { return 1; } } "
+            "class B extends A { def m() { return 2; } } "
+            "class Main { static def main() { } }"
+        )
+        assert resolved.class_info("B").resolve_method("m").class_name == "B"
+
+    def test_inherited_instance_fields(self):
+        resolved = compile_source(
+            "class A { field x; } class B extends A { field y; } "
+            "class Main { static def main() { } }"
+        )
+        assert set(resolved.class_info("B").instance_fields()) == {"x", "y"}
+
+    def test_static_field_owner_in_chain(self):
+        resolved = compile_source(
+            "class A { static field c; } class B extends A { } "
+            "class Main { static def main() { } }"
+        )
+        assert resolved.class_info("B").static_field_owner("c").name == "A"
+
+    def test_thread_class_detection(self):
+        resolved = compile_source(
+            "class T { def run() { } } class N { } "
+            "class Main { static def main() { } }"
+        )
+        assert resolved.class_info("T").is_thread_class
+        assert not resolved.class_info("N").is_thread_class
+
+
+class TestMainEntryPoint:
+    def test_missing_main_class_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source("class A { }")
+
+    def test_non_static_main_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source("class Main { def main() { } }")
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source("class Main { static def main(x) { } }")
+
+
+class TestScoping:
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(wrap("print ghost;"))
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(wrap("var x = 1; var x = 2;"))
+
+    def test_shadowing_in_nested_block_rejected(self):
+        # MJ forbids shadowing across nested scopes too.
+        with pytest.raises(ResolveError):
+            compile_source(wrap("var x = 1; if (true) { var x = 2; }"))
+
+    def test_sibling_blocks_may_reuse_names(self):
+        compile_source(
+            wrap("if (true) { var x = 1; } else { var x = 2; }")
+        )
+
+    def test_assignment_to_undeclared_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(wrap("x = 1;"))
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                "class A { def m(p, p) { } } "
+                "class Main { static def main() { } }"
+            )
+
+    def test_this_in_static_method_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(wrap("print this.f;"))
+
+
+class TestStaticMemberRewriting:
+    def test_static_field_read_rewritten(self):
+        resolved = compile_source(
+            wrap("var v = Counter.total;", "class Counter { static field total; }")
+        )
+        stmt = resolved.main_method.body.body[0]
+        assert isinstance(stmt.init, ast.StaticFieldRead)
+        assert stmt.init.class_name == "Counter"
+
+    def test_static_field_write_rewritten(self):
+        resolved = compile_source(
+            wrap("Counter.total = 3;", "class Counter { static field total; }")
+        )
+        stmt = resolved.main_method.body.body[0]
+        assert isinstance(stmt, ast.StaticFieldWrite)
+
+    def test_local_shadows_class_name(self):
+        # A local named like a class wins over the class.
+        resolved = compile_source(
+            wrap(
+                "var Counter = new Box(); var v = Counter.total;",
+                "class Counter { static field total; } class Box { field total; }",
+            )
+        )
+        stmt = resolved.main_method.body.body[1]
+        assert isinstance(stmt.init, ast.FieldRead)
+
+    def test_unknown_static_field_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                wrap("var v = Counter.ghost;", "class Counter { static field total; }")
+            )
+
+    def test_static_call_rewritten(self):
+        resolved = compile_source(
+            wrap("var v = Util.f(1);", "class Util { static def f(x) { return x; } }")
+        )
+        call = resolved.main_method.body.body[0].init
+        assert call.is_static
+        assert call.static_class == "Util"
+
+    def test_instance_method_via_class_name_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                wrap("Util.f();", "class Util { def f() { } }")
+            )
+
+
+class TestBareCalls:
+    def test_bare_call_binds_to_this(self):
+        resolved = compile_source(
+            "class A { def helper() { } def m() { helper(); } } "
+            "class Main { static def main() { } }"
+        )
+        method = resolved.class_info("A").own_methods["m"]
+        call = method.body.body[0].expr
+        assert isinstance(call.receiver, ast.ThisRef)
+
+    def test_bare_call_binds_to_static(self):
+        resolved = compile_source(
+            "class Main { static def helper() { } "
+            "static def main() { helper(); } }"
+        )
+        call = resolved.main_method.body.body[0].expr
+        assert call.is_static
+
+    def test_instance_call_from_static_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(
+                "class Main { def helper() { } static def main() { helper(); } }"
+            )
+
+    def test_unknown_bare_call_rejected(self):
+        with pytest.raises(ResolveError):
+            compile_source(wrap("ghost();"))
+
+
+class TestIdAssignment:
+    def test_every_access_gets_unique_site_id(self):
+        resolved = compile_source(
+            wrap(
+                "var p = new P(); p.x = 1; var v = p.x; "
+                "var a = newarray(3); a[0] = v; var w = a[0];",
+                "class P { field x; }",
+            )
+        )
+        site_ids = list(resolved.sites)
+        assert len(site_ids) == len(set(site_ids))
+        assert len(site_ids) == 4  # p.x write, p.x read, a[0] write, a[0] read.
+
+    def test_site_info_records_kind(self):
+        resolved = compile_source(
+            wrap("var p = new P(); p.x = 1; var v = p.x;", "class P { field x; }")
+        )
+        kinds = sorted(
+            (info.field_name, info.access_kind.value)
+            for info in resolved.sites.values()
+        )
+        assert kinds == [("x", "READ"), ("x", "WRITE")]
+
+    def test_sync_method_normalized_to_sync_block(self):
+        resolved = compile_source(
+            "class A { sync def m() { return 1; } } "
+            "class Main { static def main() { } }"
+        )
+        method = resolved.class_info("A").own_methods["m"]
+        sync = method.body.body[0]
+        assert isinstance(sync, ast.Sync)
+        assert isinstance(sync.lock, ast.ThisRef)
+        assert sync.sync_id is not None
+
+    def test_static_sync_method_locks_class_object(self):
+        resolved = compile_source(
+            "class A { static sync def m() { } } "
+            "class Main { static def main() { } }"
+        )
+        method = resolved.class_info("A").own_methods["m"]
+        sync = method.body.body[0]
+        assert isinstance(sync.lock, ast.ClassRef)
+        assert sync.lock.class_name == "A"
+
+    def test_alloc_ids_assigned(self):
+        resolved = compile_source(
+            wrap("var p = new P(); var a = newarray(2);", "class P { }")
+        )
+        allocs = [
+            node.alloc_id
+            for node in resolved.main_method.body.walk()
+            if isinstance(node, (ast.New, ast.NewArray))
+        ]
+        assert None not in allocs
+        assert len(set(allocs)) == 2
+
+    def test_origin_of_unchanged_site_is_itself(self):
+        resolved = compile_source(
+            wrap("var p = new P(); p.x = 1;", "class P { field x; }")
+        )
+        for site_id in resolved.sites:
+            assert resolved.origin_of(site_id) == site_id

@@ -1,0 +1,136 @@
+"""Unit tests for scheduling policies, monitors, and heap values."""
+
+import pytest
+
+from repro.runtime.scheduler import (
+    RandomPolicy,
+    RoundRobinPolicy,
+    ThreadState,
+    ThreadStatus,
+)
+from repro.runtime.values import (
+    MJArray,
+    MJObject,
+    Monitor,
+    _UidAllocator,
+    mj_repr,
+)
+
+
+def threads(*ids):
+    return [ThreadState(i, f"T{i}", body=None) for i in ids]
+
+
+class TestRoundRobinPolicy:
+    def test_runs_quantum_then_rotates(self):
+        policy = RoundRobinPolicy(quantum=3)
+        pool = threads(0, 1)
+        chosen = [policy.choose(pool).thread_id for _ in range(8)]
+        assert chosen == [0, 0, 0, 1, 1, 1, 0, 0]
+
+    def test_wraps_around(self):
+        policy = RoundRobinPolicy(quantum=1)
+        pool = threads(0, 1, 2)
+        chosen = [policy.choose(pool).thread_id for _ in range(6)]
+        assert chosen == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_non_runnable(self):
+        policy = RoundRobinPolicy(quantum=1)
+        pool = threads(0, 1, 2)
+        policy.choose(pool)  # 0
+        # Thread 1 vanished (blocked): rotation jumps to 2.
+        assert policy.choose([pool[0], pool[2]]).thread_id == 2
+
+    def test_quantum_resets_when_thread_blocks(self):
+        policy = RoundRobinPolicy(quantum=5)
+        pool = threads(0, 1)
+        assert policy.choose(pool).thread_id == 0
+        # Thread 0 blocks mid-quantum: the policy must pick another.
+        assert policy.choose([pool[1]]).thread_id == 1
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy(quantum=0)
+
+
+class TestRandomPolicy:
+    def test_deterministic_per_seed(self):
+        pool = threads(0, 1, 2)
+        a = [RandomPolicy(4).choose(pool).thread_id for _ in range(1)]
+        p1, p2 = RandomPolicy(4), RandomPolicy(4)
+        seq1 = [p1.choose(pool).thread_id for _ in range(20)]
+        seq2 = [p2.choose(pool).thread_id for _ in range(20)]
+        assert seq1 == seq2
+
+    def test_seeds_vary(self):
+        pool = threads(0, 1, 2)
+        sequences = {
+            tuple(RandomPolicy(seed).choose(pool).thread_id for _ in range(10))
+            for seed in range(6)
+        }
+        assert len(sequences) > 1
+
+    def test_only_runnable_chosen(self):
+        pool = threads(0, 1, 2)
+        policy = RandomPolicy(0)
+        for _ in range(30):
+            assert policy.choose(pool[1:]).thread_id in (1, 2)
+
+
+class TestMonitor:
+    def test_initially_free(self):
+        monitor = Monitor()
+        assert monitor.can_acquire(1)
+        assert monitor.can_acquire(2)
+
+    def test_exclusive_ownership(self):
+        monitor = Monitor()
+        monitor.acquire(1)
+        assert monitor.can_acquire(1)
+        assert not monitor.can_acquire(2)
+
+    def test_reentrancy_counting(self):
+        monitor = Monitor()
+        assert monitor.acquire(1) is True  # Outermost.
+        assert monitor.acquire(1) is False  # Nested.
+        assert monitor.release(1) is False  # Still held.
+        assert monitor.release(1) is True  # Actually freed.
+        assert monitor.can_acquire(2)
+
+    def test_release_requires_owner(self):
+        monitor = Monitor()
+        monitor.acquire(1)
+        with pytest.raises(AssertionError):
+            monitor.release(2)
+
+
+class TestValues:
+    def test_uids_monotonic_and_unique(self):
+        uids = _UidAllocator()
+        values = [uids.allocate() for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_array_init(self):
+        uids = _UidAllocator()
+        array = MJArray(uids, 3, alloc_id=1)
+        assert len(array) == 3
+        assert array.elements == [None, None, None]
+
+    def test_mj_repr(self):
+        assert mj_repr(None) == "null"
+        assert mj_repr(True) == "true"
+        assert mj_repr(False) == "false"
+        assert mj_repr(42) == "42"
+        assert mj_repr("s") == "s"
+
+    def test_object_repr_contains_class_and_uid(self):
+        from repro.lang import compile_source
+
+        resolved = compile_source(
+            "class Main { static def main() { } } class P { field x; }"
+        )
+        uids = _UidAllocator()
+        obj = MJObject(uids, resolved.class_info("P"), alloc_id=1)
+        assert "P" in repr(obj)
+        assert obj.fields == {"x": None}

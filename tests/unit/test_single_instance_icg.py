@@ -1,0 +1,207 @@
+"""Unit tests for single-instance analysis, the ICG, MustSync, MustThread."""
+
+from repro.analysis import (
+    MAIN_THREAD,
+    Multiplicity,
+    analyze_points_to,
+    analyze_single_instance,
+    build_icg,
+)
+from repro.lang import compile_source
+
+
+def analyze(body: str, extra: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    pts = analyze_points_to(resolved)
+    single = analyze_single_instance(resolved, pts)
+    icg = build_icg(resolved, pts, single)
+    return resolved, pts, single, icg
+
+
+class TestMethodMultiplicity:
+    def test_main_runs_once(self):
+        _, _, single, _ = analyze("")
+        assert single.method_runs_once("Main.main")
+
+    def test_single_call_site_once(self):
+        _, _, single, _ = analyze(
+            "Util.f();", "class Util { static def f() { } }"
+        )
+        assert single.method_runs_once("Util.f")
+
+    def test_call_in_loop_many(self):
+        _, _, single, _ = analyze(
+            "var i = 0; while (i < 3) { Util.f(); i = i + 1; }",
+            "class Util { static def f() { } }",
+        )
+        assert not single.method_runs_once("Util.f")
+
+    def test_two_call_sites_many(self):
+        _, _, single, _ = analyze(
+            "Util.f(); Util.f();", "class Util { static def f() { } }"
+        )
+        assert not single.method_runs_once("Util.f")
+
+    def test_recursive_method_many(self):
+        _, _, single, _ = analyze(
+            "Util.f(3);",
+            "class Util { static def f(n) { if (n > 0) { Util.f(n - 1); } } }",
+        )
+        assert not single.method_runs_once("Util.f")
+
+    def test_mutual_recursion_many(self):
+        _, _, single, _ = analyze(
+            "Util.f(3);",
+            "class Util { static def f(n) { if (n > 0) { g(n); } } "
+            "static def g(n) { f(n - 1); } }",
+        )
+        assert not single.method_runs_once("Util.f")
+        assert not single.method_runs_once("Util.g")
+
+    def test_transitive_once(self):
+        _, _, single, _ = analyze(
+            "Util.f();",
+            "class Util { static def f() { g(); } static def g() { } }",
+        )
+        assert single.method_runs_once("Util.g")
+
+    def test_run_of_singly_started_thread_once(self):
+        _, _, single, _ = analyze(
+            "var w = new W(); start w;", "class W { def run() { } }"
+        )
+        assert single.method_runs_once("W.run")
+
+    def test_run_of_loop_started_threads_many(self):
+        _, _, single, _ = analyze(
+            "var i = 0; while (i < 2) { var w = new W(); start w; i = i + 1; }",
+            "class W { def run() { } }",
+        )
+        assert not single.method_runs_once("W.run")
+
+
+class TestSingleInstanceObjects:
+    def test_alloc_in_main_single(self):
+        resolved, pts, single, _ = analyze("var p = new P();", "class P { }")
+        (obj,) = pts.may_point_to_register("Main.main", "p")
+        assert single.object_is_single_instance(obj)
+
+    def test_alloc_in_loop_not_single(self):
+        resolved, pts, single, _ = analyze(
+            "var i = 0; var p = null; while (i < 2) { p = new P(); i = i + 1; }",
+            "class P { }",
+        )
+        objs = pts.may_point_to_register("Main.main", "p")
+        assert any(not single.object_is_single_instance(o) for o in objs)
+
+    def test_must_points_to_singleton_single(self):
+        resolved, pts, single, _ = analyze("var p = new P();", "class P { }")
+        may = pts.may_point_to_register("Main.main", "p")
+        assert single.must_points_to(may) == may
+
+    def test_must_points_to_of_merged_set_empty(self):
+        resolved, pts, single, _ = analyze(
+            "var p = new P(); if (true) { p = new P(); }", "class P { }"
+        )
+        may = pts.may_point_to_register("Main.main", "p")
+        assert single.must_points_to(may) == frozenset()
+
+
+class TestMustSync:
+    GUARDED = """
+    class Shared { field v; }
+    class LockObj { }
+    class W {
+      field s; field lock;
+      def run() {
+        sync (this.lock) {
+          this.s.v = 1;
+        }
+      }
+    }
+    """
+
+    def test_sync_on_single_instance_lock_is_must(self):
+        resolved, pts, single, icg = analyze(
+            "var l = new LockObj(); var s = new Shared(); "
+            "var w = new W(); w.lock = l; w.s = s; start w;",
+            self.GUARDED,
+        )
+        site = next(s for s in pts.site_bases.values() if s.field_name == "v")
+        must = icg.must_sync_at(site.method, site.sync_stack)
+        assert len(must) == 1
+        (lock_obj,) = must
+        assert lock_obj.class_name == "LockObj"
+
+    def test_unsynchronized_site_has_empty_must_sync(self):
+        resolved, pts, single, icg = analyze(
+            "var p = new P(); p.f = 1;", "class P { field f; }"
+        )
+        site = next(iter(pts.site_bases.values()))
+        assert icg.must_sync_at(site.method, site.sync_stack) == frozenset()
+
+    def test_lock_from_two_allocs_not_must(self):
+        resolved, pts, single, icg = analyze(
+            "var l = new LockObj(); if (true) { l = new LockObj(); } "
+            "var s = new Shared(); var w = new W(); w.lock = l; w.s = s; start w;",
+            self.GUARDED,
+        )
+        site = next(s for s in pts.site_bases.values() if s.field_name == "v")
+        assert icg.must_sync_at(site.method, site.sync_stack) == frozenset()
+
+    def test_must_sync_propagates_through_calls(self):
+        resolved, pts, single, icg = analyze(
+            "var h = new Holder(); sync (h) { h.work(); }",
+            "class Holder { field v; def work() { this.v = 1; } }",
+        )
+        site = next(s for s in pts.site_bases.values() if s.field_name == "v")
+        must = icg.must_sync_at(site.method, site.sync_stack)
+        assert len(must) == 1
+
+    def test_call_from_unsynchronized_context_clears_must_sync(self):
+        resolved, pts, single, icg = analyze(
+            "var h = new Holder(); sync (h) { h.work(); } h.work();",
+            "class Holder { field v; def work() { this.v = 1; } }",
+        )
+        site = next(s for s in pts.site_bases.values() if s.field_name == "v")
+        assert icg.must_sync_at(site.method, site.sync_stack) == frozenset()
+
+    def test_thread_root_starts_with_no_locks(self):
+        resolved, pts, single, icg = analyze(
+            "var w = new W(); var l = new LockObj(); var s = new Shared(); "
+            "w.lock = l; w.s = s; sync (l) { start w; }",
+            self.GUARDED,
+        )
+        # The start happens under a lock, but the child holds nothing.
+        from repro.analysis import method_node
+
+        out = icg.must_sync_out[method_node("W.run")]
+        assert out == set()
+
+
+class TestMustThread:
+    def test_main_only_code_has_main_thread(self):
+        resolved, pts, single, icg = analyze("var p = new P();", "class P { }")
+        assert icg.must_thread_of("Main.main") == frozenset({MAIN_THREAD})
+
+    def test_single_thread_run_has_must_thread(self):
+        resolved, pts, single, icg = analyze(
+            "var w = new W(); start w;", "class W { def run() { } }"
+        )
+        must = icg.must_thread_of("W.run")
+        assert len(must) == 1
+
+    def test_method_shared_between_threads_empty(self):
+        resolved, pts, single, icg = analyze(
+            "var a = new W(); var b = new W(); start a; start b;",
+            "class W { def run() { helper(); } def helper() { } }",
+        )
+        assert icg.must_thread_of("W.helper") == frozenset()
+
+    def test_run_also_called_directly_loses_must_thread(self):
+        resolved, pts, single, icg = analyze(
+            "var w = new W(); w.run(); start w;",
+            "class W { def run() { } }",
+        )
+        # Reachable from both the main root and the thread root.
+        assert icg.must_thread_of("W.run") == frozenset()

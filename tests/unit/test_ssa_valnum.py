@@ -1,0 +1,199 @@
+"""Unit tests for SSA construction and global value numbering."""
+
+from repro.analysis import ir, lower_program, build_ssa, value_numbering
+from repro.lang import compile_source
+
+
+def ssa_of(body: str, extra: str = ""):
+    source = "class Main { static def main() { " + body + " } }\n" + extra
+    resolved = compile_source(source)
+    function = lower_program(resolved)["Main.main"]
+    graph, dom = build_ssa(function)
+    return function, graph, value_numbering(function, graph)
+
+
+def defs_of(function, base_name):
+    """All SSA versions of a variable that are defined in the function."""
+    names = set()
+    for _, _, instr in function.instructions():
+        dest = instr.defs()
+        if dest is not None and dest.split("#")[0] == base_name:
+            names.add(dest)
+    return names
+
+
+class TestSSAConstruction:
+    def test_single_assignment_single_version(self):
+        function, _, _ = ssa_of("var x = 1; print x;")
+        assert defs_of(function, "x") == {"x#1"}
+
+    def test_reassignment_creates_versions(self):
+        function, _, _ = ssa_of("var x = 1; x = 2; print x;")
+        assert defs_of(function, "x") == {"x#1", "x#2"}
+
+    def test_branch_assignment_inserts_phi(self):
+        function, _, _ = ssa_of(
+            "var x = 1; if (true) { x = 2; } print x;"
+        )
+        phis = [
+            instr
+            for _, _, instr in function.instructions()
+            if isinstance(instr, ir.Phi) and instr.var == "x"
+        ]
+        assert len(phis) >= 1
+        # The phi merging the two reaching versions of x has 2 operands.
+        merge = max(phis, key=lambda p: len(p.operands))
+        assert len(merge.operands) == 2
+
+    def test_loop_variable_gets_header_phi(self):
+        function, graph, _ = ssa_of(
+            "var i = 0; while (i < 3) { i = i + 1; } print i;"
+        )
+        phis = [
+            (block_id, instr)
+            for block_id, _, instr in function.instructions()
+            if isinstance(instr, ir.Phi) and instr.var == "i"
+        ]
+        assert phis
+        # At least one phi sits in a block targeted by a back edge.
+        headers = {
+            b
+            for b in graph.reachable
+            for p in graph.preds[b]
+            if graph.rpo_index[p] > graph.rpo_index[b]
+        }
+        assert any(block_id in headers for block_id, _ in phis)
+
+    def test_uses_renamed_to_reaching_version(self):
+        function, _, _ = ssa_of("var x = 1; x = 2; print x;")
+        prints = [
+            instr
+            for _, _, instr in function.instructions()
+            if isinstance(instr, ir.PrintI)
+        ]
+        assert prints[0].src == "x#2"
+
+    def test_params_become_version_one(self):
+        source = (
+            "class Main { static def main() { } }\n"
+            "class A { def m(p) { return p; } }"
+        )
+        resolved = compile_source(source)
+        function = lower_program(resolved)["A.m"]
+        build_ssa(function)
+        rets = [
+            instr
+            for _, _, instr in function.instructions()
+            if isinstance(instr, ir.Ret) and instr.src is not None
+        ]
+        assert rets[0].src == "p#1"
+
+
+class TestValueNumbering:
+    def test_same_constant_same_number(self):
+        _, _, vn = ssa_of("var x = 7; var y = 7; print x + y;")
+        function, graph, vn = ssa_of("var x = 7; var y = 7; print x + y;")
+        assert vn.same_value("x#1", "y#1")
+
+    def test_different_constants_differ(self):
+        function, _, vn = ssa_of("var x = 7; var y = 8;")
+        assert not vn.same_value("x#1", "y#1")
+
+    def test_copy_propagation(self):
+        function, _, vn = ssa_of("var x = 7; var y = x;")
+        assert vn.same_value("x#1", "y#1")
+
+    def test_common_subexpression_detected(self):
+        function, _, vn = ssa_of(
+            "var a = 1; var b = 2; var x = a + b; var y = a + b;"
+        )
+        assert vn.same_value("x#1", "y#1")
+
+    def test_different_operations_differ(self):
+        function, _, vn = ssa_of(
+            "var a = 1; var b = 2; var x = a + b; var y = a - b;"
+        )
+        assert not vn.same_value("x#1", "y#1")
+
+    def test_allocations_always_fresh(self):
+        function, _, vn = ssa_of(
+            "var x = new P(); var y = new P();", "class P { }"
+        )
+        assert not vn.same_value("x#1", "y#1")
+
+    def test_loads_are_opaque(self):
+        function, _, vn = ssa_of(
+            "var p = new P(); var x = p.f; var y = p.f;",
+            "class P { field f; }",
+        )
+        # Two loads of the same field may yield different values
+        # (another thread can write in between): never merged.
+        assert not vn.same_value("x#1", "y#1")
+
+    def test_base_object_stable_through_branches(self):
+        # The key property the static weaker-than relation needs: a
+        # local holding an object reference keeps one value number when
+        # never reassigned, even across control flow.
+        function, _, vn = ssa_of(
+            "var p = new P(); if (true) { p.f = 1; } else { p.f = 2; }",
+            "class P { field f; }",
+        )
+        puts = [
+            instr
+            for _, _, instr in function.instructions()
+            if isinstance(instr, ir.PutField)
+        ]
+        assert len(puts) == 2
+        assert vn.same_value(puts[0].obj, puts[1].obj)
+
+    def test_reassigned_base_gets_new_number(self):
+        function, _, vn = ssa_of(
+            "var p = new P(); p.f = 1; p = new P(); p.f = 2;",
+            "class P { field f; }",
+        )
+        puts = [
+            instr
+            for _, _, instr in function.instructions()
+            if isinstance(instr, ir.PutField)
+        ]
+        assert not vn.same_value(puts[0].obj, puts[1].obj)
+
+    def test_loop_carried_value_conservatively_fresh(self):
+        function, _, vn = ssa_of(
+            "var i = 0; var j = 0; while (i < 3) { i = i + 1; j = j + 1; }"
+        )
+        # i and j evolve identically (their initializers even share a
+        # value number), but the loop-carried phis must stay distinct —
+        # soundness over precision.
+        phi_dests = {
+            var: [
+                instr.dest
+                for _, _, instr in function.instructions()
+                if isinstance(instr, ir.Phi) and instr.var == var
+            ]
+            for var in ("i", "j")
+        }
+        assert phi_dests["i"] and phi_dests["j"]
+        phis_equal = any(
+            vn.same_value(iv, jv)
+            for iv in phi_dests["i"]
+            for jv in phi_dests["j"]
+        )
+        assert not phis_equal
+
+    def test_class_constants_merge(self):
+        source = (
+            "class Main { static def main() { } }\n"
+            "class A { static sync def m() { } static sync def n() { } }"
+        )
+        resolved = compile_source(source)
+        functions = lower_program(resolved)
+        function = functions["A.m"]
+        graph, _ = build_ssa(function)
+        vn = value_numbering(function, graph)
+        consts = [
+            instr
+            for _, _, instr in function.instructions()
+            if isinstance(instr, ir.ClassConst)
+        ]
+        assert consts  # Static sync methods lock the class object.
