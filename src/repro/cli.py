@@ -63,6 +63,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also run lock-order deadlock analysis")
     check.add_argument("--stats", action="store_true",
                        help="print the event funnel and cache stats")
+    check.add_argument("--post-mortem", action="store_true",
+                       help="record the event stream, then detect offline")
+    check.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="sharded post-mortem detection over N "
+                       "partitions (implies --post-mortem)")
+    check.add_argument("--executor", choices=("serial", "thread", "process"),
+                       default="serial",
+                       help="how sharded detection runs (default: serial)")
 
     run = sub.add_parser("run", help="execute a program (no detection)")
     run.add_argument("file", type=Path)
@@ -106,26 +114,63 @@ def cmd_check(args) -> int:
         ownership=not args.no_ownership,
         fields_merged=args.fields_merged,
     )
-    detector = RaceDetector(
-        config=detector_config,
-        resolved=resolved,
-        static_races=plan.static_races,
-    )
-    sink = detector
+    post_mortem = args.post_mortem or args.shards is not None
+    shards = args.shards if args.shards is not None else 1
+    if shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
+
+    sharded = None
     deadlocks = None
-    if args.deadlocks:
-        deadlocks = DeadlockDetector()
-        sink = MulticastSink([detector, deadlocks])
-    result = run_program(
-        resolved,
-        sink=sink,
-        trace_sites=plan.trace_sites,
-        policy=_policy(args.seed),
-    )
+    if post_mortem:
+        from .detector import detect_sharded
+        from .runtime import RecordingSink
+
+        log = RecordingSink()
+        sink = log
+        if args.deadlocks:
+            deadlocks = DeadlockDetector()
+            sink = MulticastSink([log, deadlocks])
+        result = run_program(
+            resolved,
+            sink=sink,
+            trace_sites=plan.trace_sites,
+            policy=_policy(args.seed),
+        )
+        sharded = detect_sharded(
+            log,
+            shards,
+            config=detector_config,
+            resolved=resolved,
+            static_races=plan.static_races,
+            executor=args.executor,
+        )
+        reports = sharded.reports.reports
+        funnel = sharded.stats
+        cache_stats = sharded.cache_stats
+    else:
+        detector = RaceDetector(
+            config=detector_config,
+            resolved=resolved,
+            static_races=plan.static_races,
+        )
+        sink = detector
+        if args.deadlocks:
+            deadlocks = DeadlockDetector()
+            sink = MulticastSink([detector, deadlocks])
+        result = run_program(
+            resolved,
+            sink=sink,
+            trace_sites=plan.trace_sites,
+            policy=_policy(args.seed),
+        )
+        reports = detector.reports.reports
+        funnel = detector.stats
+        cache_stats = detector.cache.stats if detector.cache else None
     for line in result.output:
         print(f"[program] {line}")
-    if detector.reports.reports:
-        for report in detector.reports.reports:
+    if reports:
+        for report in reports:
             print(report.describe())
     else:
         print("no dataraces detected")
@@ -148,10 +193,16 @@ def cmd_check(args) -> int:
               f"{plan.stats.sites_total} "
               f"(+{plan.stats.sites_cloned_by_peeling} peeled clones, "
               f"-{plan.stats.sites_eliminated_weaker} statically weaker)")
-        print(f"funnel: {detector.stats.funnel()}")
-        if detector.cache is not None:
-            print(f"cache hit rate: {detector.cache.stats.hit_rate:.1%}")
-    return 1 if detector.reports.reports else 0
+        print(f"funnel: {funnel.funnel()}")
+        if cache_stats is not None:
+            print(f"cache hit rate: {cache_stats.hit_rate:.1%}")
+        if sharded is not None:
+            print(f"post-mortem: {sharded.shard_summary()}")
+            print(f"  accesses partitioned: {sharded.partitioned_accesses}; "
+                  f"monitored locations (merged): "
+                  f"{sharded.monitored_locations}; "
+                  f"trie nodes (merged): {sharded.trie_nodes}")
+    return 1 if reports else 0
 
 
 def cmd_run(args) -> int:

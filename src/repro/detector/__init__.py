@@ -31,6 +31,14 @@ from .postmortem import (
     detect_post_mortem,
     record_execution,
 )
+from .sharded import (
+    ShardedDetectionResult,
+    ShardOutcome,
+    canonical_report_order,
+    detect_sharded,
+    detect_sharded_post_mortem,
+    partition_log,
+)
 from .trie_packed import PackedLockTrie, PackedNode
 from .reference import RacePair, RecordedAccess, ReferenceDetector
 from .report import RaceReport, ReportCollector
@@ -74,13 +82,19 @@ __all__ = [
     "ReferenceDetector",
     "ReportCollector",
     "SHARED",
+    "ShardOutcome",
+    "ShardedDetectionResult",
     "StoredAccess",
     "THREAD_BOTTOM",
     "THREAD_TOP",
     "TrieNode",
     "TrieStats",
+    "canonical_report_order",
     "detect_from_log",
     "detect_post_mortem",
+    "detect_sharded",
+    "detect_sharded_post_mortem",
+    "partition_log",
     "record_execution",
     "access_leq",
     "access_meet",

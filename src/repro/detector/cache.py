@@ -48,6 +48,8 @@ class CacheStats:
     conflict_evictions: int = 0
     lock_evictions: int = 0
     ownership_evictions: int = 0
+    #: Lazy compactions of the lock eviction lists (dead-entry sweeps).
+    list_compactions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,16 +60,31 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another collector's counters (shard merging)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.conflict_evictions += other.conflict_evictions
+        self.lock_evictions += other.lock_evictions
+        self.ownership_evictions += other.ownership_evictions
+        self.list_compactions += other.list_compactions
+
+
+#: Compact the lock eviction lists only once they hold at least this
+#: many entries (avoids churn on tiny lists).
+_COMPACT_MIN_LISTED = 16
+
 
 class _Entry:
     """One cache entry: a location key plus its slot and eviction links."""
 
-    __slots__ = ("key", "index", "valid")
+    __slots__ = ("key", "index", "valid", "anchored")
 
     def __init__(self, key, index: int):
         self.key = key
         self.index = index
         self.valid = True
+        self.anchored = False
 
 
 class _DirectMappedCache:
@@ -81,10 +98,20 @@ class _DirectMappedCache:
         self._lock_lists: dict[int, list[_Entry]] = {}
         #: location key -> entry, for O(1) targeted (ownership) eviction.
         self._by_key: dict = {}
+        #: Entries currently linked on some eviction list / of those,
+        #: how many were invalidated by conflict or ownership eviction
+        #: (dead weight a long-held lock would otherwise accumulate).
+        self._listed = 0
+        self._dead_listed = 0
 
     def _index(self, key) -> int:
         product = (hash(key) * _HASH_MULTIPLIER) & _MASK32
         return (product >> 16) % self._size
+
+    def probe(self, key) -> bool:
+        """Membership test without touching the hit/miss statistics."""
+        entry = self._slots[self._index(key)]
+        return entry is not None and entry.valid and entry.key == key
 
     def lookup(self, key) -> bool:
         entry = self._slots[self._index(key)]
@@ -94,29 +121,74 @@ class _DirectMappedCache:
         self._stats.misses += 1
         return False
 
-    def insert(self, key, anchor_lock: Optional[int]) -> None:
+    def access(self, key, anchor_lock: Optional[int]) -> bool:
+        """Fused lookup+insert: one index computation for the whole
+        hot-path transaction.  Returns True on a hit (event suppressed);
+        on a miss records the access and returns False.  Exactly one
+        hit or one miss is counted per call."""
         index = self._index(key)
+        entry = self._slots[index]
+        if entry is not None and entry.valid and entry.key == key:
+            self._stats.hits += 1
+            return True
+        self._stats.misses += 1
+        self._insert_at(index, key, anchor_lock)
+        return False
+
+    def insert(self, key, anchor_lock: Optional[int]) -> None:
+        self._insert_at(self._index(key), key, anchor_lock)
+
+    def _insert_at(self, index: int, key, anchor_lock: Optional[int]) -> None:
         old = self._slots[index]
         if old is not None and old.valid:
             old.valid = False
             del self._by_key[old.key]
             self._stats.conflict_evictions += 1
+            if old.anchored:
+                self._dead_listed += 1
         entry = _Entry(key, index)
         self._slots[index] = entry
         self._by_key[key] = entry
         if anchor_lock is not None:
+            entry.anchored = True
             self._lock_lists.setdefault(anchor_lock, []).append(entry)
+            self._listed += 1
+            if (
+                self._dead_listed * 2 > self._listed
+                and self._listed >= _COMPACT_MIN_LISTED
+            ):
+                self._compact_lock_lists()
+
+    def _compact_lock_lists(self) -> None:
+        """Drop invalidated entries from every eviction list.
+
+        Conflict and ownership evictions invalidate entries in place but
+        leave them linked on their anchor lock's list; a long-held lock
+        would accumulate dead entries without bound.  Run lazily once
+        more than half of the listed entries are dead."""
+        self._stats.list_compactions += 1
+        for lock_uid in list(self._lock_lists):
+            live = [entry for entry in self._lock_lists[lock_uid] if entry.valid]
+            if live:
+                self._lock_lists[lock_uid] = live
+            else:
+                del self._lock_lists[lock_uid]
+        self._listed = sum(len(entries) for entries in self._lock_lists.values())
+        self._dead_listed = 0
 
     def evict_lock(self, lock_uid: int) -> None:
         entries = self._lock_lists.pop(lock_uid, None)
         if not entries:
             return
+        self._listed -= len(entries)
         for entry in entries:
             if entry.valid:
                 entry.valid = False
                 self._slots[entry.index] = None
                 del self._by_key[entry.key]
                 self._stats.lock_evictions += 1
+            else:
+                self._dead_listed -= 1
 
     def evict_key(self, key) -> None:
         entry = self._by_key.pop(key, None)
@@ -124,6 +196,13 @@ class _DirectMappedCache:
             entry.valid = False
             self._slots[entry.index] = None
             self._stats.ownership_evictions += 1
+            if entry.anchored:
+                self._dead_listed += 1
+
+    @property
+    def listed_entries(self) -> tuple[int, int]:
+        """(total, dead) entries on the lock eviction lists — test hook."""
+        return self._listed, self._dead_listed
 
 
 class ThreadCaches:
@@ -164,14 +243,76 @@ class AccessCache:
         return caches
 
     def lookup(self, thread_id: int, key, kind: AccessKind) -> bool:
-        """True on a hit — a weaker access is already recorded."""
+        """True on a hit — a weaker access is already recorded.
+
+        Counts exactly one hit or one miss per call: a read that
+        consults both the read and (under ``write_covers_read``) the
+        write cache is still one logical lookup.
+        """
         caches = self._caches(thread_id)
-        if caches.cache_for(kind).lookup(key):
-            return True
         if self._write_covers_read and kind is AccessKind.READ:
             # Extension: the write cache holds writes by this thread with
             # subset locksets; a write is weaker than this read.
-            return caches.write.lookup(key)
+            if caches.read.probe(key) or caches.write.probe(key):
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            return False
+        return caches.cache_for(kind).lookup(key)
+
+    def access(
+        self, thread_id: int, key, kind: AccessKind, anchor_lock: Optional[int]
+    ) -> bool:
+        """Fused lookup+insert, the hot-path entry point.
+
+        Returns True on a hit (the event is suppressed); on a miss the
+        access is recorded under ``anchor_lock`` and False is returned.
+        """
+        caches = self._threads.get(thread_id)
+        if caches is None:
+            caches = ThreadCaches(self._size, self.stats)
+            self._threads[thread_id] = caches
+        if kind is AccessKind.WRITE:
+            return caches.write.access(key, anchor_lock)
+        if self._write_covers_read:
+            if caches.read.probe(key) or caches.write.probe(key):
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            caches.read.insert(key, anchor_lock)
+            return False
+        return caches.read.access(key, anchor_lock)
+
+    def access_tracked(self, thread_id: int, key, kind: AccessKind, locks) -> bool:
+        """Fused lookup+insert with *lazy* anchoring.
+
+        Identical to :meth:`access`, except the anchor lock is obtained
+        from ``locks`` (a :class:`~repro.detector.locksets.LockTracker`)
+        only on a miss — hits, the overwhelmingly common case, never
+        query the lock stack at all.
+        """
+        caches = self._threads.get(thread_id)
+        if caches is None:
+            caches = ThreadCaches(self._size, self.stats)
+            self._threads[thread_id] = caches
+        if kind is AccessKind.WRITE:
+            cache = caches.write
+        elif self._write_covers_read:
+            if caches.read.probe(key) or caches.write.probe(key):
+                self.stats.hits += 1
+                return True
+            self.stats.misses += 1
+            caches.read.insert(key, locks.last_real_lock(thread_id))
+            return False
+        else:
+            cache = caches.read
+        index = cache._index(key)
+        entry = cache._slots[index]
+        if entry is not None and entry.valid and entry.key == key:
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        cache._insert_at(index, key, locks.last_real_lock(thread_id))
         return False
 
     def insert(

@@ -20,11 +20,23 @@ Two kinds of locks are tracked:
 
 Pseudo-lock ids are negative (``-(thread_id + 1)``) so they can never
 collide with object uids, which are positive.
+
+Locksets are **interned and versioned**: programs cycle through a
+handful of distinct locksets, so the tracker keeps one canonical
+(pre-hashed) frozenset per distinct value and hands the same object out
+to every thread currently holding that combination.  A per-thread
+version counter ticks on every lockset mutation, letting consumers
+detect "lockset unchanged since I last looked" without comparing sets.
+Sharing canonical frozensets across events is sound because locksets
+are immutable values — a mutation *replaces* a thread's lockset, it
+never updates one in place.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+_EMPTY_LOCKSET: frozenset = frozenset()
 
 
 def join_pseudo_lock(thread_id: int) -> int:
@@ -40,8 +52,18 @@ class LockTracker:
         self._stacks: dict[int, list[int]] = {}
         #: thread id -> set of held pseudo-locks.
         self._pseudo: dict[int, set[int]] = {}
-        #: thread id -> cached frozenset lockset (invalidated on change).
+        #: thread id -> cached canonical lockset (invalidated on change).
         self._cached: dict[int, Optional[frozenset]] = {}
+        #: thread id -> mutation counter.
+        self._versions: dict[int, int] = {}
+        #: value -> canonical pre-hashed frozenset (the intern table).
+        self._intern: dict[frozenset, frozenset] = {
+            _EMPTY_LOCKSET: _EMPTY_LOCKSET
+        }
+
+    def _invalidate(self, thread_id: int) -> None:
+        self._cached[thread_id] = None
+        self._versions[thread_id] = self._versions.get(thread_id, 0) + 1
 
     # ------------------------------------------------------------------
     # Real locks (monitor events; the pipeline filters out reentrant ones).
@@ -49,7 +71,7 @@ class LockTracker:
     def enter(self, thread_id: int, lock_uid: int) -> None:
         """Record an outermost monitorenter."""
         self._stacks.setdefault(thread_id, []).append(lock_uid)
-        self._cached[thread_id] = None
+        self._invalidate(thread_id)
 
     def exit(self, thread_id: int, lock_uid: int) -> None:
         """Record an outermost monitorexit (the actual lock release)."""
@@ -62,34 +84,56 @@ class LockTracker:
                 f"stack {stack}"
             )
         stack.pop()
-        self._cached[thread_id] = None
+        self._invalidate(thread_id)
 
     # ------------------------------------------------------------------
     # Pseudo-locks (thread lifecycle events).
 
     def acquire_pseudo(self, thread_id: int, pseudo_lock: int) -> None:
         self._pseudo.setdefault(thread_id, set()).add(pseudo_lock)
-        self._cached[thread_id] = None
+        self._invalidate(thread_id)
 
     def release_pseudo(self, thread_id: int, pseudo_lock: int) -> None:
         held = self._pseudo.get(thread_id)
         if held is not None:
             held.discard(pseudo_lock)
-        self._cached[thread_id] = None
+        self._invalidate(thread_id)
 
     # ------------------------------------------------------------------
     # Queries.
 
     def lockset(self, thread_id: int) -> frozenset:
-        """The thread's current lockset (real + pseudo), as a frozenset."""
+        """The thread's current lockset (real + pseudo), as a canonical
+        interned frozenset (identical object for identical value)."""
         cached = self._cached.get(thread_id)
         if cached is not None:
             return cached
-        stack = self._stacks.get(thread_id, ())
-        pseudo = self._pseudo.get(thread_id, ())
-        result = frozenset(stack) | frozenset(pseudo)
-        self._cached[thread_id] = result
-        return result
+        stack = self._stacks.get(thread_id)
+        pseudo = self._pseudo.get(thread_id)
+        if stack:
+            result = frozenset(stack).union(pseudo) if pseudo else frozenset(stack)
+        elif pseudo:
+            result = frozenset(pseudo)
+        else:
+            result = _EMPTY_LOCKSET
+        canonical = self._intern.get(result)
+        if canonical is None:
+            # First sighting of this value: it becomes the canonical
+            # object.  The dict insertion also computes (and frozenset
+            # caches) its hash, so every later use is pre-hashed.
+            self._intern[result] = canonical = result
+        self._cached[thread_id] = canonical
+        return canonical
+
+    def version(self, thread_id: int) -> int:
+        """Mutation counter for the thread's lockset (ticks on every
+        enter/exit/pseudo-lock change)."""
+        return self._versions.get(thread_id, 0)
+
+    @property
+    def interned_locksets(self) -> int:
+        """Number of distinct lockset values seen so far."""
+        return len(self._intern)
 
     def last_real_lock(self, thread_id: int) -> Optional[int]:
         """The most recently acquired *real* lock still held, or ``None``.

@@ -24,12 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..lang.ast import AccessKind
 from ..lang.resolver import ResolvedProgram
-from ..runtime.events import AccessEvent, EventSink
+from ..runtime.events import AccessEvent, EventSink, LocationInterner, ObjectKind
 from .cache import AccessCache
 from .config import DetectorConfig
 from .locksets import LockTracker, join_pseudo_lock
-from .ownership import OwnershipFilter
+from .ownership import SHARED, OwnershipFilter
 from .report import RaceReport, ReportCollector
 from .trie import LockTrie, TrieStats
 from .trie_packed import PackedLockTrie
@@ -54,6 +55,39 @@ class PipelineStats:
             f"{self.detector_processed} trie-processed → "
             f"{self.races_reported} race reports"
         )
+
+    def merge(self, other: "PipelineStats") -> None:
+        """Accumulate another pipeline's counters (shard merging)."""
+        self.accesses += other.accesses
+        self.owned_filtered += other.owned_filtered
+        self.cache_hits += other.cache_hits
+        self.detector_weaker_filtered += other.detector_weaker_filtered
+        self.detector_processed += other.detector_processed
+        self.races_reported += other.races_reported
+
+
+def static_partner_descriptors(resolved, static_races, site_id: int) -> tuple:
+    """Descriptors of the static may-race partners of a site (mapped
+    through loop-peeling origins), capped for readability.
+
+    Module-level so the sharded engine can post-fill descriptors for
+    reports produced by process-pool workers that ran without the
+    resolved program.
+    """
+    if static_races is None or resolved is None:
+        return ()
+    origin = (
+        resolved.origin_of(site_id) if site_id in resolved.sites else site_id
+    )
+    partners = sorted(static_races.partners_of(origin))
+    descriptors = [
+        resolved.sites[partner].descriptor
+        for partner in partners[:4]
+        if partner in resolved.sites
+    ]
+    if len(partners) > 4:
+        descriptors.append(f"... and {len(partners) - 4} more")
+    return tuple(descriptors)
 
 
 class RaceDetector(EventSink):
@@ -87,6 +121,19 @@ class RaceDetector(EventSink):
         )
         self.reports = ReportCollector()
         self.stats = PipelineStats()
+        #: Canonical location keys: one MemoryLocation per (object,
+        #: field) pair, reused by every event touching that location.
+        self.interner = LocationInterner()
+        self._fields_merged = self.config.fields_merged
+        # Pre-bound hot-path state: `on_access_parts` runs once per
+        # emitted access, so attribute chains are resolved here once.
+        # The ownership table/stats are reached into directly — the
+        # admission logic is inlined in `on_access_parts` (it must stay
+        # counter-identical to `OwnershipFilter.admit`).
+        self._intern = self.interner.intern
+        self._owners = self.ownership._owners if self.ownership else None
+        self._own_stats = self.ownership.stats if self.ownership else None
+        self._cache_access = self.cache.access_tracked if self.cache else None
         # Main thread's own pseudo-lock, for uniformity with children.
         if self.config.join_pseudolocks:
             self.locks.acquire_pseudo(0, join_pseudo_lock(0))
@@ -95,14 +142,12 @@ class RaceDetector(EventSink):
     # Location keying.
 
     def _key(self, event: AccessEvent):
-        if self.config.fields_merged:
+        if self._fields_merged:
             # Praun/Gross-style coarsening within our detector: all
             # fields of one object map to one location (Table 3's
             # "FieldsMerged" column).  Static fields of a class remain
             # distinguished per the paper's parenthetical — class
             # objects are exempted from merging.
-            from ..runtime.events import ObjectKind
-
             if event.object_kind is ObjectKind.CLASS:
                 return event.location
             return event.location.object_uid
@@ -144,82 +189,137 @@ class RaceDetector(EventSink):
     # Access events.
 
     def on_access(self, event: AccessEvent) -> None:
-        self.stats.accesses += 1
-        key = self._key(event)
-        thread_id = event.thread_id
+        """Event-object entry point (compat path; recorded logs and
+        manually constructed events).  Delegates to the scalar fast
+        path, which re-interns the location."""
+        location = event.location
+        self.on_access_parts(
+            location.object_uid,
+            location.field,
+            event.thread_id,
+            event.kind,
+            event.site_id,
+            event.object_kind,
+            event.object_label,
+        )
 
-        if self.ownership is not None:
-            admit, transitioned = self.ownership.admit(key, thread_id)
-            if not admit:
-                self.stats.owned_filtered += 1
+    def on_access_parts(
+        self,
+        object_uid: int,
+        field: str,
+        thread_id: int,
+        kind: AccessKind,
+        site_id: int,
+        object_kind: ObjectKind,
+        object_label: str,
+    ) -> None:
+        """The hot path: one access, no event object, interned key.
+
+        An :class:`AccessEvent` is materialized only if the access ends
+        up in a race report — the overwhelmingly common filtered cases
+        (owned, cache hit, weaker-than) allocate nothing.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        if self._fields_merged and object_kind is not ObjectKind.CLASS:
+            key = object_uid
+        else:
+            key = self._intern(object_uid, field)
+
+        owners = self._owners
+        if owners is not None:
+            # Inlined OwnershipFilter.admit — the per-event method call
+            # and result tuple are measurable at this rate.  Counters
+            # must track the method exactly (see tests/unit/test_ownership).
+            owner = owners.get(key)
+            if owner is SHARED:
+                self._own_stats.shared_passed += 1
+            elif owner is None:
+                owners[key] = thread_id
+                self._own_stats.owned_filtered += 1
+                stats.owned_filtered += 1
                 return
-            if transitioned and self.cache is not None:
-                # The owner may have cached accesses to this location
-                # while it was owned; those entries were never sent to
-                # the detector and must not suppress future events.
-                self.cache.on_location_shared(key)
-
-        if self.cache is not None:
-            if self.cache.lookup(thread_id, key, event.kind):
-                self.stats.cache_hits += 1
+            elif owner == thread_id:
+                self._own_stats.owned_filtered += 1
+                stats.owned_filtered += 1
                 return
-            self.cache.insert(
-                thread_id,
-                key,
-                event.kind,
-                anchor_lock=self.locks.last_real_lock(thread_id),
-            )
+            else:
+                owners[key] = SHARED
+                self._own_stats.transitions += 1
+                if self.cache is not None:
+                    # The owner may have cached accesses to this
+                    # location while it was owned; those entries were
+                    # never sent to the detector and must not suppress
+                    # future events.
+                    self.cache.on_location_shared(key)
 
-        self._detect(key, event)
+        cache_access = self._cache_access
+        if cache_access is not None and cache_access(
+            thread_id, key, kind, self.locks
+        ):
+            stats.cache_hits += 1
+            return
 
-    def _detect(self, key, event: AccessEvent) -> None:
-        lockset = self.locks.lockset(event.thread_id)
+        self._detect_parts(
+            key, object_uid, field, thread_id, kind, site_id, object_kind,
+            object_label,
+        )
+
+    def _detect_parts(
+        self, key, object_uid, field, thread_id, kind, site_id, object_kind,
+        object_label,
+    ) -> None:
+        lockset = self.locks.lockset(thread_id)
+        prior = None
         if self._packed is not None:
-            self._detect_packed(key, event, lockset)
-            return
-        trie = self._tries.get(key)
-        if trie is None:
-            trie = LockTrie(self.trie_stats)
-            self._tries[key] = trie
+            trie = self._packed
+            if trie.find_weaker(key, lockset, thread_id, kind):
+                self.stats.detector_weaker_filtered += 1
+                return
+            self.stats.detector_processed += 1
+            prior = trie.find_race(
+                key,
+                lockset,
+                thread_id,
+                kind,
+                read_read_races=self.config.read_read_races,
+            )
+            node, merged = trie.insert(key, lockset, thread_id, kind)
+            trie.prune_stronger(key, lockset, merged[0], merged[1], keep=node)
+        else:
+            trie = self._tries.get(key)
+            if trie is None:
+                trie = LockTrie(self.trie_stats)
+                self._tries[key] = trie
 
-        # Weakness check: the vast majority of accesses stop here.
-        if trie.find_weaker(lockset, event.thread_id, event.kind):
-            self.stats.detector_weaker_filtered += 1
-            return
-        self.stats.detector_processed += 1
+            # Weakness check: the vast majority of accesses stop here.
+            if trie.find_weaker(lockset, thread_id, kind):
+                self.stats.detector_weaker_filtered += 1
+                return
+            self.stats.detector_processed += 1
 
-        prior = trie.find_race(
-            lockset,
-            event.thread_id,
-            event.kind,
-            read_read_races=self.config.read_read_races,
-        )
+            prior = trie.find_race(
+                lockset,
+                thread_id,
+                kind,
+                read_read_races=self.config.read_read_races,
+            )
+            node = trie.insert(lockset, thread_id, kind)
+            # Prune with the node's *post-meet* value: if the insert
+            # merged threads to t⊥ (or kinds to WRITE), the node now
+            # covers strictly more stored accesses than the raw event
+            # would.
+            trie.prune_stronger(lockset, node.thread, node.kind, keep=node)
         if prior is not None:
+            event = AccessEvent(
+                location=self.interner.intern(object_uid, field),
+                thread_id=thread_id,
+                kind=kind,
+                site_id=site_id,
+                object_kind=object_kind,
+                object_label=object_label,
+            )
             self._report(key, event, lockset, prior)
-
-        node = trie.insert(lockset, event.thread_id, event.kind)
-        # Prune with the node's *post-meet* value: if the insert merged
-        # threads to t⊥ (or kinds to WRITE), the node now covers
-        # strictly more stored accesses than the raw event would.
-        trie.prune_stronger(lockset, node.thread, node.kind, keep=node)
-
-    def _detect_packed(self, key, event: AccessEvent, lockset) -> None:
-        trie = self._packed
-        if trie.find_weaker(key, lockset, event.thread_id, event.kind):
-            self.stats.detector_weaker_filtered += 1
-            return
-        self.stats.detector_processed += 1
-        prior = trie.find_race(
-            key,
-            lockset,
-            event.thread_id,
-            event.kind,
-            read_read_races=self.config.read_read_races,
-        )
-        if prior is not None:
-            self._report(key, event, lockset, prior)
-        node, merged = trie.insert(key, lockset, event.thread_id, event.kind)
-        trie.prune_stronger(key, lockset, merged[0], merged[1], keep=node)
 
     def _report(self, key, event, lockset, prior) -> None:
         descriptor = ""
@@ -239,24 +339,9 @@ class RaceDetector(EventSink):
         self.stats.races_reported += 1
 
     def _static_partners_of(self, site_id: int) -> tuple:
-        """Descriptors of the static may-race partners of a site
-        (mapped through loop-peeling origins), capped for readability."""
-        if self._static_races is None or self._resolved is None:
-            return ()
-        origin = (
-            self._resolved.origin_of(site_id)
-            if site_id in self._resolved.sites
-            else site_id
+        return static_partner_descriptors(
+            self._resolved, self._static_races, site_id
         )
-        partners = sorted(self._static_races.partners_of(origin))
-        descriptors = [
-            self._resolved.sites[partner].descriptor
-            for partner in partners[:4]
-            if partner in self._resolved.sites
-        ]
-        if len(partners) > 4:
-            descriptors.append(f"... and {len(partners) - 4} more")
-        return tuple(descriptors)
 
     # ------------------------------------------------------------------
     # Introspection.

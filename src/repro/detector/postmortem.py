@@ -63,11 +63,14 @@ def detect_from_log(
     log: RecordingSink,
     config: Optional[DetectorConfig] = None,
     resolved: Optional[ResolvedProgram] = None,
+    static_races=None,
     enumerate_full_race: bool = False,
 ) -> tuple[RaceDetector, Optional[list]]:
     """Phase 2: run the detector (and optionally the FullRace oracle)
     over a recorded log."""
-    detector = RaceDetector(config=config, resolved=resolved)
+    detector = RaceDetector(
+        config=config, resolved=resolved, static_races=static_races
+    )
     log.replay_into(detector)
     pairs: Optional[list] = None
     if enumerate_full_race:

@@ -101,6 +101,16 @@ class TrieStats:
     def live_nodes(self) -> int:
         return self.nodes_allocated - self.nodes_freed
 
+    def merge(self, other: "TrieStats") -> None:
+        """Accumulate another detector's counters (shard merging)."""
+        self.nodes_allocated += other.nodes_allocated
+        self.nodes_freed += other.nodes_freed
+        self.weaker_hits += other.weaker_hits
+        self.weaker_misses += other.weaker_misses
+        self.races_found += other.races_found
+        self.inserts += other.inserts
+        self.updates += other.updates
+
 
 class LockTrie:
     """The access history of one memory location."""

@@ -38,6 +38,16 @@ class _ThreadSentinel:
     def __repr__(self) -> str:
         return self._name
 
+    def __reduce__(self):
+        # Sentinels are compared by identity; unpickling (e.g. when a
+        # race report crosses a process-pool boundary in the sharded
+        # post-mortem engine) must yield the canonical singleton.
+        return (_sentinel_by_name, (self._name,))
+
+
+def _sentinel_by_name(name: str) -> "_ThreadSentinel":
+    return THREAD_BOTTOM if name == "t⊥" else THREAD_TOP
+
 
 #: "At least two distinct threads" — the merged-thread value (Section 3.1).
 THREAD_BOTTOM = _ThreadSentinel("t⊥")

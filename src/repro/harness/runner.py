@@ -191,6 +191,113 @@ def run_workload(
     return outcome
 
 
+@dataclass
+class PostMortemOutcome:
+    """One recorded execution analyzed serially and sharded."""
+
+    workload: str
+    configuration: str
+    #: Wall-clock of the recording run (interpretation + logging).
+    record_seconds: float
+    #: Wall-clock of the serial offline detection pass.
+    serial_seconds: float
+    #: Wall-clock of the sharded offline detection pass.
+    sharded_seconds: float
+    shards: int
+    executor: str
+    access_events: int
+    replicated_sync_events: int
+    races_reported: int
+    monitored_locations: int
+    trie_nodes: int
+    #: True when the sharded run reproduced the serial run exactly
+    #: (same reports, monitored locations, and trie node totals).
+    matches_serial: bool
+    sharded: "object" = None
+
+
+def run_workload_post_mortem(
+    spec: WorkloadSpec,
+    configuration: Configuration,
+    shards: int = 4,
+    scale: Optional[int] = None,
+    executor: str = "serial",
+    policy: Optional[SchedulingPolicy] = None,
+    max_steps: int = 50_000_000,
+) -> PostMortemOutcome:
+    """Record one execution, then detect offline both serially and
+    sharded, checking that the two agree."""
+    from ..detector.postmortem import detect_from_log
+    from ..detector.sharded import canonical_report_order, detect_sharded
+    from ..runtime.events import RecordingSink
+
+    if configuration.detector is None:
+        raise ValueError("post-mortem detection needs a detector config")
+    source = spec.build(scale)
+    resolved = compile_source(source, filename=spec.name)
+    trace_sites: Optional[set] = set()
+    static_races = None
+    if configuration.planner is not None:
+        plan = plan_instrumentation(resolved, configuration.planner)
+        trace_sites = plan.trace_sites
+        static_races = plan.static_races
+
+    log = RecordingSink()
+    chosen_policy = policy if policy is not None else RoundRobinPolicy(quantum=10)
+    started = time.perf_counter()
+    run_program(
+        resolved,
+        sink=log,
+        trace_sites=trace_sites,
+        policy=chosen_policy,
+        max_steps=max_steps,
+    )
+    record_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    serial, _ = detect_from_log(
+        log,
+        config=configuration.detector,
+        resolved=resolved,
+        static_races=static_races,
+    )
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded = detect_sharded(
+        log,
+        shards,
+        config=configuration.detector,
+        resolved=resolved,
+        static_races=static_races,
+        executor=executor,
+    )
+    sharded_seconds = time.perf_counter() - started
+
+    matches = (
+        sharded.reports.reports
+        == canonical_report_order(serial.reports.reports)
+        and sharded.monitored_locations == serial.monitored_locations
+        and sharded.trie_nodes == serial.total_trie_nodes()
+    )
+    return PostMortemOutcome(
+        workload=spec.name,
+        configuration=configuration.name,
+        record_seconds=record_seconds,
+        serial_seconds=serial_seconds,
+        sharded_seconds=sharded_seconds,
+        shards=shards,
+        executor=executor,
+        access_events=sharded.partitioned_accesses,
+        replicated_sync_events=sharded.replicated_sync_events,
+        races_reported=sharded.races,
+        monitored_locations=sharded.monitored_locations,
+        trie_nodes=sharded.trie_nodes,
+        matches_serial=matches,
+        sharded=sharded,
+    )
+
+
 def run_table2_row(
     spec: WorkloadSpec,
     scale: Optional[int] = None,

@@ -4,10 +4,12 @@ from .events import (
     AccessEvent,
     CountingSink,
     EventSink,
+    LocationInterner,
     MemoryLocation,
     MulticastSink,
     ObjectKind,
     RecordingSink,
+    replay_entries,
 )
 from .interpreter import Frame, Interpreter, RunResult, run_program
 from .replay import (
@@ -37,6 +39,7 @@ __all__ = [
     "EventSink",
     "Frame",
     "Interpreter",
+    "LocationInterner",
     "MJArray",
     "MJClassObject",
     "MJObject",
@@ -60,6 +63,7 @@ __all__ = [
     "ThreadStatus",
     "mj_repr",
     "record_run",
+    "replay_entries",
     "replay_run",
     "run_program",
 ]

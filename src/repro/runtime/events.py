@@ -52,6 +52,37 @@ class ObjectKind(enum.Enum):
     CLASS = "class"
 
 
+class LocationInterner:
+    """Per-object field tables interning :class:`MemoryLocation` keys.
+
+    The runtime emits millions of accesses but touches few distinct
+    ``(object, field)`` pairs, so the hot path should reuse one
+    canonical key object per pair instead of allocating a fresh
+    NamedTuple per event.  Canonical keys make downstream dict lookups
+    hit the identity fast path and keep per-location state (tries,
+    ownership, caches) keyed by a single shared object.
+    """
+
+    __slots__ = ("_tables",)
+
+    def __init__(self) -> None:
+        #: object uid -> field name -> canonical MemoryLocation.
+        self._tables: dict[int, dict[str, MemoryLocation]] = {}
+
+    def intern(self, object_uid: int, field: str) -> MemoryLocation:
+        """The canonical location for ``(object_uid, field)``."""
+        table = self._tables.get(object_uid)
+        if table is None:
+            self._tables[object_uid] = table = {}
+        location = table.get(field)
+        if location is None:
+            table[field] = location = MemoryLocation(object_uid, field)
+        return location
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+
 @dataclass(frozen=True)
 class AccessEvent:
     """One executed memory access, as emitted by an instrumented site.
@@ -88,6 +119,35 @@ class EventSink:
     def on_access(self, event: AccessEvent) -> None:
         """An instrumented memory access executed."""
 
+    def on_access_parts(
+        self,
+        object_uid: int,
+        field: str,
+        thread_id: int,
+        kind: AccessKind,
+        site_id: int,
+        object_kind: ObjectKind,
+        object_label: str,
+    ) -> None:
+        """The same access, delivered as scalars (the hot-path form).
+
+        The interpreter emits through this entry point so sinks that
+        don't need an :class:`AccessEvent` object (recorders, the
+        detection pipeline) can skip the per-event allocation entirely.
+        The default bridges to :meth:`on_access`, so sinks overriding
+        only the event-object API keep working unchanged.
+        """
+        self.on_access(
+            AccessEvent(
+                location=MemoryLocation(object_uid, field),
+                thread_id=thread_id,
+                kind=kind,
+                site_id=site_id,
+                object_kind=object_kind,
+                object_label=object_label,
+            )
+        )
+
     def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
         """``thread_id`` entered the monitor of object ``lock_uid``."""
 
@@ -116,6 +176,14 @@ class MulticastSink(EventSink):
     def on_access(self, event: AccessEvent) -> None:
         for sink in self.sinks:
             sink.on_access(event)
+
+    def on_access_parts(
+        self, object_uid, field, thread_id, kind, site_id, object_kind, object_label
+    ) -> None:
+        for sink in self.sinks:
+            sink.on_access_parts(
+                object_uid, field, thread_id, kind, site_id, object_kind, object_label
+            )
 
     def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
         for sink in self.sinks:
@@ -162,6 +230,15 @@ class CountingSink(EventSink):
         else:
             self.reads += 1
 
+    def on_access_parts(
+        self, object_uid, field, thread_id, kind, site_id, object_kind, object_label
+    ) -> None:
+        self.accesses += 1
+        if kind is AccessKind.WRITE:
+            self.writes += 1
+        else:
+            self.reads += 1
+
     def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
         self.monitor_enters += 1
 
@@ -176,12 +253,23 @@ class CountingSink(EventSink):
 
 
 class RecordingSink(EventSink):
-    """Records the full event stream as a list of tuples.
+    """Records the full event stream as a list of compact tuples.
 
     The backbone of post-mortem detection (Section 1 notes the approach
     "could be easily modified to perform post-mortem datarace detection
     by creating a log of access events") and of the deterministic-replay
     tests.
+
+    Access events are stored *tuple-encoded* — ``(ACCESS, object_uid,
+    field, thread_id, kind, site_id, object_kind, object_label)`` —
+    rather than as :class:`AccessEvent` objects, so recording mode
+    allocates no per-event dataclass.  The encoding is lossless:
+    :meth:`events` reconstructs equal :class:`AccessEvent` objects
+    (with interned locations) for consumers that need them, and
+    :meth:`replay_into` re-delivers the stream through the scalar
+    :meth:`EventSink.on_access_parts` fast path.  The plain tuples are
+    also what makes sharded post-mortem detection cheap to fan out
+    across processes (:mod:`repro.detector.sharded`).
     """
 
     ACCESS = "access"
@@ -195,7 +283,35 @@ class RecordingSink(EventSink):
         self.log: list[tuple] = []
 
     def on_access(self, event: AccessEvent) -> None:
-        self.log.append((self.ACCESS, event))
+        location = event.location
+        self.log.append(
+            (
+                self.ACCESS,
+                location.object_uid,
+                location.field,
+                event.thread_id,
+                event.kind,
+                event.site_id,
+                event.object_kind,
+                event.object_label,
+            )
+        )
+
+    def on_access_parts(
+        self, object_uid, field, thread_id, kind, site_id, object_kind, object_label
+    ) -> None:
+        self.log.append(
+            (
+                self.ACCESS,
+                object_uid,
+                field,
+                thread_id,
+                kind,
+                site_id,
+                object_kind,
+                object_label,
+            )
+        )
 
     def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
         self.log.append((self.ENTER, thread_id, lock_uid, reentrant))
@@ -212,20 +328,59 @@ class RecordingSink(EventSink):
     def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
         self.log.append((self.JOIN, joiner_id, joined_id))
 
+    @property
+    def access_count(self) -> int:
+        return sum(1 for entry in self.log if entry[0] == self.ACCESS)
+
+    def events(self):
+        """Lossless view of the recorded accesses as :class:`AccessEvent`
+        objects (locations interned, one canonical key per pair)."""
+        interner = LocationInterner()
+        for entry in self.log:
+            if entry[0] == self.ACCESS:
+                yield AccessEvent(
+                    location=interner.intern(entry[1], entry[2]),
+                    thread_id=entry[3],
+                    kind=entry[4],
+                    site_id=entry[5],
+                    object_kind=entry[6],
+                    object_label=entry[7],
+                )
+
     def replay_into(self, sink: EventSink) -> None:
         """Re-deliver the recorded stream to ``sink`` (post-mortem mode)."""
-        for entry in self.log:
-            tag = entry[0]
-            if tag == self.ACCESS:
-                sink.on_access(entry[1])
-            elif tag == self.ENTER:
-                sink.on_monitor_enter(entry[1], entry[2], entry[3])
-            elif tag == self.EXIT:
-                sink.on_monitor_exit(entry[1], entry[2], entry[3])
-            elif tag == self.START:
-                sink.on_thread_start(entry[1], entry[2])
-            elif tag == self.END:
-                sink.on_thread_end(entry[1])
-            elif tag == self.JOIN:
-                sink.on_thread_join(entry[1], entry[2])
-        sink.on_run_end()
+        replay_entries(self.log, sink)
+
+
+def replay_entries(entries, sink: EventSink) -> None:
+    """Deliver a sequence of tuple-encoded log entries to ``sink``,
+    closing with :meth:`EventSink.on_run_end`.
+
+    Accepts the compact entries produced by :class:`RecordingSink`;
+    sharded post-mortem detection uses this to drive each shard's
+    detector over its partition of the log.
+    """
+    access = RecordingSink.ACCESS
+    enter = RecordingSink.ENTER
+    exit_ = RecordingSink.EXIT
+    start = RecordingSink.START
+    end = RecordingSink.END
+    join = RecordingSink.JOIN
+    on_access_parts = sink.on_access_parts
+    for entry in entries:
+        tag = entry[0]
+        if tag == access:
+            on_access_parts(
+                entry[1], entry[2], entry[3], entry[4], entry[5], entry[6], entry[7]
+            )
+        elif tag == enter:
+            sink.on_monitor_enter(entry[1], entry[2], entry[3])
+        elif tag == exit_:
+            sink.on_monitor_exit(entry[1], entry[2], entry[3])
+        elif tag == start:
+            sink.on_thread_start(entry[1], entry[2])
+        elif tag == end:
+            sink.on_thread_end(entry[1])
+        elif tag == join:
+            sink.on_thread_join(entry[1], entry[2])
+    sink.on_run_end()

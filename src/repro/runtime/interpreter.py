@@ -28,7 +28,7 @@ from typing import Optional
 from ..lang import ast
 from ..lang.errors import MJAssertionError, MJRuntimeError, SourceLocation
 from ..lang.resolver import ARRAY_FIELD, ResolvedProgram
-from .events import AccessEvent, EventSink, MemoryLocation, ObjectKind
+from .events import EventSink, ObjectKind
 from .scheduler import (
     RoundRobinPolicy,
     Scheduler,
@@ -110,6 +110,8 @@ class Interpreter:
     ):
         self._resolved = resolved
         self._sink = sink
+        # Pre-bound sink fast path: one call per emitted access.
+        self._emit_parts = sink.on_access_parts if sink is not None else None
         self._trace_sites = trace_sites
         self._uids = _UidAllocator()
         self._class_objects: dict[str, MJClassObject] = {}
@@ -118,6 +120,8 @@ class Interpreter:
         )
         self._threads: list[ThreadState] = []
         self._started_objects: dict[int, ThreadState] = {}
+        #: object uid -> (ObjectKind, label), interned for emission.
+        self._ref_labels: dict[int, tuple] = {}
         self.output: list[str] = []
         self.accesses_executed = 0
         self.accesses_emitted = 0
@@ -188,25 +192,23 @@ class Interpreter:
             return
         if self._trace_sites is not None and site_id not in self._trace_sites:
             return
-        if isinstance(ref, MJArray):
-            object_kind = ObjectKind.ARRAY
-            label = f"array#{ref.uid}"
-        elif isinstance(ref, MJClassObject):
-            object_kind = ObjectKind.CLASS
-            label = f"class {ref.class_info.name}"
-        else:
-            object_kind = ObjectKind.INSTANCE
-            label = f"{ref.class_info.name}#{ref.uid}"
+        # The (object kind, label) pair is a pure function of the
+        # reference, so it is computed once per object, not per event —
+        # the hot path does one dict probe instead of isinstance checks
+        # and an f-string per access.
+        uid = ref.uid
+        cached = self._ref_labels.get(uid)
+        if cached is None:
+            if isinstance(ref, MJArray):
+                cached = (ObjectKind.ARRAY, f"array#{uid}")
+            elif isinstance(ref, MJClassObject):
+                cached = (ObjectKind.CLASS, f"class {ref.class_info.name}")
+            else:
+                cached = (ObjectKind.INSTANCE, f"{ref.class_info.name}#{uid}")
+            self._ref_labels[uid] = cached
         self.accesses_emitted += 1
-        self._sink.on_access(
-            AccessEvent(
-                location=MemoryLocation(ref.uid, field_name),
-                thread_id=thread.thread_id,
-                kind=kind,
-                site_id=site_id,
-                object_kind=object_kind,
-                object_label=label,
-            )
+        self._emit_parts(
+            uid, field_name, thread.thread_id, kind, site_id, cached[0], cached[1]
         )
 
     # ------------------------------------------------------------------
@@ -238,16 +240,40 @@ class Interpreter:
             yield from self._exec_stmt(stmt, frame, thread)
 
     def _exec_stmt(self, stmt: ast.Stmt, frame: Frame, thread: ThreadState):
-        if isinstance(stmt, ast.VarDecl):
-            frame.locals[stmt.name] = yield from self._eval(stmt.init, frame, thread)
-        elif isinstance(stmt, ast.AssignLocal):
+        # Same leaf-type dispatch as _eval, ordered by execution
+        # frequency.
+        node_type = type(stmt)
+        if node_type is ast.AssignLocal:
             frame.locals[stmt.name] = yield from self._eval(stmt.value, frame, thread)
-        elif isinstance(stmt, ast.FieldWrite):
+        elif node_type is ast.If:
+            cond = yield from self._eval_bool(stmt.cond, frame, thread)
+            if cond:
+                yield from self._exec_block(stmt.then_block, frame, thread)
+            elif stmt.else_block is not None:
+                yield from self._exec_block(stmt.else_block, frame, thread)
+        elif node_type is ast.While:
+            while True:
+                cond = yield from self._eval_bool(stmt.cond, frame, thread)
+                if not cond:
+                    break
+                yield from self._exec_block(stmt.body, frame, thread)
+                yield  # Loop back-edge preemption point.
+        elif node_type is ast.FieldWrite:
             obj = yield from self._eval(stmt.obj, frame, thread)
             value = yield from self._eval(stmt.value, frame, thread)
             yield  # Preemption point before the write.
             self._write_field(obj, stmt.field_name, value, stmt, thread)
-        elif isinstance(stmt, ast.StaticFieldWrite):
+        elif node_type is ast.ArrayWrite:
+            array = yield from self._eval(stmt.array, frame, thread)
+            index = yield from self._eval(stmt.index, frame, thread)
+            value = yield from self._eval(stmt.value, frame, thread)
+            yield
+            self._write_array(array, index, value, stmt, thread)
+        elif node_type is ast.VarDecl:
+            frame.locals[stmt.name] = yield from self._eval(stmt.init, frame, thread)
+        elif node_type is ast.ExprStmt:
+            yield from self._eval(stmt.expr, frame, thread)
+        elif node_type is ast.StaticFieldWrite:
             value = yield from self._eval(stmt.value, frame, thread)
             owner = self._static_owner_object(
                 stmt.class_name, stmt.field_name, stmt.location
@@ -257,46 +283,25 @@ class Interpreter:
                 owner, stmt.field_name, ast.AccessKind.WRITE, stmt.site_id, thread
             )
             owner.statics[stmt.field_name] = value
-        elif isinstance(stmt, ast.ArrayWrite):
-            array = yield from self._eval(stmt.array, frame, thread)
-            index = yield from self._eval(stmt.index, frame, thread)
-            value = yield from self._eval(stmt.value, frame, thread)
-            yield
-            self._write_array(array, index, value, stmt, thread)
-        elif isinstance(stmt, ast.If):
-            cond = yield from self._eval_bool(stmt.cond, frame, thread)
-            if cond:
-                yield from self._exec_block(stmt.then_block, frame, thread)
-            elif stmt.else_block is not None:
-                yield from self._exec_block(stmt.else_block, frame, thread)
-        elif isinstance(stmt, ast.While):
-            while True:
-                cond = yield from self._eval_bool(stmt.cond, frame, thread)
-                if not cond:
-                    break
-                yield from self._exec_block(stmt.body, frame, thread)
-                yield  # Loop back-edge preemption point.
-        elif isinstance(stmt, ast.Sync):
+        elif node_type is ast.Sync:
             yield from self._exec_sync(stmt, frame, thread)
-        elif isinstance(stmt, ast.Start):
+        elif node_type is ast.Start:
             yield from self._exec_start(stmt, frame, thread)
-        elif isinstance(stmt, ast.Join):
+        elif node_type is ast.Join:
             yield from self._exec_join(stmt, frame, thread)
-        elif isinstance(stmt, ast.Return):
+        elif node_type is ast.Return:
             value = None
             if stmt.value is not None:
                 value = yield from self._eval(stmt.value, frame, thread)
             raise _Return(value)
-        elif isinstance(stmt, ast.Print):
+        elif node_type is ast.Print:
             value = yield from self._eval(stmt.value, frame, thread)
             self.output.append(mj_repr(value))
-        elif isinstance(stmt, ast.Assert):
+        elif node_type is ast.Assert:
             cond = yield from self._eval_bool(stmt.cond, frame, thread)
             if not cond:
                 raise MJAssertionError("assertion failed", stmt.location)
-        elif isinstance(stmt, ast.ExprStmt):
-            yield from self._eval(stmt.expr, frame, thread)
-        elif isinstance(stmt, ast.Block):
+        elif node_type is ast.Block:
             yield from self._exec_block(stmt, frame, thread)
         else:
             raise MJRuntimeError(
@@ -448,27 +453,43 @@ class Interpreter:
         return value
 
     def _eval(self, expr: ast.Expr, frame: Frame, thread: ThreadState):
-        if isinstance(expr, ast.IntLiteral):
-            return expr.value
-        if isinstance(expr, ast.BoolLiteral):
-            return expr.value
-        if isinstance(expr, ast.StringLiteral):
-            return expr.value
-        if isinstance(expr, ast.NullLiteral):
-            return None
-        if isinstance(expr, ast.VarRef):
+        # Dispatch on the concrete node type (every node class is a
+        # leaf, so identity comparison is equivalent to isinstance and
+        # skips the mro walk).  Checks are ordered by how often each
+        # node kind is evaluated in loop-heavy programs.
+        node_type = type(expr)
+        if node_type is ast.VarRef:
             if expr.name not in frame.locals:
                 raise MJRuntimeError(
                     f"unbound variable {expr.name!r}", expr.location
                 )
             return frame.locals[expr.name]
-        if isinstance(expr, ast.ThisRef):
-            return frame.this
-        if isinstance(expr, ast.ClassRef):
-            return self._class_object(expr.class_name)
-        if isinstance(expr, ast.Binary):
+        if node_type is ast.Binary:
             return (yield from self._eval_binary(expr, frame, thread))
-        if isinstance(expr, ast.Unary):
+        if node_type is ast.FieldRead:
+            obj = yield from self._eval(expr.obj, frame, thread)
+            yield  # Preemption point before the read.
+            return self._read_field(obj, expr, thread)
+        if node_type is ast.ArrayRead:
+            array = yield from self._eval(expr.array, frame, thread)
+            index = yield from self._eval(expr.index, frame, thread)
+            yield
+            return self._read_array(array, index, expr, thread)
+        if node_type is ast.IntLiteral:
+            return expr.value
+        if node_type is ast.ThisRef:
+            return frame.this
+        if node_type is ast.Call:
+            return (yield from self._eval_call(expr, frame, thread))
+        if node_type is ast.BoolLiteral:
+            return expr.value
+        if node_type is ast.StringLiteral:
+            return expr.value
+        if node_type is ast.NullLiteral:
+            return None
+        if node_type is ast.ClassRef:
+            return self._class_object(expr.class_name)
+        if node_type is ast.Unary:
             operand = yield from self._eval(expr.operand, frame, thread)
             if expr.op == "!":
                 if not isinstance(operand, bool):
@@ -479,11 +500,7 @@ class Interpreter:
                     raise MJRuntimeError("unary '-' requires an integer", expr.location)
                 return -operand
             raise MJRuntimeError(f"unknown unary operator {expr.op!r}", expr.location)
-        if isinstance(expr, ast.FieldRead):
-            obj = yield from self._eval(expr.obj, frame, thread)
-            yield  # Preemption point before the read.
-            return self._read_field(obj, expr, thread)
-        if isinstance(expr, ast.StaticFieldRead):
+        if node_type is ast.StaticFieldRead:
             owner = self._static_owner_object(
                 expr.class_name, expr.field_name, expr.location
             )
@@ -492,14 +509,9 @@ class Interpreter:
                 owner, expr.field_name, ast.AccessKind.READ, expr.site_id, thread
             )
             return owner.statics[expr.field_name]
-        if isinstance(expr, ast.ArrayRead):
-            array = yield from self._eval(expr.array, frame, thread)
-            index = yield from self._eval(expr.index, frame, thread)
-            yield
-            return self._read_array(array, index, expr, thread)
-        if isinstance(expr, ast.New):
+        if node_type is ast.New:
             return (yield from self._eval_new(expr, frame, thread))
-        if isinstance(expr, ast.NewArray):
+        if node_type is ast.NewArray:
             size = yield from self._eval(expr.size, frame, thread)
             if not isinstance(size, int) or isinstance(size, bool) or size < 0:
                 raise MJRuntimeError(
@@ -507,8 +519,6 @@ class Interpreter:
                 )
             array = MJArray(self._uids, size, expr.alloc_id)
             return array
-        if isinstance(expr, ast.Call):
-            return (yield from self._eval_call(expr, frame, thread))
         raise MJRuntimeError(
             f"unhandled expression {type(expr).__name__}", expr.location
         )

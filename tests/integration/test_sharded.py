@@ -1,0 +1,190 @@
+"""Integration tests for the sharded post-mortem engine: real
+workloads, all three executors, the harness runner, and the CLI flags."""
+
+import pytest
+
+from repro.detector import (
+    canonical_report_order,
+    detect_from_log,
+    detect_sharded,
+    detect_sharded_post_mortem,
+    partition_log,
+)
+from repro.detector.postmortem import record_execution
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import RecordingSink
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def tsp_recording():
+    spec = ALL_WORKLOADS["tsp2"]
+    resolved = compile_source(spec.build(4), filename="tsp2")
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    _, log = record_execution(resolved, trace_sites=plan.trace_sites)
+    serial, _ = detect_from_log(log, resolved=resolved)
+    return resolved, log, serial
+
+
+class TestPartitioning:
+    def test_accesses_partition_and_syncs_replicate(self, tsp_recording):
+        _, log, _ = tsp_recording
+        shards = 4
+        streams, accesses, syncs = partition_log(log.log, shards)
+        assert len(streams) == shards
+        assert accesses == log.access_count
+        assert syncs == len(log.log) - accesses
+        # Each shard holds every sync event plus its slice of accesses.
+        assert sum(len(s) for s in streams) == accesses + shards * syncs
+        for stream in streams:
+            sync_count = sum(
+                1 for entry in stream if entry[0] != RecordingSink.ACCESS
+            )
+            assert sync_count == syncs
+
+    def test_routing_is_by_object_uid(self, tsp_recording):
+        _, log, _ = tsp_recording
+        streams, _, _ = partition_log(log.log, 3)
+        for index, stream in enumerate(streams):
+            for entry in stream:
+                if entry[0] == RecordingSink.ACCESS:
+                    assert entry[1] % 3 == index
+
+    def test_zero_shards_rejected(self, tsp_recording):
+        _, log, _ = tsp_recording
+        with pytest.raises(ValueError):
+            partition_log(log.log, 0)
+
+    def test_unknown_executor_rejected(self, tsp_recording):
+        _, log, _ = tsp_recording
+        with pytest.raises(ValueError):
+            detect_sharded(log, 2, executor="gpu")
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_every_executor_matches_serial_detection(
+        self, tsp_recording, executor, shards
+    ):
+        resolved, log, serial = tsp_recording
+        result = detect_sharded(
+            log, shards, resolved=resolved, executor=executor
+        )
+        assert result.reports.reports == canonical_report_order(
+            serial.reports.reports
+        )
+        assert result.monitored_locations == serial.monitored_locations
+        assert result.trie_nodes == serial.total_trie_nodes()
+        assert result.stats.accesses == serial.stats.accesses
+        assert result.races == serial.stats.races_reported
+
+    def test_reports_carry_site_descriptors(self, tsp_recording):
+        resolved, log, serial = tsp_recording
+        result = detect_sharded(
+            log, 4, resolved=resolved, executor="process"
+        )
+        assert result.races > 0
+        for report, expected in zip(
+            result.reports.reports,
+            canonical_report_order(serial.reports.reports),
+        ):
+            assert report.site_descriptor == expected.site_descriptor
+            assert report.site_descriptor  # Post-filled, not empty.
+
+    def test_shard_summary_mentions_every_shard(self, tsp_recording):
+        resolved, log, _ = tsp_recording
+        result = detect_sharded(log, 3, resolved=resolved)
+        summary = result.shard_summary()
+        for index in range(3):
+            assert f"shard {index}" in summary
+
+
+class TestWholeWorkflow:
+    def test_detect_sharded_post_mortem_runs_end_to_end(self):
+        spec = ALL_WORKLOADS["mtrt2"]
+        resolved = compile_source(spec.build(3), filename="mtrt2")
+        plan = plan_instrumentation(resolved, PlannerConfig())
+        result, log = detect_sharded_post_mortem(
+            resolved, shards=4, trace_sites=plan.trace_sites
+        )
+        assert result.partitioned_accesses == log.access_count
+        serial, _ = detect_from_log(log, resolved=resolved)
+        assert result.reports.reports == canonical_report_order(
+            serial.reports.reports
+        )
+
+    def test_harness_post_mortem_runner(self):
+        from repro.harness import CONFIG_FULL, run_workload_post_mortem
+
+        outcome = run_workload_post_mortem(
+            ALL_WORKLOADS["tsp2"],
+            CONFIG_FULL,
+            shards=4,
+            scale=4,
+            executor="thread",
+        )
+        assert outcome.matches_serial
+        assert outcome.shards == 4
+        assert outcome.access_events > 0
+        assert outcome.replicated_sync_events > 0
+
+
+RACY = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    print d.x;
+  }
+}
+class Data { field x; }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.x = this.d.x + 1; }
+}
+"""
+
+
+class TestCliFlags:
+    @pytest.fixture
+    def racy_file(self, tmp_path):
+        path = tmp_path / "racy.mj"
+        path.write_text(RACY)
+        return str(path)
+
+    def test_shards_flag_implies_post_mortem(self, racy_file, capsys):
+        from repro.cli import main
+
+        code = main(["check", racy_file, "--shards", "2", "--stats"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DATARACE" in out
+        assert "post-mortem: 2 shards" in out
+
+    def test_post_mortem_matches_on_the_fly_output(self, racy_file, capsys):
+        from repro.cli import main
+
+        main(["check", racy_file])
+        live = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("DATARACE")
+        ]
+        main(["check", racy_file, "--post-mortem"])
+        offline = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("DATARACE")
+        ]
+        assert sorted(live) == sorted(offline)
+        assert live
+
+    def test_invalid_shard_count(self, racy_file, capsys):
+        from repro.cli import main
+
+        assert main(["check", racy_file, "--shards", "0"]) == 2
