@@ -21,6 +21,16 @@ Commands
 ``tables``
     Regenerate the paper's Tables 1/2/3 (``--scale`` and ``--repeats``
     control cost).
+
+``difflab``
+    The differential race-oracle lab: verify the committed reproducer
+    corpus (``tests/corpus/``), then fuzz a campaign of
+    (program, schedule) cases through the whole detector battery,
+    classify every discrepancy against the expectation matrix, and
+    shrink any violation into a minimal counterexample.  ``--budget
+    120s`` keeps fuzzing until time is up; ``--inject NAME`` swaps in a
+    deliberately broken detector to prove the lab catches it; ``--out``
+    chooses where shrunk violations land.
 """
 
 from __future__ import annotations
@@ -86,6 +96,38 @@ def _build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--repeats", type=int, default=1)
     tables.add_argument("--output", type=Path, default=None,
                         help="write a markdown report instead of printing")
+
+    difflab = sub.add_parser(
+        "difflab",
+        help="differential race-oracle lab (corpus check + fuzz campaign)",
+    )
+    difflab.add_argument("--budget", default=None, metavar="TIME",
+                         help='campaign time budget, e.g. "120s" or "2m" '
+                         "(keeps drawing fuzz seeds until time is up)")
+    difflab.add_argument("--programs", type=int, default=12,
+                         help="fuzz program seeds without a budget "
+                         "(0 skips the campaign; default: 12)")
+    difflab.add_argument("--schedules", type=int, default=3,
+                         help="schedules per program: round-robin plus "
+                         "seeded random (default: 3)")
+    difflab.add_argument("--seed0", type=int, default=0,
+                         help="first fuzz program seed (default: 0)")
+    difflab.add_argument("--corpus", type=Path, default=None, metavar="DIR",
+                         help="reproducer corpus directory "
+                         "(default: tests/corpus)")
+    difflab.add_argument("--skip-corpus", action="store_true",
+                         help="skip the committed-corpus verification phase")
+    difflab.add_argument("--inject", default=None, metavar="NAME",
+                         help="swap in a deliberately broken detector "
+                         "(lab self-test); see --list-injections")
+    difflab.add_argument("--list-injections", action="store_true",
+                         help="list the available injected bugs and exit")
+    difflab.add_argument("--no-shrink", action="store_true",
+                         help="report violations without minimizing them")
+    difflab.add_argument("--out", type=Path, default=Path("difflab-out"),
+                         metavar="DIR",
+                         help="where shrunk violation reproducers are "
+                         "written (default: ./difflab-out)")
     return parser
 
 
@@ -267,6 +309,103 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def _parse_budget(text):
+    """``"120s"`` / ``"2m"`` / ``"90"`` → seconds (float)."""
+    text = text.strip().lower()
+    factor = 1.0
+    if text.endswith("ms"):
+        factor, text = 0.001, text[:-2]
+    elif text.endswith("s"):
+        text = text[:-1]
+    elif text.endswith("m"):
+        factor, text = 60.0, text[:-1]
+    elif text.endswith("h"):
+        factor, text = 3600.0, text[:-1]
+    try:
+        value = float(text) * factor
+    except ValueError:
+        raise MJError(f"cannot parse budget {text!r} (try '120s' or '2m')")
+    if value <= 0:
+        raise MJError("budget must be positive")
+    return value
+
+
+def cmd_difflab(args) -> int:
+    import json
+
+    from .difflab import (
+        DEFAULT_CORPUS,
+        INJECTIONS,
+        run_campaign,
+        verify_corpus,
+    )
+
+    if args.list_injections:
+        for name, injection in sorted(INJECTIONS.items()):
+            print(f"{name}: {injection.description}")
+        return 0
+    injection = None
+    if args.inject is not None:
+        injection = INJECTIONS.get(args.inject)
+        if injection is None:
+            print(f"error: unknown injection {args.inject!r} "
+                  f"(have: {', '.join(sorted(INJECTIONS))})", file=sys.stderr)
+            return 2
+
+    failed = False
+
+    if not args.skip_corpus:
+        directory = args.corpus if args.corpus is not None else DEFAULT_CORPUS
+        entries, problems = verify_corpus(directory)
+        covered = sorted({klass for e in entries for klass in e.classes})
+        print(f"corpus: {len(entries)} entries from {directory}")
+        for entry in entries:
+            classes = ", ".join(entry.classes) if entry.classes else "-"
+            print(f"  {entry.name} [{entry.fingerprint}] "
+                  f"schedule={entry.schedule.describe()} classes={classes}")
+        if problems:
+            failed = True
+            for name, problem in problems:
+                print(f"  CORPUS PROBLEM {name}: {problem}")
+        else:
+            print(f"corpus: zero violations; expected classes reproduced: "
+                  f"{', '.join(covered)}")
+
+    budget = _parse_budget(args.budget) if args.budget is not None else None
+    if budget is not None or args.programs > 0:
+        result = run_campaign(
+            programs=args.programs,
+            schedules=args.schedules,
+            budget=budget,
+            seed0=args.seed0,
+            detector_factory=injection.factory if injection else None,
+            config=injection.config if injection else None,
+            shrink=not args.no_shrink,
+            progress=lambda message: print(f"  .. {message}"),
+        )
+        print(result.summary())
+        if result.violations:
+            failed = True
+            args.out.mkdir(parents=True, exist_ok=True)
+            for violation in result.violations:
+                stem = args.out / violation.fingerprint
+                stem.with_suffix(".mj").write_text(violation.source)
+                stem.with_suffix(".json").write_text(json.dumps({
+                    "fingerprint": violation.fingerprint,
+                    "classes": list(violation.classes),
+                    "schedule": violation.schedule.to_json(),
+                    "original_label": violation.original_label,
+                    "shrink": violation.stats.describe(),
+                    "discrepancies": [
+                        d.describe() for d in violation.discrepancies
+                    ],
+                }, indent=2) + "\n")
+                print(f"wrote {stem.with_suffix('.mj')}")
+        if result.errors:
+            failed = True
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -275,6 +414,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "explain": cmd_explain,
         "tables": cmd_tables,
+        "difflab": cmd_difflab,
     }
     try:
         return handlers[args.command](args)

@@ -93,6 +93,11 @@ def static_partner_descriptors(resolved, static_races, site_id: int) -> tuple:
 class RaceDetector(EventSink):
     """On-the-fly datarace detector: ownership + caches + lockset tries."""
 
+    #: The per-location trie implementation.  Overridable so the difflab
+    #: can inject deliberately broken variants and prove the differential
+    #: harness catches them (:mod:`repro.difflab.inject`).
+    trie_class = LockTrie
+
     def __init__(
         self,
         config: Optional[DetectorConfig] = None,
@@ -289,7 +294,7 @@ class RaceDetector(EventSink):
         else:
             trie = self._tries.get(key)
             if trie is None:
-                trie = LockTrie(self.trie_stats)
+                trie = self.trie_class(self.trie_stats)
                 self._tries[key] = trie
 
             # Weakness check: the vast majority of accesses stop here.

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..lang.resolver import ResolvedProgram
-from ..runtime.events import RecordingSink
+from ..runtime.events import RecordingSink, replay_entries, validate_entries
 from ..runtime.interpreter import RunResult, run_program
 from .config import DetectorConfig
 from .pipeline import RaceDetector
@@ -65,17 +65,30 @@ def detect_from_log(
     resolved: Optional[ResolvedProgram] = None,
     static_races=None,
     enumerate_full_race: bool = False,
+    validate: bool = True,
 ) -> tuple[RaceDetector, Optional[list]]:
     """Phase 2: run the detector (and optionally the FullRace oracle)
-    over a recorded log."""
+    over a recorded log.
+
+    ``log`` is a :class:`~repro.runtime.events.RecordingSink` or a raw
+    list of its tuple-encoded entries (e.g. the output of
+    :func:`~repro.runtime.events.load_log`).  ``validate`` (default on)
+    checks the log against the current tuple schema first, so a stale
+    or corrupted log fails with a
+    :class:`~repro.runtime.events.LogSchemaError` instead of being
+    misdecoded.
+    """
+    entries = log.log if isinstance(log, RecordingSink) else log
+    if validate:
+        validate_entries(entries)
     detector = RaceDetector(
         config=config, resolved=resolved, static_races=static_races
     )
-    log.replay_into(detector)
+    replay_entries(entries, detector)
     pairs: Optional[list] = None
     if enumerate_full_race:
         oracle = ReferenceDetector(config)
-        log.replay_into(oracle)
+        replay_entries(entries, oracle)
         pairs = oracle.full_race
     return detector, pairs
 

@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..lang.resolver import ResolvedProgram
-from ..runtime.events import RecordingSink, replay_entries
+from ..runtime.events import RecordingSink, replay_entries, validate_entries
 from .cache import CacheStats
 from .config import DetectorConfig
 from .pipeline import PipelineStats, RaceDetector, static_partner_descriptors
@@ -180,6 +180,7 @@ def detect_sharded(
     static_races=None,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    validate: bool = True,
 ) -> ShardedDetectionResult:
     """Run sharded post-mortem detection over a recorded event log.
 
@@ -189,10 +190,17 @@ def detect_sharded(
     result is identical (races, monitored locations, trie node totals)
     to a serial :func:`~repro.detector.postmortem.detect_from_log` run,
     for every shard count and executor.
+
+    ``validate`` (default on) schema-checks the log once before
+    partitioning, so stale tuple layouts fail with a clear
+    :class:`~repro.runtime.events.LogSchemaError` rather than
+    misdecoding inside a shard worker.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
     entries = log.log if isinstance(log, RecordingSink) else log
+    if validate:
+        validate_entries(entries)
     shard_entries, accesses, syncs = partition_log(entries, shards)
 
     if executor == "serial" or shards == 1:

@@ -1,0 +1,92 @@
+"""Differential race-oracle lab with automatic counterexample shrinking.
+
+See :mod:`repro.difflab.expectations` for the declarative matrix,
+:mod:`repro.difflab.lab` for the campaign driver, and
+``docs/difflab.md`` for the triage guide.
+"""
+
+from .corpus import (
+    DEFAULT_CORPUS,
+    CorpusEntry,
+    load_corpus,
+    save_entry,
+    verify_corpus,
+    verify_entry,
+)
+from .expectations import (
+    EXPECTED,
+    MATRIX,
+    VIOLATION,
+    Discrepancy,
+    Expectation,
+    classify_case,
+    expected_classes,
+    violation_classes,
+)
+from .inject import INJECTIONS
+from .lab import (
+    CampaignResult,
+    CaseResult,
+    Violation,
+    case_classes,
+    fingerprint,
+    run_campaign,
+    run_case,
+    shrink_case,
+)
+from .shrink import (
+    ShrinkResult,
+    ShrinkStats,
+    count_statements,
+    lock_order_ascending,
+    shrink_program,
+    shrink_schedule,
+    validate_structure,
+)
+from .verdicts import (
+    DEFAULT_SHARDS,
+    CaseRun,
+    ScheduleSpec,
+    Verdict,
+    compute_verdicts,
+    execute_case,
+)
+
+__all__ = [
+    "DEFAULT_CORPUS",
+    "DEFAULT_SHARDS",
+    "CampaignResult",
+    "CaseResult",
+    "CaseRun",
+    "CorpusEntry",
+    "Discrepancy",
+    "EXPECTED",
+    "Expectation",
+    "INJECTIONS",
+    "MATRIX",
+    "ScheduleSpec",
+    "ShrinkResult",
+    "ShrinkStats",
+    "Verdict",
+    "VIOLATION",
+    "Violation",
+    "case_classes",
+    "classify_case",
+    "compute_verdicts",
+    "count_statements",
+    "execute_case",
+    "expected_classes",
+    "fingerprint",
+    "load_corpus",
+    "lock_order_ascending",
+    "run_campaign",
+    "run_case",
+    "save_entry",
+    "shrink_case",
+    "shrink_program",
+    "shrink_schedule",
+    "validate_structure",
+    "verify_corpus",
+    "verify_entry",
+    "violation_classes",
+]

@@ -1,0 +1,315 @@
+"""The declarative expectation matrix.
+
+Every pairwise relation between two detectors' verdicts is either a
+*theorem* of the designs involved (its failure is a **violation** — a
+soundness/precision bug in this codebase) or a *documented precision
+gap* (its occurrence is an **expected** discrepancy class — the very
+differences the paper's Sections 2.2, 8.3 and 9 discuss).  The matrix
+below encodes, for each ordered pair and set domain, what extra
+elements on each side mean.
+
+Hard expectations (violations when broken):
+
+* ``reference == paper`` on locations — Definition 1 completeness in
+  one direction, the paper's precision claim in the other.  Verified
+  empirically over large fuzz sweeps before being encoded here.
+* ``paper ⊆ reference-raw`` — the ownership filter only removes
+  events, so it can never manufacture a racy location.
+* ``hb ⊆ reference-raw`` — a happened-before race has no common lock
+  (a common lock would have created the ordering edge), hence it is a
+  lockset race (§2.2); join pseudo-locks mirror the HB start/join
+  edges exactly.
+* ``paper-live == paper`` — on-the-fly and post-mortem replay consume
+  the identical event stream and must agree report-for-report.
+* ``paper-sharded-k == paper`` — the PR-1 sharding theorem: reports,
+  monitored locations, trie node totals, ``accesses``,
+  ``owned_filtered`` and ``detector_processed`` are invariant across
+  shard counts, and ``cache_hits + weaker_filtered`` is invariant as a
+  sum.
+
+Expected discrepancy classes (documented gaps, never violations):
+
+* ``feasible-race-gap`` — lockset races HB misses because an observed
+  lock ordering hid them (§2.2's central argument).
+* ``ownership-suppressed`` — races on initialization-phase accesses
+  the ownership filter deliberately hides (§7, Table 3's NoOwnership
+  flood in reverse).
+* ``eraser-single-lock-fp`` — Eraser's single-common-lock discipline
+  flagging pairwise-consistent locking (the mtrt idiom, §8.3).
+* ``eraser-deferral-miss`` — races Eraser misses because its state
+  machine was still in Virgin/Exclusive/Shared when they happened, it
+  reports at most once per location, or the race needed the join
+  modeling Eraser lacks.
+* ``object-granularity-fp`` / ``object-deferral-miss`` — the Praun &
+  Gross whole-object coarsening (§8.3, Table 3) versus its single-lock
+  deferral and first-report-only behaviour.
+* ``static-elimination-miss`` / ``ownership-timing-shift`` — the
+  optimized instrumentation plan (§5–§7) emits fewer events; races can
+  disappear outright, and the §7.2 interaction (fewer events move the
+  owned→shared transition) can shift which accesses are visible in
+  either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .verdicts import DEFAULT_SHARDS, Verdict
+
+VIOLATION = "violation"
+EXPECTED = "expected"
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One ordered pairwise relation in the matrix.
+
+    ``on_left_extra`` / ``on_right_extra`` name the discrepancy class
+    assigned when that side holds elements the other lacks; the
+    ``violation:`` prefix marks the class as a violation, anything else
+    is an expected class.  ``None`` means that direction is impossible
+    by construction (not checked).
+    """
+
+    left: str
+    right: str
+    domain: str  # "locations" | "objects"
+    on_left_extra: Optional[str]
+    on_right_extra: Optional[str]
+    why: str
+
+
+MATRIX = (
+    Expectation(
+        left="reference",
+        right="paper",
+        domain="locations",
+        on_left_extra="violation:definition1-miss",
+        on_right_extra="violation:precision-loss",
+        why="Definition 1: the trie detector reports every location "
+        "with a non-empty MemRace(m), and only those (paper §2.5/§3).",
+    ),
+    Expectation(
+        left="paper",
+        right="reference-raw",
+        domain="locations",
+        on_left_extra="violation:ownership-admitted-extra",
+        on_right_extra="ownership-suppressed",
+        why="The ownership filter only removes events, so every "
+        "reported location must also race without it (§7).",
+    ),
+    Expectation(
+        left="hb",
+        right="reference-raw",
+        domain="locations",
+        on_left_extra="violation:hb-inclusion-break",
+        on_right_extra="feasible-race-gap",
+        why="An HB-unordered conflicting pair shares no lock, so it is "
+        "a lockset race; the converse gap is §2.2's feasible races.",
+    ),
+    Expectation(
+        left="eraser",
+        right="paper",
+        domain="locations",
+        on_left_extra="eraser-single-lock-fp",
+        on_right_extra="eraser-deferral-miss",
+        why="Eraser demands one lock common to all accesses and defers "
+        "through its initialization states (§8.3, §9).",
+    ),
+    Expectation(
+        left="objectrace",
+        right="paper",
+        domain="objects",
+        on_left_extra="object-granularity-fp",
+        on_right_extra="object-deferral-miss",
+        why="Whole-object candidate sets coarsen the location space "
+        "(Praun & Gross; Table 3's FieldsMerged isolates the effect).",
+    ),
+    Expectation(
+        left="paper-static",
+        right="paper",
+        domain="locations",
+        on_left_extra="ownership-timing-shift",
+        on_right_extra="static-elimination-miss",
+        why="The optimized plan emits fewer events; §7.2's "
+        "ownership-timing interaction can shift reports either way.",
+    ),
+)
+
+#: Counters that must be exactly invariant across shard counts.
+PARITY_COUNTERS = (
+    "accesses",
+    "owned_filtered",
+    "detector_processed",
+    "filtered_sum",
+    "monitored_locations",
+    "trie_nodes",
+    "report_signature",
+)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One classified difference between two verdicts."""
+
+    left: str
+    right: str
+    domain: str
+    #: The discrepancy class, e.g. ``feasible-race-gap`` or
+    #: ``definition1-miss``.
+    klass: str
+    #: ``"expected"`` or ``"violation"``.
+    classification: str
+    #: The offending elements (location/object strings), sorted.
+    items: tuple
+    detail: str = ""
+
+    @property
+    def is_violation(self) -> bool:
+        return self.classification == VIOLATION
+
+    def describe(self) -> str:
+        marker = "VIOLATION" if self.is_violation else "expected"
+        body = ", ".join(self.items[:4])
+        if len(self.items) > 4:
+            body += f", ... ({len(self.items)} total)"
+        detail = f" [{self.detail}]" if self.detail else ""
+        return (
+            f"[{marker}] {self.klass}: {self.left} vs {self.right} "
+            f"({self.domain}): {body}{detail}"
+        )
+
+
+def _classify(klass_spec: str) -> tuple[str, str]:
+    if klass_spec.startswith("violation:"):
+        return klass_spec[len("violation:"):], VIOLATION
+    return klass_spec, EXPECTED
+
+
+def classify_case(verdicts: dict, shards=DEFAULT_SHARDS) -> list:
+    """Apply the whole matrix to one case's verdicts.
+
+    Returns the list of :class:`Discrepancy` objects (empty when every
+    detector pair agrees exactly where it must and differs nowhere it
+    may).  Matrix rows whose detectors were not run (e.g. the static
+    axis was disabled, or sharding was skipped under bug injection) are
+    silently skipped.
+    """
+    discrepancies: list = []
+    for expectation in MATRIX:
+        left = verdicts.get(expectation.left)
+        right = verdicts.get(expectation.right)
+        if left is None or right is None:
+            continue
+        left_set = getattr(left, expectation.domain)
+        right_set = getattr(right, expectation.domain)
+        extra_left = left_set - right_set
+        extra_right = right_set - left_set
+        if extra_left and expectation.on_left_extra is not None:
+            klass, classification = _classify(expectation.on_left_extra)
+            discrepancies.append(
+                Discrepancy(
+                    left=expectation.left,
+                    right=expectation.right,
+                    domain=expectation.domain,
+                    klass=klass,
+                    classification=classification,
+                    items=tuple(sorted(extra_left)),
+                )
+            )
+        if extra_right and expectation.on_right_extra is not None:
+            klass, classification = _classify(expectation.on_right_extra)
+            discrepancies.append(
+                Discrepancy(
+                    left=expectation.left,
+                    right=expectation.right,
+                    domain=expectation.domain,
+                    klass=klass,
+                    classification=classification,
+                    items=tuple(sorted(extra_right)),
+                )
+            )
+    discrepancies.extend(_mode_parity(verdicts))
+    discrepancies.extend(_sharded_parity(verdicts, shards))
+    return discrepancies
+
+
+def _mode_parity(verdicts: dict) -> list:
+    """paper-live vs paper: identical stream, identical everything."""
+    live = verdicts.get("paper-live")
+    paper = verdicts.get("paper")
+    if live is None or paper is None:
+        return []
+    problems = []
+    if live.locations != paper.locations or live.races != paper.races:
+        problems.append(
+            Discrepancy(
+                left="paper-live",
+                right="paper",
+                domain="locations",
+                klass="mode-parity-break",
+                classification=VIOLATION,
+                items=tuple(sorted(live.locations ^ paper.locations)),
+                detail=f"races {live.races} vs {paper.races}",
+            )
+        )
+    return problems
+
+
+def _sharded_parity(verdicts: dict, shards) -> list:
+    """paper-sharded-k vs paper: the PR-1 merge theorem, per counter."""
+    paper = verdicts.get("paper")
+    if paper is None:
+        return []
+    serial_counters = paper.counter_map()
+    problems = []
+    for count in shards:
+        sharded = verdicts.get(f"paper-sharded-{count}")
+        if sharded is None:
+            continue
+        sharded_counters = sharded.counter_map()
+        broken = [
+            name
+            for name in PARITY_COUNTERS
+            if serial_counters.get(name) != sharded_counters.get(name)
+        ]
+        if sharded.locations != paper.locations or broken:
+            problems.append(
+                Discrepancy(
+                    left=sharded.detector,
+                    right="paper",
+                    domain="locations",
+                    klass="sharded-parity-break",
+                    classification=VIOLATION,
+                    items=tuple(sorted(sharded.locations ^ paper.locations)),
+                    detail="counters: " + ", ".join(
+                        f"{name}={sharded_counters.get(name)!r}"
+                        f"!={serial_counters.get(name)!r}"
+                        for name in broken
+                    )
+                    if broken
+                    else "report sets differ",
+                )
+            )
+    return problems
+
+
+def expected_classes() -> tuple:
+    """All expected discrepancy class names the matrix can emit."""
+    names = []
+    for expectation in MATRIX:
+        for spec in (expectation.on_left_extra, expectation.on_right_extra):
+            if spec is not None and not spec.startswith("violation:"):
+                names.append(spec)
+    return tuple(sorted(set(names)))
+
+
+def violation_classes() -> tuple:
+    """All violation class names the matrix (and parity checks) can emit."""
+    names = {"mode-parity-break", "sharded-parity-break"}
+    for expectation in MATRIX:
+        for spec in (expectation.on_left_extra, expectation.on_right_extra):
+            if spec is not None and spec.startswith("violation:"):
+                names.add(spec[len("violation:"):])
+    return tuple(sorted(names))

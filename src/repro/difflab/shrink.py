@@ -1,0 +1,430 @@
+"""Automatic counterexample shrinking (delta debugging).
+
+When the lab classifies a discrepancy as a violation, the raw
+counterexample is a fuzzer-sized MJ program plus an arbitrary schedule.
+This module minimizes both while re-validating after every candidate
+step that (a) the program still satisfies the fuzzer's structural
+guarantees — it compiles, terminates within the step budget, is
+deterministic, and acquires nested locks in ascending index order —
+and (b) the case still exhibits the *same* classified reason.
+
+Program reduction is hierarchical delta debugging over brace-balanced
+line segments, preceded by structure-aware passes that understand the
+fuzzer's program shape:
+
+1. drop whole worker classes (with their ``var/start/join`` plumbing);
+2. drop whole shared fields (declaration plus every access);
+3. remove or unwrap statement segments (a ``sync``/``while``/``if``
+   block can be deleted outright or replaced by its body);
+4. drop now-unused lock plumbing.
+
+Schedule reduction tries, in order of preference: plain round-robin, a
+small scheduling seed, and a recorded-trace *prefix* (binary-searched
+to the shortest length that still steers the run into the failure,
+replayed through :class:`~repro.runtime.replay.FallbackReplayPolicy`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..lang.errors import MJError
+from ..lang.resolver import compile_source
+from ..runtime.replay import RecordingPolicy
+from ..runtime.scheduler import DeadlockError, StepLimitExceeded
+from .verdicts import ScheduleSpec
+
+#: A schedule-prefix longer than this is considered *less* readable
+#: than a plain scheduling seed and is not adopted.
+MAX_ADOPTED_PREFIX = 64
+
+
+@dataclass
+class ShrinkStats:
+    """Bookkeeping for the harness report and the CLI summary."""
+
+    initial_statements: int = 0
+    final_statements: int = 0
+    candidates_tried: int = 0
+    candidates_accepted: int = 0
+    rounds: int = 0
+    initial_schedule: str = ""
+    final_schedule: str = ""
+
+    def describe(self) -> str:
+        return (
+            f"{self.initial_statements} → {self.final_statements} "
+            f"statements in {self.rounds} rounds "
+            f"({self.candidates_tried} candidates, "
+            f"{self.candidates_accepted} accepted); schedule "
+            f"{self.initial_schedule} → {self.final_schedule}"
+        )
+
+
+@dataclass
+class ShrinkResult:
+    source: str
+    schedule: ScheduleSpec
+    stats: ShrinkStats
+
+
+def count_statements(source: str) -> int:
+    """MJ statements: semicolon-terminated lines plus block headers
+    (``sync``/``while``/``if``), excluding declarations."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith(("class ", "field ")):
+            continue
+        if stripped.endswith(";"):
+            count += 1
+        elif re.match(r"(sync|while|if)\b", stripped):
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Structural validation (the fuzzer's guarantees, re-checked).
+
+
+_SYNC_RE = re.compile(r"sync\s*\(\s*this\.lock(\d+)\s*\)")
+
+
+def lock_order_ascending(source: str) -> bool:
+    """Syntactic check of the fuzzer's global-lock-order guarantee:
+    nested ``sync (this.lockN)`` blocks acquire strictly ascending
+    lock indexes."""
+    depth = 0
+    stack: list[tuple[int, int]] = []  # (lock index, entry depth)
+    for line in source.splitlines():
+        header = _SYNC_RE.search(line)
+        if header is not None:
+            lock = int(header.group(1))
+            if stack and lock <= stack[-1][0]:
+                return False
+            stack.append((lock, depth))
+        depth += line.count("{") - line.count("}")
+        while stack and depth <= stack[-1][1]:
+            stack.pop()
+    return True
+
+
+def validate_structure(
+    source: str,
+    run_case: Callable[[str], object],
+    check_determinism: bool = False,
+) -> bool:
+    """The fuzzer's structural guarantees on a shrink candidate.
+
+    ``run_case`` executes the candidate under the case's schedule and
+    returns the program output (raising on compile errors, deadlock, or
+    step-budget exhaustion).  Determinism is verified by running twice
+    only when requested — it doubles the cost, so the shrink loop saves
+    it for final validation.
+    """
+    if not lock_order_ascending(source):
+        return False
+    try:
+        compile_source(source)
+        output = run_case(source)
+        if check_determinism and run_case(source) != output:
+            return False
+    except (MJError, DeadlockError, StepLimitExceeded, RecursionError):
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Brace-balanced line segments.
+
+
+@dataclass
+class Segment:
+    """A removable unit: one statement line or one balanced block."""
+
+    start: int
+    end: int  # inclusive
+    is_block: bool = False
+    children: list = field(default_factory=list)
+
+
+def parse_segments(lines: list, start: int, end: int) -> list:
+    """Split ``lines[start:end+1]`` into sibling segments.
+
+    A line with net positive brace balance opens a block running to the
+    line restoring the entry depth (``} else {`` lines stay inside
+    their ``if`` block, so an if/else is one segment).
+    """
+    segments: list = []
+    index = start
+    while index <= end:
+        line = lines[index]
+        balance = line.count("{") - line.count("}")
+        if balance > 0:
+            depth = balance
+            close = index
+            while depth > 0 and close < end:
+                close += 1
+                depth += lines[close].count("{") - lines[close].count("}")
+            children = parse_segments(lines, index + 1, close - 1)
+            segments.append(
+                Segment(start=index, end=close, is_block=True, children=children)
+            )
+            index = close + 1
+        else:
+            segments.append(Segment(start=index, end=index))
+            index += 1
+    return segments
+
+
+def _without(lines: list, spans: list) -> str:
+    dropped = set()
+    for start, end in spans:
+        dropped.update(range(start, end + 1))
+    return "\n".join(
+        line for index, line in enumerate(lines) if index not in dropped
+    )
+
+
+def _unwrap(lines: list, segment: Segment) -> str:
+    """Replace a block segment with its interior (minus ``} else {``
+    separators, which would dangle)."""
+    kept = []
+    for index, line in enumerate(lines):
+        if index == segment.start or index == segment.end:
+            continue
+        if segment.start < index < segment.end and line.strip() == "} else {":
+            continue
+        kept.append(line)
+    return "\n".join(kept)
+
+
+# ----------------------------------------------------------------------
+# Structure-aware passes.
+
+
+def _worker_indexes(source: str) -> list:
+    return sorted(
+        {int(match) for match in re.findall(r"class Worker(\d+)", source)}
+    )
+
+
+def _remove_worker(source: str, index: int) -> Optional[str]:
+    lines = source.splitlines()
+    spans = []
+    in_class = False
+    depth = 0
+    for number, line in enumerate(lines):
+        if re.match(rf"class Worker{index}\b", line.strip()):
+            in_class = True
+            start = number
+            depth = 0
+        if in_class:
+            depth += line.count("{") - line.count("}")
+            if depth == 0 and line.count("}"):
+                spans.append((start, number))
+                in_class = False
+        elif re.search(rf"\bw{index}\b", line):
+            spans.append((number, number))
+    if not spans:
+        return None
+    return _without(lines, spans)
+
+
+def _field_names(source: str) -> list:
+    return sorted(set(re.findall(r"field (f\d+);", source)))
+
+
+def _remove_field(source: str, name: str) -> Optional[str]:
+    lines = source.splitlines()
+    pattern = re.compile(rf"\.{name}\b|field {name};")
+    spans = [
+        (number, number)
+        for number, line in enumerate(lines)
+        if pattern.search(line)
+    ]
+    if not spans:
+        return None
+    return _without(lines, spans)
+
+
+def _lock_indexes(source: str) -> list:
+    return sorted(
+        {int(match) for match in re.findall(r"var lock(\d+) = new LockObj", source)}
+    )
+
+
+def _remove_lock(source: str, index: int) -> Optional[str]:
+    """Strip lock ``index``'s plumbing — only once no sync block uses it."""
+    if re.search(rf"sync\s*\(\s*this\.lock{index}\s*\)", source):
+        return None
+    lines = []
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped in (
+            f"var lock{index} = new LockObj();",
+            f"field lock{index};",
+            f"this.lock{index} = l{index};",
+        ):
+            continue
+        # Constructor calls and parameter lists mention the lock by name.
+        line = re.sub(rf", lock{index}\b", "", line)
+        line = re.sub(rf"\block{index}, ", "", line)
+        line = re.sub(rf", l{index}\b", "", line)
+        line = re.sub(rf"\bl{index}, ", "", line)
+        lines.append(line)
+    candidate = "\n".join(lines)
+    return candidate if candidate != source else None
+
+
+# ----------------------------------------------------------------------
+# The shrink loop.
+
+
+#: Main-method plumbing the segment pass must not touch (handled by the
+#: structure-aware passes instead).
+_PROTECTED_RE = re.compile(
+    r"var shared = new Shared|var lock\d+ = |var w\d+ = new Worker|"
+    r"start w\d+;|join w\d+;|def |class |^\s*}\s*$|this\.|var s = this\.s"
+)
+
+
+def _segment_candidates(source: str) -> list:
+    """All single-step segment reductions of ``source`` (removals and
+    block unwraps), most aggressive first."""
+    lines = source.splitlines()
+    segments = parse_segments(lines, 0, len(lines) - 1)
+    flat: list = []
+
+    def walk(items):
+        for segment in items:
+            flat.append(segment)
+            walk(segment.children)
+
+    walk(segments)
+    candidates: list = []
+    # Larger segments first: removing a whole block beats line-by-line.
+    for segment in sorted(
+        flat, key=lambda item: item.end - item.start, reverse=True
+    ):
+        text = lines[segment.start].strip()
+        if _PROTECTED_RE.search(text) and not segment.is_block:
+            continue
+        if segment.is_block and text.startswith(("class", "def")):
+            continue
+        candidates.append(_without(lines, [(segment.start, segment.end)]))
+        if segment.is_block:
+            candidates.append(_unwrap(lines, segment))
+    return candidates
+
+
+def shrink_program(
+    source: str,
+    interesting: Callable[[str], bool],
+    max_rounds: int = 40,
+    stats: Optional[ShrinkStats] = None,
+) -> tuple[str, ShrinkStats]:
+    """Greedy fixpoint reduction of ``source`` under ``interesting``.
+
+    ``interesting`` must return True iff the candidate still compiles,
+    still satisfies the structural guarantees, and still fails for the
+    same classified reason — the caller owns that predicate.
+    """
+    if stats is None:
+        stats = ShrinkStats()
+    stats.initial_statements = count_statements(source)
+    current = source
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        changed = False
+
+        def try_candidate(candidate: Optional[str]) -> bool:
+            nonlocal current, changed
+            if candidate is None or candidate == current:
+                return False
+            stats.candidates_tried += 1
+            if interesting(candidate):
+                stats.candidates_accepted += 1
+                current = candidate
+                changed = True
+                return True
+            return False
+
+        for index in reversed(_worker_indexes(current)):
+            if len(_worker_indexes(current)) <= 1:
+                break
+            try_candidate(_remove_worker(current, index))
+        for name in _field_names(current):
+            try_candidate(_remove_field(current, name))
+        for candidate in _segment_candidates(current):
+            if try_candidate(candidate):
+                break  # Line numbering shifted; re-derive candidates.
+        for index in _lock_indexes(current):
+            try_candidate(_remove_lock(current, index))
+        if not changed:
+            break
+    stats.final_statements = count_statements(current)
+    return current, stats
+
+
+def shrink_schedule(
+    source: str,
+    schedule: ScheduleSpec,
+    interesting: Callable[[str, ScheduleSpec], bool],
+    record_trace: Callable[[str, ScheduleSpec], list],
+    seed_candidates=range(8),
+) -> ScheduleSpec:
+    """Minimize the schedule for an already-shrunk program.
+
+    Preference order: round-robin, a small :class:`RandomPolicy` seed,
+    the original spec with its recorded decision trace cut to the
+    shortest prefix that still reaches the failure (binary search; the
+    suffix is handed to the round-robin fallback).
+    """
+    round_robin = ScheduleSpec(kind="roundrobin")
+    if interesting(source, round_robin):
+        return round_robin
+    for seed in seed_candidates:
+        candidate = ScheduleSpec(kind="random", seed=seed)
+        if interesting(source, candidate):
+            adopted = candidate
+            break
+    else:
+        adopted = schedule
+    if not interesting(source, adopted):  # Paranoia: keep the original.
+        return schedule
+
+    choices = record_trace(source, adopted)
+    low, high = 0, len(choices)
+    # Invariant: prefix of length `high` is interesting (the full trace
+    # reproduces the adopted schedule exactly, fallback unused).
+    if not interesting(
+        source, ScheduleSpec(kind="prefix", choices=tuple(choices))
+    ):
+        return adopted
+    while low < high:
+        mid = (low + high) // 2
+        if interesting(
+            source, ScheduleSpec(kind="prefix", choices=tuple(choices[:mid]))
+        ):
+            high = mid
+        else:
+            low = mid + 1
+    if high == 0:
+        return round_robin
+    prefix = ScheduleSpec(kind="prefix", choices=tuple(choices[:high]))
+    if adopted.kind == "random" and high > MAX_ADOPTED_PREFIX:
+        return adopted
+    return prefix
+
+
+def record_schedule_trace(source: str, schedule: ScheduleSpec, max_steps: int):
+    """One execution's scheduling decisions under ``schedule``."""
+    from ..runtime.interpreter import run_program
+
+    resolved = compile_source(source)
+    policy = RecordingPolicy(schedule.policy())
+    run_program(resolved, policy=policy, max_steps=max_steps)
+    return list(policy.trace.choices)

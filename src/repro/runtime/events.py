@@ -252,6 +252,16 @@ class CountingSink(EventSink):
         self.thread_joins += 1
 
 
+class LogSchemaError(ValueError):
+    """A recorded event log does not match the current tuple schema.
+
+    Raised instead of letting a stale or corrupted log misdecode: a log
+    recorded by an older build (different column layout) or truncated in
+    transit would otherwise be silently misread as field values shifting
+    into the wrong positions.
+    """
+
+
 class RecordingSink(EventSink):
     """Records the full event stream as a list of compact tuples.
 
@@ -270,7 +280,18 @@ class RecordingSink(EventSink):
     :meth:`EventSink.on_access_parts` fast path.  The plain tuples are
     also what makes sharded post-mortem detection cheap to fan out
     across processes (:mod:`repro.detector.sharded`).
+
+    The encoding is versioned (:data:`SCHEMA_VERSION`): post-mortem
+    consumers call :func:`validate_entries` before decoding, and the
+    serialized form produced by :func:`dump_log` embeds the version so
+    :func:`load_log` can reject logs recorded under a different layout
+    with a clear error instead of misdecoding them.
     """
+
+    #: Version of the tuple-encoded entry layout.  v1 was the unversioned
+    #: PR-1 encoding (identical column layout, no validation); bump this
+    #: whenever an entry tag gains, loses, or reorders columns.
+    SCHEMA_VERSION = 2
 
     ACCESS = "access"
     ENTER = "enter"
@@ -350,6 +371,119 @@ class RecordingSink(EventSink):
     def replay_into(self, sink: EventSink) -> None:
         """Re-deliver the recorded stream to ``sink`` (post-mortem mode)."""
         replay_entries(self.log, sink)
+
+
+#: Expected tuple arity per entry tag (tag column included).
+_ENTRY_ARITY = {
+    RecordingSink.ACCESS: 8,
+    RecordingSink.ENTER: 4,
+    RecordingSink.EXIT: 4,
+    RecordingSink.START: 3,
+    RecordingSink.END: 2,
+    RecordingSink.JOIN: 3,
+}
+
+
+def validate_entries(entries, version: int = RecordingSink.SCHEMA_VERSION) -> None:
+    """Check a tuple-encoded log against the current schema.
+
+    Raises :class:`LogSchemaError` naming the first offending entry.
+    Post-mortem loaders call this before replaying a log that may have
+    been recorded by a different build, pickled, or persisted to disk.
+    """
+    if version != RecordingSink.SCHEMA_VERSION:
+        raise LogSchemaError(
+            f"event log uses schema version {version}, but this build "
+            f"reads version {RecordingSink.SCHEMA_VERSION} — re-record "
+            f"the execution with the current build"
+        )
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, tuple) or not entry:
+            raise LogSchemaError(
+                f"log entry {index} is not a tagged tuple: {entry!r}"
+            )
+        arity = _ENTRY_ARITY.get(entry[0])
+        if arity is None:
+            raise LogSchemaError(
+                f"log entry {index} has unknown tag {entry[0]!r} "
+                f"(known: {sorted(_ENTRY_ARITY)})"
+            )
+        if len(entry) != arity:
+            raise LogSchemaError(
+                f"log entry {index} ({entry[0]!r}) has {len(entry)} "
+                f"columns, schema version {RecordingSink.SCHEMA_VERSION} "
+                f"expects {arity}: {entry!r}"
+            )
+        if entry[0] == RecordingSink.ACCESS and not (
+            isinstance(entry[1], int)
+            and isinstance(entry[2], str)
+            and isinstance(entry[3], int)
+            and isinstance(entry[4], AccessKind)
+            and isinstance(entry[5], int)
+            and isinstance(entry[6], ObjectKind)
+            and isinstance(entry[7], str)
+        ):
+            raise LogSchemaError(
+                f"log entry {index} has mistyped access columns: {entry!r}"
+            )
+
+
+def dump_log(log) -> dict:
+    """Serialize a recorded log to a JSON-safe payload with an embedded
+    schema version (enums are encoded by value)."""
+    entries = log.log if isinstance(log, RecordingSink) else log
+    encoded = []
+    for entry in entries:
+        if entry[0] == RecordingSink.ACCESS:
+            encoded.append(
+                [entry[0], entry[1], entry[2], entry[3], entry[4].value,
+                 entry[5], entry[6].value, entry[7]]
+            )
+        else:
+            encoded.append(list(entry))
+    return {"version": RecordingSink.SCHEMA_VERSION, "entries": encoded}
+
+
+def load_log(payload: dict) -> list[tuple]:
+    """Decode a :func:`dump_log` payload back into tuple entries,
+    validating the schema version and layout first."""
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise LogSchemaError(
+            "payload is not a serialized event log (missing 'entries')"
+        )
+    version = payload.get("version")
+    if version != RecordingSink.SCHEMA_VERSION:
+        raise LogSchemaError(
+            f"event log was serialized with schema version {version}, "
+            f"but this build reads version "
+            f"{RecordingSink.SCHEMA_VERSION} — re-record the execution"
+        )
+    entries: list[tuple] = []
+    for index, raw in enumerate(payload["entries"]):
+        if not raw:
+            raise LogSchemaError(f"serialized entry {index} is empty")
+        if raw[0] == RecordingSink.ACCESS:
+            if len(raw) != _ENTRY_ARITY[RecordingSink.ACCESS]:
+                raise LogSchemaError(
+                    f"serialized access entry {index} has {len(raw)} "
+                    f"columns: {raw!r}"
+                )
+            try:
+                kind = AccessKind(raw[4])
+                object_kind = ObjectKind(raw[6])
+            except ValueError as error:
+                raise LogSchemaError(
+                    f"serialized entry {index} has unknown enum value: "
+                    f"{error}"
+                ) from error
+            entries.append(
+                (raw[0], raw[1], raw[2], raw[3], kind, raw[5], object_kind,
+                 raw[7])
+            )
+        else:
+            entries.append(tuple(raw))
+    validate_entries(entries)
+    return entries
 
 
 def replay_entries(entries, sink: EventSink) -> None:

@@ -85,6 +85,40 @@ class ReplayPolicy(SchedulingPolicy):
         return self._position
 
 
+class FallbackReplayPolicy(SchedulingPolicy):
+    """Replays a trace *prefix*, then hands over to a fallback policy.
+
+    Unlike :class:`ReplayPolicy` this never raises
+    :class:`ReplayDivergence`: when the trace is exhausted, or the
+    recorded choice is no longer runnable (the program was edited — the
+    difflab shrinker's case), the fallback policy decides instead.
+    That makes truncated traces usable as schedule *hints*, which is
+    what delta-debugging a schedule needs: a shrunk prefix either still
+    steers the program into the failure or the candidate is rejected.
+    """
+
+    def __init__(self, trace: ScheduleTrace, fallback: SchedulingPolicy = None):
+        from .scheduler import RoundRobinPolicy
+
+        self._trace = trace
+        self._position = 0
+        self.fallback = fallback if fallback is not None else RoundRobinPolicy()
+        #: Steps decided by the trace (vs. delegated to the fallback).
+        self.replayed_steps = 0
+        self.fallback_steps = 0
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        if self._position < len(self._trace.choices):
+            wanted = self._trace.choices[self._position]
+            self._position += 1
+            for thread in runnable:
+                if thread.thread_id == wanted:
+                    self.replayed_steps += 1
+                    return thread
+        self.fallback_steps += 1
+        return self.fallback.choose(runnable)
+
+
 def record_run(resolved, sink=None, inner_policy=None, **run_kwargs):
     """Execute once while recording the schedule; returns
     ``(RunResult, ScheduleTrace)``."""

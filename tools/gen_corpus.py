@@ -1,0 +1,582 @@
+#!/usr/bin/env python
+"""Regenerate the committed reproducer corpus (``tests/corpus/``).
+
+Each entry is minted by :func:`repro.difflab.corpus.save_entry`, which
+re-runs the case, asserts it exhibits the annotated discrepancy
+classes, and records the full per-detector verdict matrix the PR gate
+checks byte-for-byte.  Hand-written cases target classes the fuzzer
+does not reach (the mtrt Eraser idiom, the §7.2 ownership-timing miss,
+sharded-merge edges); fuzz-found cases are shrunk first so the corpus
+stays readable.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/gen_corpus.py [--out tests/corpus]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.difflab import (  # noqa: E402
+    ScheduleSpec,
+    case_classes,
+    run_case,
+    save_entry,
+    shrink_case,
+)
+from repro.workloads.fuzz import generate_program  # noqa: E402
+
+MTRT_ERASER_FP = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    var lock0 = new LockObj();
+    var w0 = new Worker0(shared, lock0);
+    var w1 = new Worker1(shared, lock0);
+    start w0;
+    start w1;
+    join w0;
+    join w1;
+    shared.f0 = 3;
+  }
+}
+
+class Shared {
+  field f0;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  field lock0;
+  def init(shared, l0) {
+    this.s = shared;
+    this.lock0 = l0;
+  }
+  def run() {
+    var s = this.s;
+    sync (this.lock0) {
+      s.f0 = 1;
+    }
+  }
+}
+
+class Worker1 {
+  field s;
+  field lock0;
+  def init(shared, l0) {
+    this.s = shared;
+    this.lock0 = l0;
+  }
+  def run() {
+    var s = this.s;
+    sync (this.lock0) {
+      s.f0 = 2;
+    }
+  }
+}
+
+class Pad { field v; }
+"""
+
+OWNERSHIP_TIMING_72 = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    var w0 = new Worker0(shared);
+    var w1 = new Worker1(shared);
+    start w0;
+    start w1;
+    join w0;
+    join w1;
+  }
+}
+
+class Shared {
+  field f0;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  def init(shared) {
+    this.s = shared;
+  }
+  def run() {
+    var s = this.s;
+    var i0 = 0;
+    while (i0 < 4) {
+      s.f0 = i0;
+      i0 = i0 + 1;
+    }
+  }
+}
+
+class Worker1 {
+  field s;
+  def init(shared) {
+    this.s = shared;
+  }
+  def run() {
+    var s = this.s;
+    var acc = 0;
+    var i1 = 0;
+    while (i1 < 2) {
+      acc = acc + 1;
+      i1 = i1 + 1;
+    }
+    s.f0 = 7;
+  }
+}
+
+class Pad { field v; }
+"""
+
+TBOTTOM_MERGE = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    shared.f0 = 0;
+    var lock0 = new LockObj();
+    var w0 = new Worker0(shared, lock0);
+    var w1 = new Worker1(shared, lock0);
+    start w0;
+    start w1;
+    join w0;
+    join w1;
+  }
+}
+
+class Shared {
+  field f0;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  field lock0;
+  def init(shared, l0) {
+    this.s = shared;
+    this.lock0 = l0;
+  }
+  def run() {
+    var s = this.s;
+    var acc = 0;
+    sync (this.lock0) {
+      s.f0 = 1;
+    }
+    var i1 = 0;
+    while (i1 < 8) {
+      acc = acc + 1;
+      i1 = i1 + 1;
+    }
+    s.f0 = 2;
+  }
+}
+
+class Worker1 {
+  field s;
+  field lock0;
+  def init(shared, l0) {
+    this.s = shared;
+    this.lock0 = l0;
+  }
+  def run() {
+    var s = this.s;
+    sync (this.lock0) {
+      s.f0 = 3;
+    }
+  }
+}
+
+class Pad { field v; }
+"""
+
+SHARDED_TINY = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    var w0 = new Worker0(shared);
+    start w0;
+    join w0;
+    print shared.f0;
+  }
+}
+
+class Shared {
+  field f0;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  def init(shared) {
+    this.s = shared;
+  }
+  def run() {
+    var s = this.s;
+    s.f0 = 1;
+  }
+}
+
+class Pad { field v; }
+"""
+
+SHARDED_SYNC_REPLICATION = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    shared.f0 = 0;
+    shared.f1 = 0;
+    var lock0 = new LockObj();
+    var w0 = new Worker0(shared, lock0);
+    var w1 = new Worker1(shared, lock0);
+    start w0;
+    start w1;
+    join w0;
+    join w1;
+    print shared.f0;
+    print shared.f1;
+  }
+}
+
+class Shared {
+  field f0;
+  field f1;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  field lock0;
+  def init(shared, l0) {
+    this.s = shared;
+    this.lock0 = l0;
+  }
+  def run() {
+    var s = this.s;
+    var i0 = 0;
+    while (i0 < 6) {
+      sync (this.lock0) {
+        s.f0 = s.f0 + 1;
+      }
+      s.f1 = s.f1 + 1;
+      i0 = i0 + 1;
+    }
+  }
+}
+
+class Worker1 {
+  field s;
+  field lock0;
+  def init(shared, l0) {
+    this.s = shared;
+    this.lock0 = l0;
+  }
+  def run() {
+    var s = this.s;
+    var i1 = 0;
+    while (i1 < 6) {
+      sync (this.lock0) {
+        s.f0 = s.f0 + 1;
+      }
+      s.f1 = s.f1 + 1;
+      i1 = i1 + 1;
+    }
+  }
+}
+
+class Pad { field v; }
+"""
+
+OBJECT_GRANULARITY_FP = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    shared.f0 = 0;
+    shared.f1 = 0;
+    var lock0 = new LockObj();
+    var lock1 = new LockObj();
+    var w0 = new Worker0(shared, lock0, lock1);
+    var w1 = new Worker1(shared, lock0, lock1);
+    start w0;
+    start w1;
+    join w0;
+    join w1;
+    print shared.f0;
+    print shared.f1;
+  }
+}
+
+class Shared {
+  field f0;
+  field f1;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  field lock0;
+  field lock1;
+  def init(shared, l0, l1) {
+    this.s = shared;
+    this.lock0 = l0;
+    this.lock1 = l1;
+  }
+  def run() {
+    var s = this.s;
+    sync (this.lock0) {
+      s.f0 = s.f0 + 1;
+    }
+    sync (this.lock1) {
+      s.f1 = s.f1 + 1;
+    }
+  }
+}
+
+class Worker1 {
+  field s;
+  field lock0;
+  field lock1;
+  def init(shared, l0, l1) {
+    this.s = shared;
+    this.lock0 = l0;
+    this.lock1 = l1;
+  }
+  def run() {
+    var s = this.s;
+    sync (this.lock0) {
+      s.f0 = s.f0 + 1;
+    }
+    sync (this.lock1) {
+      s.f1 = s.f1 + 1;
+    }
+  }
+}
+
+class Pad { field v; }
+"""
+
+RW_RACE_MIN = """\
+class Main {
+  static def main() {
+    var shared = new Shared();
+    shared.f0 = 6;
+    var w0 = new Worker0(shared);
+    var w1 = new Worker1(shared);
+    start w0;
+    start w1;
+    join w0;
+    join w1;
+    print shared.f0;
+  }
+}
+
+class Shared {
+  field f0;
+}
+
+class LockObj { }
+
+class Worker0 {
+  field s;
+  def init(shared) {
+    this.s = shared;
+  }
+  def run() {
+    var s = this.s;
+    s.f0 = 1;
+  }
+}
+
+class Worker1 {
+  field s;
+  def init(shared) {
+    this.s = shared;
+  }
+  def run() {
+    var s = this.s;
+    var r0 = s.f0;
+  }
+}
+
+class Pad { field v; }
+"""
+
+RR = ScheduleSpec(kind="roundrobin")
+
+
+def shape_check(klass, need_shared_field=True, min_workers=1):
+    """Keep shrunk corpus entries illustrative: the target class must
+    stay on a shared data field (not collapse into the constructor-init
+    pattern) and the program must keep enough worker threads."""
+
+    def check(result):
+        if result.source.count("class Worker") < min_workers:
+            return False
+        if not need_shared_field:
+            return True
+        return any(
+            ".f" in item
+            for d in result.discrepancies
+            if d.klass == klass
+            for item in d.items
+        )
+
+    return check
+
+
+def shrunk_fuzz_entry(
+    out, name, klass, seed, schedule, notes, min_workers=1, **fuzz_kwargs
+):
+    """Find ``klass`` in a fuzz case and commit its shrunk form."""
+    source = generate_program(seed, **fuzz_kwargs)
+    check = shape_check(klass, min_workers=min_workers)
+    result = run_case(source, schedule)
+    assert result.error is None, result.error
+    exhibited = case_classes(result, violations_only=False)
+    assert klass in exhibited, (name, klass, sorted(exhibited))
+    assert check(result), (name, klass, "shape check fails on the seed case")
+    small, small_spec, stats = shrink_case(
+        source, schedule, frozenset([klass]), violations_only=False,
+        extra_check=check,
+    )
+    print(f"  {name}: {stats.describe()}")
+    return save_entry(
+        out, name, small, small_spec, classes=[klass], notes=notes
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=None, help="corpus directory (default tests/corpus)"
+    )
+    args = parser.parse_args()
+    out = (
+        Path(args.out)
+        if args.out
+        else Path(__file__).resolve().parents[1] / "tests" / "corpus"
+    )
+    entries = []
+
+    print("hand-written entries:")
+    entries.append(save_entry(
+        out, "eraser-mtrt-fp", MTRT_ERASER_FP, RR,
+        classes=["eraser-single-lock-fp"],
+        notes="The mtrt idiom (paper §8.3): both children write f0 under "
+        "lock0, the parent writes after joining both.  Every conflicting "
+        "pair shares a lock (lock0, or the S_j join pseudo-lock) but no "
+        "single lock is common to all three accesses, so Eraser's "
+        "candidate set empties and it reports a false positive; the "
+        "paper detector correctly reports nothing.",
+    ))
+    entries.append(save_entry(
+        out, "ownership-timing-72", OWNERSHIP_TIMING_72,
+        ScheduleSpec(kind="random", seed=1),
+        classes=["static-elimination-miss"],
+        notes="The §7.2 ownership/static-elimination interaction.  Loop "
+        "peeling instruments only Worker0's first f0 write; that event "
+        "is swallowed by the ownership filter (Worker0 owns f0), so in "
+        "the optimized stream the location never accumulates Worker0 "
+        "accesses after the Worker1 write shares it, and the race the "
+        "full stream reports (Worker1's write vs a later loop "
+        "iteration's write) disappears.  Expected, documented gap — "
+        "not a bug.",
+    ))
+    entries.append(save_entry(
+        out, "tbottom-merge", TBOTTOM_MERGE, RR,
+        classes=[],
+        notes="Two threads write f0 under the same lock, then Worker0 "
+        "writes it unlocked.  Under the default S_j modeling each "
+        "thread's lockset carries its own pseudo-lock, so the two sync "
+        "writes land on distinct trie nodes and the t-bottom thread "
+        "meet never fires; with join_pseudolocks=False this is the "
+        "minimal scenario where the meet is load-bearing (the "
+        "drop-tbottom-meet injection makes exactly this case miss).  "
+        "Committed for the verdict matrix and as the injection "
+        "acceptance scenario.",
+    ))
+    entries.append(save_entry(
+        out, "sharded-tiny", SHARDED_TINY, RR,
+        classes=[],
+        notes="One worker, one field, no race: the recorded log has a "
+        "handful of access events over ~2 objects, so the 8-shard "
+        "battery runs with more shards than objects (most shards see "
+        "only replicated sync events).  Exercises the sharded-merge "
+        "edge cases against the serial counters.",
+    ))
+    entries.append(save_entry(
+        out, "sharded-sync-replication", SHARDED_SYNC_REPLICATION, RR,
+        classes=["feasible-race-gap"],
+        notes="Sync-heavy workload: 24 monitor enter/exits are "
+        "replicated to every shard while f1's unlocked increments race. "
+        "Exercises the merge counter invariants under heavy sync "
+        "replication (cache_hits + weaker_filtered is only invariant "
+        "as a sum).",
+    ))
+
+    print("shrunk fuzz-found entries:")
+    entries.append(shrunk_fuzz_entry(
+        out, "feasible-race-gap-min", "feasible-race-gap", 4, RR,
+        "Shrunk fuzz case: a lockset race on a shared field that the "
+        "happens-before baseline misses because the observed schedule "
+        "ordered the accesses (§2.2's feasible races).",
+        min_workers=2, n_workers=3, n_fields=3, n_locks=2,
+    ))
+    entries.append(shrunk_fuzz_entry(
+        out, "ownership-suppressed-min", "ownership-suppressed", 4, RR,
+        "Shrunk fuzz case: reference-raw (no ownership filter) reports "
+        "races on initialization-phase accesses to a shared data field "
+        "that the §7 ownership filter deliberately hides from the "
+        "paper detector.",
+        n_workers=3, n_fields=3, n_locks=2,
+    ))
+    entries.append(save_entry(
+        out, "object-granularity-fp", OBJECT_GRANULARITY_FP, RR,
+        classes=["object-granularity-fp"],
+        notes="Per-field locking: f0 is always protected by lock0, f1 "
+        "by lock1, so no location races; the whole-object baseline "
+        "(Praun & Gross granularity) intersects the two disciplines "
+        "into an empty object candidate set and flags the object "
+        "(Table 3's FieldsMerged effect).",
+    ))
+    entries.append(shrunk_fuzz_entry(
+        out, "eraser-init-fp-min", "eraser-single-lock-fp", 6, RR,
+        "Shrunk fuzz case: Eraser's initialization false positive.  "
+        "Main initializes the field, a single worker writes it once; "
+        "the paper detector's ownership model sees no second-thread "
+        "pair while Eraser's Shared-Modified transition with an empty "
+        "candidate set reports.  Complements eraser-mtrt-fp, which "
+        "shows the single-common-lock shape on the same class.",
+        min_workers=2, n_workers=3, n_fields=3, n_locks=2,
+    ))
+    entries.append(save_entry(
+        out, "rw-race-min", RW_RACE_MIN, RR,
+        classes=[],
+        notes="The smallest committed program with a real race: one "
+        "worker writes f0, another reads it, no locks.  Every detector "
+        "in the battery agrees (see the verdict matrix) — this is the "
+        "shape the read-write-blind injection misses and the shrinker "
+        "reduces the acceptance case to.",
+    ))
+
+    print(f"wrote {len(entries)} entries to {out}")
+    for entry in entries:
+        print(f"  {entry.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
