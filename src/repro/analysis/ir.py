@@ -355,6 +355,54 @@ class JoinT(Instr):
 
 
 @dataclass
+class WaitI(Instr):
+    """``wait target`` — releases the monitor and blocks until notified."""
+
+    target: str
+
+    is_barrier = True
+
+    def uses(self):
+        return (self.target,)
+
+    def __str__(self):
+        return f"wait {self.target}"
+
+
+@dataclass
+class NotifyI(Instr):
+    """``notify target`` / ``notifyall target``."""
+
+    target: str
+    notify_all: bool
+
+    is_barrier = True
+
+    def uses(self):
+        return (self.target,)
+
+    def __str__(self):
+        keyword = "notifyall" if self.notify_all else "notify"
+        return f"{keyword} {self.target}"
+
+
+@dataclass
+class BarrierI(Instr):
+    """``barrier target, parties`` — cyclic barrier rendezvous."""
+
+    target: str
+    parties: str
+
+    is_barrier = True
+
+    def uses(self):
+        return (self.target, self.parties)
+
+    def __str__(self):
+        return f"barrier {self.target}, {self.parties}"
+
+
+@dataclass
 class PrintI(Instr):
     src: str
 

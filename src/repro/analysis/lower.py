@@ -132,6 +132,16 @@ class Lowerer:
         elif isinstance(stmt, ast.Join):
             thread = self._lower_expr(stmt.thread, ctx)
             self._emit(ctx, ir.JoinT(thread), stmt.location)
+        elif isinstance(stmt, ast.Wait):
+            target = self._lower_expr(stmt.target, ctx)
+            self._emit(ctx, ir.WaitI(target), stmt.location)
+        elif isinstance(stmt, ast.Notify):
+            target = self._lower_expr(stmt.target, ctx)
+            self._emit(ctx, ir.NotifyI(target, stmt.notify_all), stmt.location)
+        elif isinstance(stmt, ast.Barrier):
+            target = self._lower_expr(stmt.target, ctx)
+            parties = self._lower_expr(stmt.parties, ctx)
+            self._emit(ctx, ir.BarrierI(target, parties), stmt.location)
         elif isinstance(stmt, ast.Return):
             reg = None
             if stmt.value is not None:

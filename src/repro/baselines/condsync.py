@@ -1,0 +1,83 @@
+"""Condition-synchronization clocks for the lockset baselines.
+
+Eraser's state machine and the object-race detector both *defer*
+reporting while a location (or object) stays exclusively owned.  With
+only ``start``/``join`` in the vocabulary, ownership can transfer
+silently just once (parent initializes, child takes over), and the
+running candidate-set intersection makes the deferral unobservable
+against the paper's detector.  Wait/notify handoffs change that: when
+the previous owner's last access is ordered before the next thread's
+first access *through a condition edge*, the historical detectors keep
+the location in the Exclusive state (the deferral), while the paper's
+pairwise lockset check still fires on the admitted disjoint pair —
+the ``eraser-deferral-miss`` / ``object-deferral-miss`` directions of
+the Section 9 comparison.
+
+:class:`SyncClocks` is the minimal machinery for that ordering test:
+per-thread scalar-epoch vector clocks advanced **only** by wait/notify
+events.  Monitor, start, and join events deliberately do not touch
+these clocks, so on any log without condition synchronization every
+``ordered`` query is False and the detectors behave exactly as before
+(the committed corpus matrices stay byte-identical).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SyncClocks:
+    """Per-thread clocks driven only by condition-sync events."""
+
+    def __init__(self) -> None:
+        #: thread id -> {thread id: logical time}; threads start at 1.
+        self._clocks: dict[int, dict[int, int]] = {}
+        #: condition uid -> join of every notifier's clock at notify time.
+        self._conds: dict[int, dict[int, int]] = {}
+
+    def _clock(self, thread_id: int) -> dict[int, int]:
+        clock = self._clocks.get(thread_id)
+        if clock is None:
+            self._clocks[thread_id] = clock = {thread_id: 1}
+        return clock
+
+    def on_notify(self, thread_id: int, cond_uid: int) -> None:
+        clock = self._clock(thread_id)
+        cond = self._conds.get(cond_uid)
+        if cond is None:
+            self._conds[cond_uid] = cond = {}
+        for thread, time in clock.items():
+            if time > cond.get(thread, 0):
+                cond[thread] = time
+        # Advance past the published epoch so the notifier's *later*
+        # accesses are not ordered before the waiters it released.
+        clock[thread_id] += 1
+
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        cond = self._conds.get(cond_uid)
+        if not cond:
+            return
+        clock = self._clock(thread_id)
+        for thread, time in cond.items():
+            if time > clock.get(thread, 0):
+                clock[thread] = time
+
+    def epoch(self, thread_id: int) -> tuple[int, int]:
+        """The thread's current scalar epoch ``(thread, time)``."""
+        return (thread_id, self._clock(thread_id)[thread_id])
+
+    def ordered(self, epoch: Optional[tuple[int, int]], thread_id: int) -> bool:
+        """True iff ``epoch`` happened before ``thread_id``'s present.
+
+        Only condition edges establish this; with no wait/notify events
+        in the stream it is always False for distinct threads.
+        """
+        if epoch is None:
+            return False
+        owner, time = epoch
+        if owner == thread_id:
+            return True
+        clock = self._clocks.get(thread_id)
+        if clock is None:
+            return False
+        return clock.get(owner, 0) >= time

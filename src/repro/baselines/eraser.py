@@ -35,6 +35,7 @@ from typing import Optional
 from ..detector.locksets import LockTracker, join_pseudo_lock
 from ..lang.ast import AccessKind
 from ..runtime.events import AccessEvent, EventSink
+from .condsync import SyncClocks
 
 
 class LocationState(enum.Enum):
@@ -48,6 +49,10 @@ class LocationState(enum.Enum):
 class _LocationInfo:
     state: LocationState = LocationState.VIRGIN
     owner: Optional[int] = None
+    #: Condition-sync epoch of the owner's most recent access; an
+    #: Exclusive location hands ownership to a thread whose first access
+    #: is wait/notify-ordered after this epoch instead of going Shared.
+    owner_epoch: Optional[tuple] = None
     candidates: Optional[frozenset] = None
     reported: bool = False
 
@@ -67,6 +72,7 @@ class EraserDetector(EventSink):
     def __init__(self, join_pseudolocks: bool = False):
         self._join_pseudolocks = join_pseudolocks
         self.locks = LockTracker()
+        self._sync = SyncClocks()
         self._locations: dict = {}
         self.reports: list[EraserReport] = []
         self.racy_locations: set = set()
@@ -96,6 +102,12 @@ class EraserDetector(EventSink):
         if self._join_pseudolocks:
             self.locks.acquire_pseudo(joiner_id, join_pseudo_lock(joined_id))
 
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        self._sync.on_wait(thread_id, cond_uid)
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        self._sync.on_notify(thread_id, cond_uid)
+
     # -- the state machine --------------------------------------------------
 
     def on_access(self, event: AccessEvent) -> None:
@@ -109,9 +121,19 @@ class EraserDetector(EventSink):
         if info.state is LocationState.VIRGIN:
             info.state = LocationState.EXCLUSIVE
             info.owner = thread
+            info.owner_epoch = self._sync.epoch(thread)
             return
         if info.state is LocationState.EXCLUSIVE:
             if thread == info.owner:
+                info.owner_epoch = self._sync.epoch(thread)
+                return
+            if self._sync.ordered(info.owner_epoch, thread):
+                # Condition-sync handoff: the previous owner's last
+                # access happened before this one, so the initialization
+                # discipline continues under the new owner — the state
+                # machine stays Exclusive (Eraser's deferral).
+                info.owner = thread
+                info.owner_epoch = self._sync.epoch(thread)
                 return
             info.candidates = held
             if event.kind is AccessKind.WRITE:

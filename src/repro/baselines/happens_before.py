@@ -68,6 +68,10 @@ class HappensBeforeDetector(EventSink):
     def __init__(self):
         self._thread_clocks: dict[int, VectorClock] = {0: VectorClock({0: 1})}
         self._lock_clocks: dict[int, VectorClock] = {}
+        #: Condition clocks: object uid -> join of every notifier's clock.
+        #: ``wait``-returns join these, ordering waiters after notifiers
+        #: (and barrier parties after all arrivals).
+        self._cond_clocks: dict[int, VectorClock] = {}
         self._locations: dict = {}
         self.reports: list[HBRaceReport] = []
         self.racy_locations: set = set()
@@ -107,8 +111,30 @@ class HappensBeforeDetector(EventSink):
         self._increment(parent_id)
 
     def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
-        self._clock(joiner_id).join(self._clock(joined_id))
+        # Only join a clock the joined thread actually established.
+        # Fabricating ``{joined_id: 1}`` here would invent a phantom
+        # epoch for a thread that never emitted an event, silently
+        # ordering the joiner after work that never happened (visible in
+        # sharded partitions, where a thread's accesses may all live in
+        # other shards).
+        joined = self._thread_clocks.get(joined_id)
+        if joined is not None:
+            self._clock(joiner_id).join(joined)
         self._increment(joiner_id)
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        cond = self._cond_clocks.get(cond_uid)
+        if cond is None:
+            self._cond_clocks[cond_uid] = cond = VectorClock()
+        cond.join(self._clock(thread_id))
+        self._increment(thread_id)
+
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        # Emitted at wakeup-return, after the notify that released the
+        # waiter, so joining the accumulated condition clock is sound.
+        cond = self._cond_clocks.get(cond_uid)
+        if cond is not None:
+            self._clock(thread_id).join(cond)
 
     # -- accesses -----------------------------------------------------------
 

@@ -24,9 +24,10 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..detector.locksets import LockTracker
-from ..detector.ownership import OwnershipFilter
+from ..detector.ownership import SHARED, OwnershipFilter
 from ..lang.ast import AccessKind
 from ..runtime.events import AccessEvent, EventSink
+from .condsync import SyncClocks
 
 
 @dataclass
@@ -43,6 +44,9 @@ class ObjectRaceDetector(EventSink):
     def __init__(self):
         self.locks = LockTracker()
         self.ownership = OwnershipFilter()
+        self._sync = SyncClocks()
+        #: object uid -> condition-sync epoch of the owner's last access.
+        self._owner_epoch: dict[int, tuple] = {}
         #: object uid -> candidate lockset (None = not yet shared).
         self._candidates: dict[int, Optional[frozenset]] = {}
         #: object uids with at least one shared *write*.
@@ -59,10 +63,30 @@ class ObjectRaceDetector(EventSink):
         if not reentrant:
             self.locks.exit(thread_id, lock_uid)
 
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        self._sync.on_wait(thread_id, cond_uid)
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        self._sync.on_notify(thread_id, cond_uid)
+
     def on_access(self, event: AccessEvent) -> None:
         uid = event.location.object_uid
+        owner = self.ownership.owner_of(uid)
+        if (
+            owner is not None
+            and owner is not SHARED
+            and owner != event.thread_id
+            and self._sync.ordered(self._owner_epoch.get(uid), event.thread_id)
+        ):
+            # Condition-sync handoff: the object stays owned (by the new
+            # thread) instead of transitioning to shared — the deferral
+            # the paper's per-pair check does not share.
+            self.ownership.reown(uid, event.thread_id)
+            self._owner_epoch[uid] = self._sync.epoch(event.thread_id)
+            return
         admit, _ = self.ownership.admit(uid, event.thread_id)
         if not admit:
+            self._owner_epoch[uid] = self._sync.epoch(event.thread_id)
             return
         held = self.locks.lockset(event.thread_id)
         previous = self._candidates.get(uid)

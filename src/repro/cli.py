@@ -124,6 +124,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="list the available injected bugs and exit")
     difflab.add_argument("--no-shrink", action="store_true",
                          help="report violations without minimizing them")
+    difflab.add_argument("--sync-vocab", action="store_true",
+                         help="fuzz with the wait/notify/barrier "
+                         "vocabulary enabled")
+    difflab.add_argument("--handoff-bias", action="store_true",
+                         help="fuzz with condition-handoff-biased "
+                         "programs (implies --sync-vocab)")
     difflab.add_argument("--out", type=Path, default=Path("difflab-out"),
                          metavar="DIR",
                          help="where shrunk violation reproducers are "
@@ -365,11 +371,17 @@ def cmd_difflab(args) -> int:
                   f"schedule={entry.schedule.describe()} classes={classes}")
         if problems:
             failed = True
-            for name, problem in problems:
-                print(f"  CORPUS PROBLEM {name}: {problem}")
+            for problem in problems:
+                print(f"  CORPUS PROBLEM {problem}")
         else:
             print(f"corpus: zero violations; expected classes reproduced: "
                   f"{', '.join(covered)}")
+
+    fuzzer_kwargs = {}
+    if args.handoff_bias:
+        fuzzer_kwargs["handoff_bias"] = True
+    elif args.sync_vocab:
+        fuzzer_kwargs["sync_vocab"] = True
 
     budget = _parse_budget(args.budget) if args.budget is not None else None
     if budget is not None or args.programs > 0:
@@ -378,6 +390,7 @@ def cmd_difflab(args) -> int:
             schedules=args.schedules,
             budget=budget,
             seed0=args.seed0,
+            fuzzer_kwargs=fuzzer_kwargs or None,
             detector_factory=injection.factory if injection else None,
             config=injection.config if injection else None,
             shrink=not args.no_shrink,

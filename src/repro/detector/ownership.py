@@ -58,6 +58,15 @@ class OwnershipFilter:
         self.stats.transitions += 1
         return True, True
 
+    def reown(self, key, thread_id: int) -> None:
+        """Re-assign ownership of a still-owned location (condition-sync
+        handoff): the access that would have transitioned the location to
+        shared is instead treated as the new owner's first access and
+        stays filtered.  Callers must not use this on SHARED locations.
+        """
+        self._owners[key] = thread_id
+        self.stats.owned_filtered += 1
+
     def is_shared(self, key) -> bool:
         return self._owners.get(key) is SHARED
 

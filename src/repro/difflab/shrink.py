@@ -21,7 +21,9 @@ fuzzer's program shape:
 Schedule reduction tries, in order of preference: plain round-robin, a
 small scheduling seed, and a recorded-trace *prefix* (binary-searched
 to the shortest length that still steers the run into the failure,
-replayed through :class:`~repro.runtime.replay.FallbackReplayPolicy`).
+replayed through :class:`~repro.runtime.replay.FallbackReplayPolicy`,
+then ddmin-reduced decision by decision so interior choices the
+failure does not depend on are dropped too).
 """
 
 from __future__ import annotations
@@ -35,11 +37,6 @@ from ..lang.resolver import compile_source
 from ..runtime.replay import RecordingPolicy
 from ..runtime.scheduler import DeadlockError, StepLimitExceeded
 from .verdicts import ScheduleSpec
-
-#: A schedule-prefix longer than this is considered *less* readable
-#: than a plain scheduling seed and is not adopted.
-MAX_ADOPTED_PREFIX = 64
-
 
 @dataclass
 class ShrinkStats:
@@ -381,7 +378,10 @@ def shrink_schedule(
     Preference order: round-robin, a small :class:`RandomPolicy` seed,
     the original spec with its recorded decision trace cut to the
     shortest prefix that still reaches the failure (binary search; the
-    suffix is handed to the round-robin fallback).
+    suffix is handed to the round-robin fallback) and then ddmin-reduced
+    over the surviving decisions, so a long trace whose failure hinges
+    on a handful of choices shrinks to just those choices instead of
+    being abandoned for the unreduced seed.
     """
     round_robin = ScheduleSpec(kind="roundrobin")
     if interesting(source, round_robin):
@@ -414,10 +414,46 @@ def shrink_schedule(
             low = mid + 1
     if high == 0:
         return round_robin
-    prefix = ScheduleSpec(kind="prefix", choices=tuple(choices[:high]))
-    if adopted.kind == "random" and high > MAX_ADOPTED_PREFIX:
-        return adopted
-    return prefix
+    reduced = _ddmin_choices(source, tuple(choices[:high]), interesting)
+    return ScheduleSpec(kind="prefix", choices=reduced)
+
+
+def _ddmin_choices(
+    source: str,
+    choices: tuple,
+    interesting: Callable[[str, ScheduleSpec], bool],
+) -> tuple:
+    """Delta-debug a decision sequence down to a 1-minimal subsequence.
+
+    The binary-searched prefix only trims the tail; interior decisions
+    the failure does not depend on survive it (the replay policy hands
+    unmatched decisions to the fallback, so *any* subsequence is a
+    valid schedule).  Classic ddmin: try dropping chunks at shrinking
+    granularity until no single decision can be removed.
+    """
+    current = list(choices)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and interesting(
+                source, ScheduleSpec(kind="prefix", choices=tuple(candidate))
+            ):
+                current = candidate
+                reduced = True
+                # Keep ``start`` in place: the list shifted left.
+            else:
+                start += chunk
+        if not reduced:
+            if chunk <= 1:
+                break
+            granularity = min(granularity * 2, len(current))
+        else:
+            granularity = max(granularity - 1, 2)
+    return tuple(current)
 
 
 def record_schedule_trace(source: str, schedule: ScheduleSpec, max_steps: int):

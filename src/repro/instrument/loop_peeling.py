@@ -192,6 +192,22 @@ class LoopPeeler:
             clone = ast.Join(
                 thread=self._clone_expr(stmt.thread), location=stmt.location
             )
+        elif isinstance(stmt, ast.Wait):
+            clone = ast.Wait(
+                target=self._clone_expr(stmt.target), location=stmt.location
+            )
+        elif isinstance(stmt, ast.Notify):
+            clone = ast.Notify(
+                target=self._clone_expr(stmt.target),
+                notify_all=stmt.notify_all,
+                location=stmt.location,
+            )
+        elif isinstance(stmt, ast.Barrier):
+            clone = ast.Barrier(
+                target=self._clone_expr(stmt.target),
+                parties=self._clone_expr(stmt.parties),
+                location=stmt.location,
+            )
         elif isinstance(stmt, ast.Return):
             clone = ast.Return(
                 value=(

@@ -434,6 +434,62 @@ class Join(Stmt):
 
 
 @dataclass
+class Wait(Stmt):
+    """``wait e;`` — releases the monitor of ``e`` and suspends the thread
+    until another thread notifies that monitor.
+
+    The executing thread must hold the monitor of ``e``, and it must be
+    the innermost monitor it currently holds (so the release/re-acquire
+    keeps lock nesting LIFO).  All reentrancy levels are released while
+    waiting and restored on wakeup.
+    """
+
+    target: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+
+
+@dataclass
+class Notify(Stmt):
+    """``notify e;`` / ``notifyall e;`` — wakes waiter(s) on ``e``'s monitor.
+
+    The executing thread must hold the monitor of ``e``.  A notify with an
+    empty wait set is a no-op (the notification is lost, as in Java).
+    """
+
+    target: Expr
+    notify_all: bool
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+
+
+@dataclass
+class Barrier(Stmt):
+    """``barrier e, n;`` — cyclic barrier: block until ``n`` threads arrive.
+
+    ``e`` denotes the barrier object (any reference), ``n`` the party
+    count.  The party count is fixed by the first arrival of each
+    generation; a later arrival in the same generation with a different
+    count is a runtime error.  No monitor needs to be held.
+    """
+
+    target: Expr
+    parties: Expr
+    location: SourceLocation
+    stmt_id: Optional[int] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.parties
+
+
+@dataclass
 class Return(Stmt):
     value: Optional[Expr]
     location: SourceLocation

@@ -16,6 +16,10 @@ Grammar (EBNF):
                  | "sync" "(" expr ")" block
                  | "start" expr ";"
                  | "join" expr ";"
+                 | "wait" expr ";"
+                 | "notify" expr ";"
+                 | "notifyall" expr ";"
+                 | "barrier" expr "," expr ";"
                  | "return" expr? ";"
                  | "print" expr ";"
                  | "assert" expr ";"
@@ -180,6 +184,30 @@ class Parser:
             thread = self._parse_expr()
             self._expect(TokenKind.SEMI, "after 'join' statement")
             return ast.Join(thread=thread, location=token.location)
+        if token.kind is TokenKind.WAIT:
+            self._advance()
+            target = self._parse_expr()
+            self._expect(TokenKind.SEMI, "after 'wait' statement")
+            return ast.Wait(target=target, location=token.location)
+        if token.kind in (TokenKind.NOTIFY, TokenKind.NOTIFYALL):
+            self._advance()
+            target = self._parse_expr()
+            keyword = "notifyall" if token.kind is TokenKind.NOTIFYALL else "notify"
+            self._expect(TokenKind.SEMI, f"after '{keyword}' statement")
+            return ast.Notify(
+                target=target,
+                notify_all=token.kind is TokenKind.NOTIFYALL,
+                location=token.location,
+            )
+        if token.kind is TokenKind.BARRIER:
+            self._advance()
+            target = self._parse_expr()
+            self._expect(TokenKind.COMMA, "after the barrier expression")
+            parties = self._parse_expr()
+            self._expect(TokenKind.SEMI, "after 'barrier' statement")
+            return ast.Barrier(
+                target=target, parties=parties, location=token.location
+            )
         if token.kind is TokenKind.RETURN:
             self._advance()
             value = None

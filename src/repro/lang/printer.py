@@ -82,6 +82,13 @@ def render_stmt(stmt: ast.Stmt, depth: int = 0) -> str:
         return f"start {render_expr(stmt.thread)};"
     if isinstance(stmt, ast.Join):
         return f"join {render_expr(stmt.thread)};"
+    if isinstance(stmt, ast.Wait):
+        return f"wait {render_expr(stmt.target)};"
+    if isinstance(stmt, ast.Notify):
+        keyword = "notifyall" if stmt.notify_all else "notify"
+        return f"{keyword} {render_expr(stmt.target)};"
+    if isinstance(stmt, ast.Barrier):
+        return f"barrier {render_expr(stmt.target)}, {render_expr(stmt.parties)};"
     if isinstance(stmt, ast.Return):
         if stmt.value is None:
             return "return;"

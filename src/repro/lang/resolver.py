@@ -405,6 +405,16 @@ class Resolver:
         if isinstance(stmt, ast.Join):
             stmt.thread = self._resolve_expr(stmt.thread)
             return stmt
+        if isinstance(stmt, ast.Wait):
+            stmt.target = self._resolve_expr(stmt.target)
+            return stmt
+        if isinstance(stmt, ast.Notify):
+            stmt.target = self._resolve_expr(stmt.target)
+            return stmt
+        if isinstance(stmt, ast.Barrier):
+            stmt.target = self._resolve_expr(stmt.target)
+            stmt.parties = self._resolve_expr(stmt.parties)
+            return stmt
         if isinstance(stmt, ast.Return):
             if stmt.value is not None:
                 stmt.value = self._resolve_expr(stmt.value)

@@ -32,6 +32,10 @@ class TokenKind(enum.Enum):
     ASSERT = "assert"
     START = "start"
     JOIN = "join"
+    WAIT = "wait"
+    NOTIFY = "notify"
+    NOTIFYALL = "notifyall"
+    BARRIER = "barrier"
     NEW = "new"
     NEWARRAY = "newarray"
     TRUE = "true"
@@ -87,6 +91,10 @@ KEYWORDS = {
         TokenKind.ASSERT,
         TokenKind.START,
         TokenKind.JOIN,
+        TokenKind.WAIT,
+        TokenKind.NOTIFY,
+        TokenKind.NOTIFYALL,
+        TokenKind.BARRIER,
         TokenKind.NEW,
         TokenKind.NEWARRAY,
         TokenKind.TRUE,

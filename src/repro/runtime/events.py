@@ -163,6 +163,27 @@ class EventSink:
     def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
         """``joiner_id`` completed a ``join`` on finished thread ``joined_id``."""
 
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        """``thread_id`` returned from a ``wait`` on object ``cond_uid``.
+
+        Emitted at wakeup (after the monitor is re-acquired), so in the
+        log a notify entry always precedes the wait entries it released —
+        post-mortem happens-before replay sees edges in causal order.
+        The monitor release/re-acquire around the suspension is reported
+        through the ordinary :meth:`on_monitor_exit` /
+        :meth:`on_monitor_enter` events, keeping locksets exact.
+        """
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        """``thread_id`` executed ``notify``/``notifyall`` on ``cond_uid``.
+
+        Barrier arrivals are reported as ``notify_all`` on the barrier
+        object followed by one :meth:`on_wait` per released thread.
+        The lockset detectors deliberately ignore these events (the
+        paper's precision argument, Section 2.2); happens-before
+        detectors turn them into clock edges.
+        """
+
     def on_run_end(self) -> None:
         """The whole program execution completed (post-mortem flush point)."""
 
@@ -205,6 +226,14 @@ class MulticastSink(EventSink):
         for sink in self.sinks:
             sink.on_thread_join(joiner_id, joined_id)
 
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        for sink in self.sinks:
+            sink.on_wait(thread_id, cond_uid)
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        for sink in self.sinks:
+            sink.on_notify(thread_id, cond_uid, notify_all)
+
     def on_run_end(self) -> None:
         for sink in self.sinks:
             sink.on_run_end()
@@ -222,6 +251,8 @@ class CountingSink(EventSink):
         self.monitor_exits = 0
         self.thread_starts = 0
         self.thread_joins = 0
+        self.waits = 0
+        self.notifies = 0
 
     def on_access(self, event: AccessEvent) -> None:
         self.accesses += 1
@@ -250,6 +281,12 @@ class CountingSink(EventSink):
 
     def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
         self.thread_joins += 1
+
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        self.waits += 1
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        self.notifies += 1
 
 
 class LogSchemaError(ValueError):
@@ -289,9 +326,12 @@ class RecordingSink(EventSink):
     """
 
     #: Version of the tuple-encoded entry layout.  v1 was the unversioned
-    #: PR-1 encoding (identical column layout, no validation); bump this
-    #: whenever an entry tag gains, loses, or reorders columns.
-    SCHEMA_VERSION = 2
+    #: PR-1 encoding (identical column layout, no validation); v2 added
+    #: validation; v3 added the WAIT and NOTIFY condition-synchronization
+    #: tags.  Bump this whenever an entry tag gains, loses, or reorders
+    #: columns — or when new tags appear that older builds would not
+    #: understand.
+    SCHEMA_VERSION = 3
 
     ACCESS = "access"
     ENTER = "enter"
@@ -299,6 +339,8 @@ class RecordingSink(EventSink):
     START = "start"
     END = "end"
     JOIN = "join"
+    WAIT = "wait"
+    NOTIFY = "notify"
 
     def __init__(self) -> None:
         self.log: list[tuple] = []
@@ -349,6 +391,12 @@ class RecordingSink(EventSink):
     def on_thread_join(self, joiner_id: int, joined_id: int) -> None:
         self.log.append((self.JOIN, joiner_id, joined_id))
 
+    def on_wait(self, thread_id: int, cond_uid: int) -> None:
+        self.log.append((self.WAIT, thread_id, cond_uid))
+
+    def on_notify(self, thread_id: int, cond_uid: int, notify_all: bool) -> None:
+        self.log.append((self.NOTIFY, thread_id, cond_uid, notify_all))
+
     @property
     def access_count(self) -> int:
         return sum(1 for entry in self.log if entry[0] == self.ACCESS)
@@ -381,6 +429,8 @@ _ENTRY_ARITY = {
     RecordingSink.START: 3,
     RecordingSink.END: 2,
     RecordingSink.JOIN: 3,
+    RecordingSink.WAIT: 3,
+    RecordingSink.NOTIFY: 4,
 }
 
 
@@ -500,6 +550,8 @@ def replay_entries(entries, sink: EventSink) -> None:
     start = RecordingSink.START
     end = RecordingSink.END
     join = RecordingSink.JOIN
+    wait = RecordingSink.WAIT
+    notify = RecordingSink.NOTIFY
     on_access_parts = sink.on_access_parts
     for entry in entries:
         tag = entry[0]
@@ -517,4 +569,8 @@ def replay_entries(entries, sink: EventSink) -> None:
             sink.on_thread_end(entry[1])
         elif tag == join:
             sink.on_thread_join(entry[1], entry[2])
+        elif tag == wait:
+            sink.on_wait(entry[1], entry[2])
+        elif tag == notify:
+            sink.on_notify(entry[1], entry[2], entry[3])
     sink.on_run_end()

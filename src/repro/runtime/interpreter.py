@@ -120,6 +120,15 @@ class Interpreter:
         )
         self._threads: list[ThreadState] = []
         self._started_objects: dict[int, ThreadState] = {}
+        #: thread id -> stack of monitor uids in lexical sync order; used
+        #: to enforce that ``wait`` targets the innermost held monitor.
+        self._lock_stacks: dict[int, list[int]] = {}
+        #: monitor uid -> waiting thread ids in arrival (FIFO) order.
+        self._wait_sets: dict[int, list[int]] = {}
+        #: thread ids released by a notify/barrier but not yet resumed.
+        self._woken: set[int] = set()
+        #: barrier uid -> {"parties", "arrived", "generation"} state.
+        self._barriers: dict[int, dict] = {}
         #: object uid -> (ObjectKind, label), interned for emission.
         self._ref_labels: dict[int, tuple] = {}
         self.output: list[str] = []
@@ -289,6 +298,12 @@ class Interpreter:
             yield from self._exec_start(stmt, frame, thread)
         elif node_type is ast.Join:
             yield from self._exec_join(stmt, frame, thread)
+        elif node_type is ast.Wait:
+            yield from self._exec_wait(stmt, frame, thread)
+        elif node_type is ast.Notify:
+            yield from self._exec_notify(stmt, frame, thread)
+        elif node_type is ast.Barrier:
+            yield from self._exec_barrier(stmt, frame, thread)
         elif node_type is ast.Return:
             value = None
             if stmt.value is not None:
@@ -378,14 +393,20 @@ class Interpreter:
             self._sink.on_monitor_enter(
                 thread.thread_id, lock.uid, reentrant=not outermost
             )
+        stack = self._lock_stacks.setdefault(thread.thread_id, [])
+        stack.append(lock.uid)
         try:
             yield from self._exec_block(stmt.body, frame, thread)
         finally:
-            released = monitor.release(thread.thread_id)
-            if self._sink is not None:
-                self._sink.on_monitor_exit(
-                    thread.thread_id, lock.uid, reentrant=not released
-                )
+            stack.pop()
+            # A thread torn down mid-wait (deadlock unwinding) already
+            # released the monitor; only release when actually held.
+            if monitor.owner == thread.thread_id:
+                released = monitor.release(thread.thread_id)
+                if self._sink is not None:
+                    self._sink.on_monitor_exit(
+                        thread.thread_id, lock.uid, reentrant=not released
+                    )
 
     def _exec_start(self, stmt: ast.Start, frame: Frame, thread: ThreadState):
         obj = yield from self._eval(stmt.thread, frame, thread)
@@ -439,6 +460,157 @@ class Interpreter:
             yield
         if self._sink is not None:
             self._sink.on_thread_join(thread.thread_id, target.thread_id)
+
+    # ------------------------------------------------------------------
+    # Condition synchronization.
+
+    def _exec_wait(self, stmt: ast.Wait, frame: Frame, thread: ThreadState):
+        obj = yield from self._eval(stmt.target, frame, thread)
+        if not isinstance(obj, Reference):
+            raise MJRuntimeError(
+                f"wait requires an object, got {mj_repr(obj)}", stmt.location
+            )
+        monitor = obj.monitor
+        if monitor.owner != thread.thread_id:
+            raise MJRuntimeError(
+                "wait without holding the monitor", stmt.location
+            )
+        stack = self._lock_stacks.get(thread.thread_id)
+        if not stack or stack[-1] != obj.uid:
+            raise MJRuntimeError(
+                "wait target must be the innermost held monitor "
+                "(release/re-acquire would break lock nesting otherwise)",
+                stmt.location,
+            )
+        # Release every reentrancy level; the lock nesting is restored
+        # verbatim at wakeup, so enclosing sync blocks stay balanced.
+        # The releases go out as ordinary monitor-exit events — the
+        # detectors' locksets must not contain the released lock while
+        # the thread waits.
+        depth = monitor.count
+        for _ in range(depth):
+            freed = monitor.release(thread.thread_id)
+            if self._sink is not None:
+                self._sink.on_monitor_exit(
+                    thread.thread_id, obj.uid, reentrant=not freed
+                )
+        self._wait_sets.setdefault(obj.uid, []).append(thread.thread_id)
+        thread.status = ThreadStatus.WAITING
+        thread.waiting_on = f"monitor #{obj.uid}"
+        yield
+        while thread.thread_id not in self._woken:
+            yield
+        self._woken.discard(thread.thread_id)
+        thread.waiting_on = None
+        while not monitor.can_acquire(thread.thread_id):
+            thread.status = ThreadStatus.BLOCKED
+            thread.blocked_on = monitor
+            yield
+        for _ in range(depth):
+            outermost = monitor.acquire(thread.thread_id)
+            if self._sink is not None:
+                self._sink.on_monitor_enter(
+                    thread.thread_id, obj.uid, reentrant=not outermost
+                )
+        # The wait event is emitted at wakeup-return, after the monitor
+        # is held again, so in the log the releasing notify entry always
+        # precedes it (happens-before replay sees edges causally).
+        if self._sink is not None:
+            self._sink.on_wait(thread.thread_id, obj.uid)
+
+    def _exec_notify(self, stmt: ast.Notify, frame: Frame, thread: ThreadState):
+        obj = yield from self._eval(stmt.target, frame, thread)
+        if not isinstance(obj, Reference):
+            keyword = "notifyall" if stmt.notify_all else "notify"
+            raise MJRuntimeError(
+                f"{keyword} requires an object, got {mj_repr(obj)}",
+                stmt.location,
+            )
+        monitor = obj.monitor
+        if monitor.owner != thread.thread_id:
+            keyword = "notifyall" if stmt.notify_all else "notify"
+            raise MJRuntimeError(
+                f"{keyword} without holding the monitor", stmt.location
+            )
+        if self._sink is not None:
+            self._sink.on_notify(thread.thread_id, obj.uid, stmt.notify_all)
+        waiters = self._wait_sets.get(obj.uid)
+        if not waiters:
+            return  # Lost notification — a no-op, as in Java.
+        if stmt.notify_all:
+            released = list(waiters)
+            waiters.clear()
+        else:
+            chosen = self._scheduler.policy.pick_waiter(list(waiters))
+            waiters.remove(chosen)
+            released = [chosen]
+        for waiter_id in released:
+            self._wake(waiter_id)
+
+    def _wake(self, thread_id: int) -> None:
+        self._woken.add(thread_id)
+        state = self._threads[thread_id]
+        state.status = ThreadStatus.RUNNABLE
+        state.waiting_on = None
+
+    def _exec_barrier(self, stmt: ast.Barrier, frame: Frame, thread: ThreadState):
+        obj = yield from self._eval(stmt.target, frame, thread)
+        if not isinstance(obj, Reference):
+            raise MJRuntimeError(
+                f"barrier requires an object, got {mj_repr(obj)}", stmt.location
+            )
+        parties = yield from self._eval(stmt.parties, frame, thread)
+        if not isinstance(parties, int) or isinstance(parties, bool) or parties < 1:
+            raise MJRuntimeError(
+                f"barrier party count must be a positive integer, got "
+                f"{mj_repr(parties)}",
+                stmt.location,
+            )
+        state = self._barriers.get(obj.uid)
+        if state is None or state["parties"] is None:
+            # First arrival of this generation fixes the party count.
+            if state is None:
+                state = {"parties": parties, "arrived": [], "generation": 0}
+                self._barriers[obj.uid] = state
+            else:
+                state["parties"] = parties
+        elif state["parties"] != parties:
+            raise MJRuntimeError(
+                f"barrier #{obj.uid} party count mismatch: generation "
+                f"{state['generation']} opened with {state['parties']}, "
+                f"this arrival says {parties}",
+                stmt.location,
+            )
+        # Arrival: an all-to-all rendezvous is encoded as one notifyall
+        # per arrival plus one wait per release, giving happens-before
+        # consumers the full edge set without a dedicated event tag.
+        if self._sink is not None:
+            self._sink.on_notify(thread.thread_id, obj.uid, True)
+        state["arrived"].append(thread.thread_id)
+        if len(state["arrived"]) == state["parties"]:
+            # Last arriver trips the barrier and does not suspend.
+            for waiter_id in state["arrived"]:
+                if waiter_id != thread.thread_id:
+                    self._wake(waiter_id)
+            state["arrived"] = []
+            state["parties"] = None  # Next generation re-fixes the count.
+            state["generation"] += 1
+            if self._sink is not None:
+                self._sink.on_wait(thread.thread_id, obj.uid)
+            return
+        generation = state["generation"]
+        thread.status = ThreadStatus.WAITING
+        thread.waiting_on = (
+            f"barrier #{obj.uid} generation {generation} "
+            f"({len(state['arrived'])}/{state['parties']} arrived)"
+        )
+        yield
+        while thread.thread_id not in self._woken:
+            yield
+        self._woken.discard(thread.thread_id)
+        thread.waiting_on = None
+        if self._sink is not None:
+            self._sink.on_wait(thread.thread_id, obj.uid)
 
     # ------------------------------------------------------------------
     # Expressions.

@@ -50,6 +50,11 @@ class RecordingPolicy(SchedulingPolicy):
         self.trace.choices.append(chosen.thread_id)
         return chosen
 
+    def pick_waiter(self, waiters: list[int]) -> int:
+        chosen = self.inner.pick_waiter(waiters)
+        self.trace.choices.append(chosen)
+        return chosen
+
 
 class ReplayDivergence(MJRuntimeError):
     """The execution being replayed no longer matches the trace."""
@@ -77,6 +82,22 @@ class ReplayPolicy(SchedulingPolicy):
         raise ReplayDivergence(
             f"at step {self._position - 1} the trace chose thread "
             f"{wanted}, but only {runnable_ids} are runnable — the "
+            f"program or its inputs changed since recording"
+        )
+
+    def pick_waiter(self, waiters: list[int]) -> int:
+        if self._position >= len(self._trace.choices):
+            raise ReplayDivergence(
+                f"schedule trace exhausted after {self._position} decisions "
+                f"but the program still needs a wakeup choice"
+            )
+        wanted = self._trace.choices[self._position]
+        self._position += 1
+        if wanted in waiters:
+            return wanted
+        raise ReplayDivergence(
+            f"at decision {self._position - 1} the trace woke thread "
+            f"{wanted}, but only {sorted(waiters)} are waiting — the "
             f"program or its inputs changed since recording"
         )
 
@@ -117,6 +138,16 @@ class FallbackReplayPolicy(SchedulingPolicy):
                     return thread
         self.fallback_steps += 1
         return self.fallback.choose(runnable)
+
+    def pick_waiter(self, waiters: list[int]) -> int:
+        if self._position < len(self._trace.choices):
+            wanted = self._trace.choices[self._position]
+            self._position += 1
+            if wanted in waiters:
+                self.replayed_steps += 1
+                return wanted
+        self.fallback_steps += 1
+        return self.fallback.pick_waiter(waiters)
 
 
 def record_run(resolved, sink=None, inner_policy=None, **run_kwargs):

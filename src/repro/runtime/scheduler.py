@@ -33,6 +33,7 @@ class ThreadStatus(enum.Enum):
     RUNNABLE = "runnable"
     BLOCKED = "blocked"  # Waiting for a monitor.
     JOINING = "joining"  # Waiting for another thread to finish.
+    WAITING = "waiting"  # In a wait set (wait/barrier); only a notify wakes it.
     FINISHED = "finished"
 
 
@@ -52,6 +53,9 @@ class ThreadState:
         self.blocked_on = None
         #: ThreadState this thread is joining on, if any.
         self.joining_on: Optional["ThreadState"] = None
+        #: Human-readable label for what a WAITING thread waits on (set by
+        #: the interpreter; used in lost-wakeup deadlock reports).
+        self.waiting_on: Optional[str] = None
         self.steps = 0
 
     def __repr__(self) -> str:
@@ -71,6 +75,15 @@ class SchedulingPolicy:
 
     def choose(self, runnable: list[ThreadState]) -> ThreadState:
         raise NotImplementedError
+
+    def pick_waiter(self, waiters: list[int]) -> int:
+        """Choose which waiting thread a ``notify`` wakes.
+
+        ``waiters`` is the non-empty wait set in arrival (FIFO) order;
+        the default takes the oldest waiter, which keeps round-robin and
+        replayed schedules deterministic.
+        """
+        return waiters[0]
 
 
 class RoundRobinPolicy(SchedulingPolicy):
@@ -110,6 +123,9 @@ class RandomPolicy(SchedulingPolicy):
 
     def choose(self, runnable: list[ThreadState]) -> ThreadState:
         return self._rng.choice(runnable)
+
+    def pick_waiter(self, waiters: list[int]) -> int:
+        return self._rng.choice(waiters)
 
 
 class Scheduler:
@@ -163,6 +179,19 @@ class Scheduler:
                 held = ", ".join(
                     f"{t.name} ({t.status.value})" for t in live
                 )
+                waiting = [
+                    t for t in live if t.status is ThreadStatus.WAITING
+                ]
+                if waiting:
+                    lost = "; ".join(
+                        f"{t.name} waits on {t.waiting_on or '?'}"
+                        for t in waiting
+                    )
+                    raise DeadlockError(
+                        "deadlock: all live threads waiting: "
+                        f"{held} — lost wakeup: {lost} and no live thread "
+                        "can notify"
+                    )
                 raise DeadlockError(f"deadlock: all live threads waiting: {held}")
             thread = self.policy.choose(runnable)
             self._step(thread)

@@ -19,6 +19,30 @@ property tests:
 * **determinism** — no input, no time; a given (program seed, schedule
   seed) pair fully determines the execution.
 
+With ``sync_vocab=True`` the generator additionally emits condition
+synchronization in two deadlock-free shapes:
+
+* **flag handshakes** — a setter worker runs ``sync (lockK) { s.gH =
+  1; notifyall lockK; }`` and a waiter runs the guarded-wait idiom on
+  the same dedicated flag field.  Every setter publishes its flags
+  *before* executing any blocking statement of its own, so every
+  guarded wait terminates (the guard re-check absorbs lost notifies);
+* **cyclic barriers** — ``barrier lock0, n_workers;`` between the
+  top-level phases of *every* worker, the same count per worker, never
+  under a held monitor, so every generation trips.
+
+``handoff_bias=True`` (implies ``sync_vocab``) additionally threads a
+dedicated ``Token`` object through each handshake: the setter writes
+``token.v`` unlocked right before the notify, the waiter makes its
+first ``token.v`` access right after the wait, and the setter re-reads
+``token.v`` at the end of its body.  Because nothing else touches the
+token, its ownership travels exclusively along condition edges —
+the first-access-handoff shape that makes the deferral-miss classes
+(and the §7.2 ownership-timing territory) reachable by fuzzing.
+
+All new random draws are gated behind ``sync_vocab`` so programs
+generated without it are byte-identical to those of older revisions.
+
 The generator is used by ``tests/property/test_fuzz.py`` to check, on
 hundreds of programs: interpreter robustness, loop-peeling semantics
 preservation, schedule determinism, and the Definition 1 reporting
@@ -41,6 +65,8 @@ class ProgramFuzzer:
         n_locks: int = 2,
         max_stmts: int = 6,
         max_depth: int = 2,
+        sync_vocab: bool = False,
+        handoff_bias: bool = False,
     ):
         self._rng = random.Random(seed)
         self.n_workers = min(max(n_workers, 1), 4)
@@ -48,24 +74,68 @@ class ProgramFuzzer:
         self.n_locks = min(max(n_locks, 1), 4)
         self.max_stmts = max_stmts
         self.max_depth = max_depth
+        self.handoff_bias = bool(handoff_bias)
+        self.sync_vocab = bool(sync_vocab) or self.handoff_bias
         self._temp = 0
+        self._handshakes: list = []
+        self._n_barriers = 0
 
     # ------------------------------------------------------------------
 
     def generate(self) -> str:
         fields = [f"f{i}" for i in range(self.n_fields)]
+        self._plan_sync(fields)
         parts = [self._main(), self._shared(fields), "class LockObj { }"]
         for worker in range(self.n_workers):
             parts.append(self._worker(worker, fields))
         parts.append("class Pad { field v; }")
+        if self.handoff_bias:
+            parts.append("class Token { field v; }")
         return "\n\n".join(parts)
 
     # ------------------------------------------------------------------
+
+    def _plan_sync(self, fields) -> None:
+        """Draw the program-wide condition-sync skeleton.
+
+        Handshakes get dedicated flag fields (``g0``, ``g1``, ...) no
+        other statement touches, so a flag set once stays set and every
+        guarded wait is guaranteed to terminate.  The barrier count is
+        global: every worker crosses the same barriers in the same
+        order, or none would trip.
+        """
+        self._handshakes = []
+        self._n_barriers = 0
+        if not self.sync_vocab:
+            return
+        if self.n_workers >= 2:
+            for index in range(self._rng.randint(1, 2)):
+                setter = self._rng.randrange(self.n_workers)
+                waiter = self._rng.choice(
+                    [w for w in range(self.n_workers) if w != setter]
+                )
+                self._handshakes.append(
+                    {
+                        "flag": f"g{index}",
+                        "token": f"t{index}",
+                        "setter": setter,
+                        "waiter": waiter,
+                        "lock": self._rng.randrange(self.n_locks),
+                    }
+                )
+        self._n_barriers = self._rng.randint(0, 2)
 
     def _main(self) -> str:
         lines = ["    var shared = new Shared();"]
         for i in range(self.n_fields):
             lines.append(f"    shared.f{i} = {self._rng.randint(0, 9)};")
+        for handshake in self._handshakes:
+            lines.append(f"    shared.{handshake['flag']} = 0;")
+        if self.handoff_bias:
+            for handshake in self._handshakes:
+                lines.append(
+                    f"    shared.{handshake['token']} = new Token();"
+                )
         for i in range(self.n_locks):
             lines.append(f"    var lock{i} = new LockObj();")
         lock_args = ", ".join(f"lock{i}" for i in range(self.n_locks))
@@ -81,8 +151,43 @@ class ProgramFuzzer:
         return f"class Main {{\n  static def main() {{\n{body}\n  }}\n}}"
 
     def _shared(self, fields) -> str:
-        decls = "\n".join(f"  field {f};" for f in fields)
+        names = list(fields) + [h["flag"] for h in self._handshakes]
+        if self.handoff_bias:
+            names += [h["token"] for h in self._handshakes]
+        decls = "\n".join(f"  field {f};" for f in names)
         return f"class Shared {{\n{decls}\n}}"
+
+    def _handshake_set(self, handshake, indent: str) -> str:
+        lock, flag = handshake["lock"], handshake["flag"]
+        lines = ""
+        if self.handoff_bias:
+            # Unlocked write right before the publish: the last owner
+            # access the condition edge hands off.
+            lines += f"{indent}s.{handshake['token']}.v = acc + 1;\n"
+        lines += (
+            f"{indent}sync (this.lock{lock}) {{\n"
+            f"{indent}  s.{flag} = 1;\n"
+            f"{indent}  notifyall this.lock{lock};\n"
+            f"{indent}}}\n"
+        )
+        return lines
+
+    def _handshake_wait(self, handshake, indent: str) -> str:
+        lock, flag = handshake["lock"], handshake["flag"]
+        lines = (
+            f"{indent}sync (this.lock{lock}) {{\n"
+            f"{indent}  while (s.{flag} != 1) {{\n"
+            f"{indent}    wait this.lock{lock};\n"
+            f"{indent}  }}\n"
+            f"{indent}}}\n"
+        )
+        if self.handoff_bias:
+            # Unlocked first access right after the wait returns.
+            lines += (
+                f"{indent}s.{handshake['token']}.v = "
+                f"s.{handshake['token']}.v + 1;\n"
+            )
+        return lines
 
     def _worker(self, index: int, fields) -> str:
         lock_fields = "\n".join(
@@ -93,7 +198,7 @@ class ProgramFuzzer:
             f"    this.lock{i} = l{i};" for i in range(self.n_locks)
         )
         self._temp = 0
-        body = self._block(fields, depth=0, min_lock=0, indent="    ")
+        body = self._worker_body(index, fields)
         return (
             f"class Worker{index} {{\n"
             f"  field s;\n{lock_fields}\n"
@@ -105,6 +210,50 @@ class ProgramFuzzer:
             f"{body}"
             f"  }}\n}}"
         )
+
+    def _worker_body(self, index: int, fields) -> str:
+        """The run() body: handshake publishes first, then fuzzed
+        phases separated by global barriers, with guarded waits at the
+        head of a random phase.
+
+        Ordering is the deadlock-freedom argument: a worker publishes
+        every flag it owns before it can block on a wait or a barrier,
+        so all flags are eventually set, all waits return, and every
+        worker reaches every barrier.
+        """
+        if not self.sync_vocab:
+            return self._block(fields, depth=0, min_lock=0, indent="    ")
+        sets = [
+            self._handshake_set(handshake, "    ")
+            for handshake in self._handshakes
+            if handshake["setter"] == index
+        ]
+        waits = [
+            self._handshake_wait(handshake, "    ")
+            for handshake in self._handshakes
+            if handshake["waiter"] == index
+        ]
+        phases = [
+            self._block(fields, depth=0, min_lock=0, indent="    ")
+            for _ in range(self._n_barriers + 1)
+        ]
+        for wait in waits:
+            slot = self._rng.randrange(len(phases))
+            phases[slot] = wait + phases[slot]
+        trailer = ""
+        if self.handoff_bias:
+            # The setter re-reads its token after everything else: when
+            # the waiter's post-wait write is condition-ordered between
+            # the setter's unlocked write and this read, the ownership
+            # handoff chain closes and the deferral-miss shapes appear.
+            trailer = "".join(
+                f"    var d{handshake['flag'][1:]} = "
+                f"s.{handshake['token']}.v;\n"
+                for handshake in self._handshakes
+                if handshake["setter"] == index
+            )
+        barrier = f"    barrier this.lock0, {self.n_workers};\n"
+        return "".join(sets) + barrier.join(phases) + trailer
 
     # ------------------------------------------------------------------
 

@@ -39,10 +39,10 @@ def source(scale: int = 8) -> str:
 class Main {{
   static def main() {{
     var grid = new Grid({total_rows}, {width});
-    var barrier = new Barrier(2);
+    var bar = new Barrier(2);
     var state = new SolverState();
-    var w1 = new SorWorker(grid, barrier, state, 0, {rows_per_band}, {phases});
-    var w2 = new SorWorker(grid, barrier, state, {rows_per_band},
+    var w1 = new SorWorker(grid, bar, state, 0, {rows_per_band}, {phases});
+    var w2 = new SorWorker(grid, bar, state, {rows_per_band},
                            {total_rows}, {phases});
     start w1;
     start w2;
@@ -125,14 +125,14 @@ class SolverState {{
 
 class SorWorker {{
   field grid;
-  field barrier;
+  field bar;
   field state;
   field fromRow;
   field toRow;
   field phases;
-  def init(grid, barrier, state, fromRow, toRow, phases) {{
+  def init(grid, bar, state, fromRow, toRow, phases) {{
     this.grid = grid;
-    this.barrier = barrier;
+    this.bar = bar;
     this.state = state;
     this.fromRow = fromRow;
     this.toRow = toRow;
@@ -151,7 +151,7 @@ class SorWorker {{
     var grid = this.grid;
     var rows = grid.rows;
     var width = grid.width;
-    var barrier = this.barrier;
+    var bar = this.bar;
     var state = this.state;
     var phase = 0;
     while (phase < this.phases) {{
@@ -176,7 +176,7 @@ class SorWorker {{
         i = i + 1;
       }}
       state.residual = phase;            // Lock-free shared write.
-      barrier.await(phase + 1);
+      bar.await(phase + 1);
       phase = phase + 1;
     }}
     if (state.residual >= this.phases - 1) {{

@@ -135,3 +135,93 @@ def test_record_replay_reproduces_event_stream(program_seed, schedule_seed):
     replayed = RecordingSink()
     replay_run(resolved2, trace, sink=replayed, max_steps=3_000_000)
     assert replayed.log == original.log
+
+
+# -- condition-synchronization vocabulary (sync_vocab / handoff_bias) -----
+
+
+def test_default_vocabulary_emits_no_condition_sync():
+    # Byte-stability contract: without the opt-in flags the generator
+    # draws nothing from the sync vocabulary, so existing (seed →
+    # program) mappings — and the committed corpus built on them —
+    # cannot shift.
+    for seed in range(40):
+        source = generate_program(seed)
+        assert "wait " not in source
+        assert "notify" not in source
+        assert "barrier " not in source
+        assert "class Token" not in source
+
+
+def test_sync_vocab_reaches_condition_statements():
+    waits = barriers = 0
+    for seed in range(30):
+        source = generate_program(
+            seed, n_workers=3, n_fields=3, n_locks=2, sync_vocab=True
+        )
+        if "wait " in source:
+            # Every emitted wait sits under a guard released by a
+            # published flag + notifyall.
+            assert "notifyall" in source
+            waits += 1
+        if "barrier " in source:
+            barriers += 1
+    assert waits > 0 and barriers > 0
+
+
+def test_handoff_bias_threads_tokens_through_handshakes():
+    tokens = 0
+    for seed in range(30):
+        source = generate_program(
+            seed, n_workers=3, n_fields=3, n_locks=2, handoff_bias=True
+        )
+        if "class Token" in source:
+            assert ".v =" in source or ".v;" in source
+            tokens += 1
+    assert tokens > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_seeds, schedule_seeds)
+def test_sync_vocab_programs_terminate_deterministically(
+    program_seed, schedule_seed
+):
+    # Deadlock freedom by construction: flags are published (set +
+    # notifyall) before any blocking statement, barriers use a global
+    # party count between top-level phases, and guard re-checks absorb
+    # spurious or early wakeups.  Plus the usual determinism contract.
+    source = generate_program(
+        program_seed, n_workers=3, n_fields=3, n_locks=2, sync_vocab=True
+    )
+    outputs = []
+    for _ in range(2):
+        resolved = compile_source(source)
+        result = run_program(
+            resolved, policy=RandomPolicy(schedule_seed), max_steps=3_000_000
+        )
+        outputs.append(result.output)
+    assert outputs[0] == outputs[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_seeds, schedule_seeds)
+def test_handoff_bias_record_replay_reproduces_event_stream(
+    program_seed, schedule_seed
+):
+    # Notify wakeup choices (pick_waiter) are scheduling decisions:
+    # the recorded trace must reproduce the log bit-for-bit, waits,
+    # notifies and all.
+    source = generate_program(
+        program_seed, n_workers=3, n_fields=3, n_locks=2, handoff_bias=True
+    )
+    resolved = compile_source(source)
+    original = RecordingSink()
+    _, trace = record_run(
+        resolved,
+        sink=original,
+        inner_policy=RandomPolicy(schedule_seed),
+        max_steps=3_000_000,
+    )
+    replayed = RecordingSink()
+    replay_run(compile_source(source), trace, sink=replayed, max_steps=3_000_000)
+    assert replayed.log == original.log

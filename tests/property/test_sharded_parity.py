@@ -132,3 +132,28 @@ def test_sharded_parity_without_cache_is_counter_exact(
         sharded = detect_sharded(log, shards, config=config, resolved=resolved)
         _assert_parity(serial, sharded)
         assert sharded.stats == serial.stats
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_seeds, schedule_seeds)
+def test_sharded_parity_with_condition_sync(program_seed, schedule_seed):
+    # Wait/notify/barrier events are broadcast to every shard (like
+    # monitor events), so the paper detector's pass-through of them
+    # must not perturb the funnel invariants.
+    source = generate_program(
+        program_seed, n_workers=3, n_fields=3, n_locks=2, handoff_bias=True
+    )
+    resolved = compile_source(source)
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    log = RecordingSink()
+    run_program(
+        resolved,
+        sink=log,
+        trace_sites=plan.trace_sites,
+        policy=RandomPolicy(schedule_seed),
+        max_steps=3_000_000,
+    )
+    serial, _ = detect_from_log(log, resolved=resolved)
+    for shards in SHARD_COUNTS:
+        sharded = detect_sharded(log, shards, resolved=resolved)
+        _assert_parity(serial, sharded)

@@ -105,6 +105,71 @@ class TestShrunkExpectedClassesSurvive:
         assert klass in case_classes(after, violations_only=False)
 
 
+class TestDecisionTraceDDmin:
+    """Regression: long decision traces must be ddmin-reduced, not
+    abandoned.  The shrinker used to bail to the unreduced seed spec
+    whenever the interesting prefix exceeded a fixed cap (64), so any
+    failure that hinged on a late decision shipped with a hundreds-long
+    opaque trace."""
+
+    @staticmethod
+    def _shrink(trace, needed, original):
+        from repro.difflab.shrink import shrink_schedule
+
+        needed = set(needed)
+        calls = []
+
+        def interesting(source, spec):
+            calls.append(spec)
+            if spec.kind == original.kind and spec.seed == original.seed:
+                return True
+            if spec.kind == "prefix":
+                return needed <= set(spec.choices)
+            return False
+
+        def record_trace(source, spec):
+            assert spec == original
+            return list(trace)
+
+        result = shrink_schedule("ignored", original, interesting, record_trace)
+        return result, calls
+
+    def test_200_decision_trace_reduces_to_load_bearing_choices(self):
+        # 200 recorded decisions, of which only #5 and #150 matter: the
+        # binary-searched prefix (151 long — far past the old cap) must
+        # ddmin down to exactly those two, in order.
+        original = ScheduleSpec(kind="random", seed=99)
+        result, _ = self._shrink(list(range(200)), {5, 150}, original)
+        assert result == ScheduleSpec(kind="prefix", choices=(5, 150))
+
+    def test_single_late_decision(self):
+        original = ScheduleSpec(kind="random", seed=99)
+        result, _ = self._shrink(list(range(200)), {150}, original)
+        assert result == ScheduleSpec(kind="prefix", choices=(150,))
+
+    def test_predicate_call_budget_stays_polynomial(self):
+        # ddmin is O(n log n)-ish on this shape; guard against an
+        # accidental exponential blowup.
+        original = ScheduleSpec(kind="random", seed=99)
+        _, calls = self._shrink(list(range(200)), {5, 150}, original)
+        assert len(calls) < 400
+
+    def test_unreproducible_trace_falls_back_to_adopted(self):
+        # If even the full recorded trace cannot reproduce the failure
+        # (nondeterminism leaked in), keep the adopted spec untouched.
+        from repro.difflab.shrink import shrink_schedule
+
+        original = ScheduleSpec(kind="random", seed=99)
+
+        def interesting(source, spec):
+            return spec.kind == "random" and spec.seed == 99
+
+        result = shrink_schedule(
+            "ignored", original, interesting, lambda s, spec: list(range(30))
+        )
+        assert result == original
+
+
 class TestScheduleShrinking:
     def test_random_schedule_prefers_simpler_spec(self):
         # Whatever the shrinker picks, it must be one of the allowed

@@ -62,6 +62,12 @@ class TestValidateEntries:
         with pytest.raises(LogSchemaError, match="schema version"):
             validate_entries(recorded.log, version=1)
 
+    def test_v2_log_rejected_with_remediation(self, recorded):
+        # v2 predates the wait/notify tags; a v2 reader must be told to
+        # re-record rather than silently dropping condition edges.
+        with pytest.raises(LogSchemaError, match="re-record"):
+            validate_entries(recorded.log, version=2)
+
     def test_unknown_tag_rejected(self):
         with pytest.raises(LogSchemaError, match="unknown tag"):
             validate_entries([("teleport", 1, 2)])
@@ -118,6 +124,42 @@ class TestDumpLoadRoundtrip:
         payload["version"] = 1
         with pytest.raises(LogSchemaError, match="schema version"):
             load_log(payload)
+
+    def test_load_rejects_v2_payload_with_remediation(self, recorded):
+        payload = dump_log(recorded)
+        payload["version"] = 2
+        with pytest.raises(LogSchemaError, match="re-record the execution"):
+            load_log(payload)
+
+    def test_wait_notify_entries_roundtrip(self):
+        # The v3 additions themselves: condition-sync tags validate and
+        # survive serialization.
+        source = """
+        class Main {
+          static def main() {
+            var s = new Shared();
+            var c = new C(s);
+            start c;
+            sync (s) { while (s.flag != 1) { wait s; } }
+            join c;
+          }
+        }
+        class Shared { field flag; }
+        class C {
+          field s;
+          def init(s) { this.s = s; }
+          def run() {
+            sync (this.s) { this.s.flag = 1; notifyall this.s; }
+          }
+        }
+        """
+        log = RecordingSink()
+        run_source(source, sink=log)
+        tags = {entry[0] for entry in log.log}
+        assert RecordingSink.WAIT in tags
+        assert RecordingSink.NOTIFY in tags
+        validate_entries(log.log)
+        assert load_log(dump_log(log)) == log.log
 
     def test_load_rejects_non_log_payload(self):
         with pytest.raises(LogSchemaError, match="entries"):

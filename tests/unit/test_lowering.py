@@ -75,6 +75,23 @@ class TestBasicLowering:
         assert instructions(function, ir.JoinT)
         assert instructions(function, ir.StartT)[0].is_barrier
 
+    def test_condition_sync_lowering(self):
+        function, _ = lower_main(
+            "var c = new C(); sync (c) { wait c; notify c; notifyall c; } "
+            "barrier c, 2;",
+            "class C { }",
+        )
+        (wait,) = instructions(function, ir.WaitI)
+        notifies = instructions(function, ir.NotifyI)
+        (barrier,) = instructions(function, ir.BarrierI)
+        # All three are analysis barriers: the static weaker-than
+        # relation must not carry access summaries across them.
+        assert wait.is_barrier and barrier.is_barrier
+        assert [n.notify_all for n in notifies] == [False, True]
+        assert all(n.is_barrier for n in notifies)
+        # The party-count operand is a use (it feeds liveness/valnum).
+        assert len(barrier.uses()) == 2
+
 
 class TestSyncContext:
     def test_sync_emits_enter_exit_pair(self):

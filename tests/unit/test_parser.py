@@ -113,6 +113,41 @@ class TestStatements:
         assert isinstance(stmts[0], ast.Start)
         assert isinstance(stmts[1], ast.Join)
 
+    def test_wait(self):
+        (stmt,) = parse_stmts("wait this.cond;")
+        assert isinstance(stmt, ast.Wait)
+        assert isinstance(stmt.target, ast.FieldRead)
+
+    def test_notify_and_notifyall(self):
+        stmts = parse_stmts("notify c; notifyall c;")
+        assert isinstance(stmts[0], ast.Notify)
+        assert stmts[0].notify_all is False
+        assert isinstance(stmts[1], ast.Notify)
+        assert stmts[1].notify_all is True
+
+    def test_barrier(self):
+        (stmt,) = parse_stmts("barrier b, n + 1;")
+        assert isinstance(stmt, ast.Barrier)
+        assert isinstance(stmt.parties, ast.Binary)
+
+    def test_wait_takes_arbitrary_expression(self):
+        (stmt,) = parse_stmts("wait this.pool.slot;")
+        assert isinstance(stmt.target, ast.FieldRead)
+
+    def test_wait_requires_target(self):
+        with pytest.raises(ParseError):
+            parse_stmts("wait;")
+
+    def test_barrier_requires_parties(self):
+        with pytest.raises(ParseError):
+            parse_stmts("barrier b;")
+
+    def test_sync_keywords_not_identifiers(self):
+        # ``wait``/``notify``/``notifyall``/``barrier`` are reserved.
+        for name in ("wait", "notify", "notifyall", "barrier"):
+            with pytest.raises(ParseError):
+                parse_stmts(f"var {name} = 1;")
+
     def test_return_value_and_void(self):
         stmts = parse_stmts("return 1; return;")
         assert stmts[0].value is not None

@@ -51,6 +51,26 @@ class TestPrinterRoundTrip:
         assert "while (" in text and "sync (" in text
         assert roundtrip(text) == text
 
+    def test_condition_sync_statements(self):
+        source = (
+            "class A { def m(c, n) { sync (c) { "
+            "while (n < 1) { wait c; } notify c; notifyall c; } "
+            "barrier c, n; } }"
+        )
+        text = roundtrip(source)
+        assert "wait c;" in text
+        assert "notify c;" in text
+        assert "notifyall c;" in text
+        assert "barrier c, n;" in text
+        assert roundtrip(text) == text
+
+    def test_notifyall_not_rendered_as_notify(self):
+        # The two spellings must not collapse: re-parsing the rendering
+        # preserves the notify_all flag.
+        program = parse("class A { def m(c) { sync (c) { notifyall c; } } }")
+        stmt = program.classes[0].methods[0].body.body[0].body.body[0]
+        assert render_stmt(stmt) == "notifyall c;"
+
     def test_threads(self):
         text = roundtrip(
             "class A { def m(t) { start t; join t; } }"

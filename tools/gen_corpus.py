@@ -368,6 +368,66 @@ class Worker1 {
 class Pad { field v; }
 """
 
+ERASER_DEFERRAL_MISS = """\
+class S { field x; field flag; }
+class P {
+  field s;
+  def init(a) { this.s = a; }
+  def run() {
+    this.s.x = 1;
+    sync (this.s) { this.s.flag = 1; notifyall this.s; }
+    var r = this.s.x;
+  }
+}
+class C {
+  field s;
+  def init(a) { this.s = a; }
+  def run() {
+    sync (this.s) { while (this.s.flag != 1) { wait this.s; } }
+    this.s.x = 2;
+  }
+}
+class Main {
+  static def main() {
+    var s = new S();
+    start new C(s);
+    start new P(s);
+  }
+}
+"""
+
+OBJECT_DEFERRAL_MISS = """\
+class S { field x; }
+class W1 {
+  field s;
+  def init(a) { this.s = a; }
+  def run() {
+    this.s.x = 1;
+    barrier this.s, 2;
+    barrier this.s, 2;
+    var r = this.s.x;
+  }
+}
+class W2 {
+  field s;
+  def init(a) { this.s = a; }
+  def run() {
+    barrier this.s, 2;
+    this.s.x = 2;
+    barrier this.s, 2;
+  }
+}
+class Main {
+  static def main() {
+    var s = new S();
+    var w1 = new W1(s);
+    var w2 = new W2(s);
+    start w1;
+    start w2;
+  }
+}
+"""
+
 RW_RACE_MIN = """\
 class Main {
   static def main() {
@@ -417,10 +477,12 @@ class Pad { field v; }
 RR = ScheduleSpec(kind="roundrobin")
 
 
-def shape_check(klass, need_shared_field=True, min_workers=1):
+def shape_check(klass, need_shared_field=True, min_workers=1, marker=".f"):
     """Keep shrunk corpus entries illustrative: the target class must
     stay on a shared data field (not collapse into the constructor-init
-    pattern) and the program must keep enough worker threads."""
+    pattern) and the program must keep enough worker threads.
+    ``marker`` selects the field family (``".f"`` for the shared data
+    pool, ``".v"`` for the handoff-bias token fields)."""
 
     def check(result):
         if result.source.count("class Worker") < min_workers:
@@ -428,7 +490,7 @@ def shape_check(klass, need_shared_field=True, min_workers=1):
         if not need_shared_field:
             return True
         return any(
-            ".f" in item
+            marker in item
             for d in result.discrepancies
             if d.klass == klass
             for item in d.items
@@ -438,11 +500,12 @@ def shape_check(klass, need_shared_field=True, min_workers=1):
 
 
 def shrunk_fuzz_entry(
-    out, name, klass, seed, schedule, notes, min_workers=1, **fuzz_kwargs
+    out, name, klass, seed, schedule, notes, min_workers=1, marker=".f",
+    **fuzz_kwargs
 ):
     """Find ``klass`` in a fuzz case and commit its shrunk form."""
     source = generate_program(seed, **fuzz_kwargs)
-    check = shape_check(klass, min_workers=min_workers)
+    check = shape_check(klass, min_workers=min_workers, marker=marker)
     result = run_case(source, schedule)
     assert result.error is None, result.error
     exhibited = case_classes(result, violations_only=False)
@@ -561,6 +624,50 @@ def main() -> int:
         "candidate set reports.  Complements eraser-mtrt-fp, which "
         "shows the single-common-lock shape on the same class.",
         min_workers=2, n_workers=3, n_fields=3, n_locks=2,
+    ))
+    entries.append(save_entry(
+        out, "eraser-deferral-miss-min", ERASER_DEFERRAL_MISS,
+        ScheduleSpec(kind="random", seed=1),
+        classes=["eraser-deferral-miss"],
+        notes="The condition-sync handoff deferral (paper §9).  Under "
+        "this schedule C blocks in the guarded wait, so P's unlocked "
+        "x-write is wait/notify-ordered before C's: Eraser's state "
+        "machine hands ownership along the condition edge and stays "
+        "Exclusive, and P's final unlocked read only moves it to "
+        "Shared (no check on a read).  The paper's pairwise check "
+        "still admits the disjoint-lockset pair (C's write, P's read) "
+        "and reports x.  Needs the seeded schedule: under plain "
+        "round-robin C never waits and the case degrades into the "
+        "eraser-single-lock-fp shape instead.",
+    ))
+    entries.append(save_entry(
+        out, "object-deferral-miss-min", OBJECT_DEFERRAL_MISS, RR,
+        classes=["eraser-deferral-miss", "object-deferral-miss"],
+        notes="The whole-object deferral across barrier generations.  "
+        "Each barrier arrival emits a notify and each release a wait, "
+        "so every x access is condition-ordered and both historical "
+        "detectors hand ownership around the cycle W1 -> W2 -> W1 "
+        "without ever leaving the owned/Exclusive state — the object "
+        "baseline never reports S, Eraser never reports x.  The "
+        "paper's ownership model still shares x at W2's write and "
+        "reports the disjoint-lockset pair against W1's final read.  "
+        "Robust under any schedule: barriers emit their edges in "
+        "every interleaving, unlike flag handshakes.",
+    ))
+    entries.append(shrunk_fuzz_entry(
+        out, "ownership-timing-shift-min", "ownership-timing-shift", 1,
+        ScheduleSpec(kind="random", seed=5),
+        "Shrunk fuzz case (handoff-bias vocabulary): the optimized "
+        "instrumentation plan changes the transformed program's yield "
+        "structure, so the same scheduling seed produces a different "
+        "interleaving, the guarded wait resolves differently, and a "
+        "token field whose ownership travels along the condition edge "
+        "in the full run gets its owned-to-shared transition at a "
+        "different point in the static-plan run — paper-static "
+        "reports a location the live run's ownership filter absorbs "
+        "(§7.2, the extra-report direction).",
+        min_workers=2, marker=".v",
+        n_workers=3, n_fields=3, n_locks=2, handoff_bias=True,
     ))
     entries.append(save_entry(
         out, "rw-race-min", RW_RACE_MIN, RR,
