@@ -9,7 +9,9 @@ Commands
     ``--no-cache`` / ``--no-ownership`` / ``--fields-merged`` toggle
     the paper's configuration axes; ``--seed N`` picks a random
     interleaving; ``--deadlocks`` also runs the lock-order analysis;
-    ``--stats`` prints the event funnel and cache statistics.
+    ``--stats`` prints the event funnel and cache statistics;
+    ``--phase-times`` splits wall time into interpret / filter /
+    cache / lockset-trie phases.
 
 ``run FILE.mj``
     Execute a program uninstrumented and print its output.
@@ -37,12 +39,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .detector import DeadlockDetector, DetectorConfig, RaceDetector
 from .instrument import PlannerConfig, plan_instrumentation
 from .lang import MJError, compile_source
-from .runtime import MulticastSink, RandomPolicy, RoundRobinPolicy, run_program
+from .runtime import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    MulticastSink,
+    RandomPolicy,
+    RoundRobinPolicy,
+    engine_runner,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="detect dataraces in a program")
     check.add_argument("file", type=Path)
+    check.add_argument("--engine", choices=sorted(ENGINES),
+                       default=DEFAULT_ENGINE,
+                       help="execution engine: the AST interpreter or the "
+                       "closure-compiled backend (default: %(default)s)")
     check.add_argument("--seed", type=int, default=None,
                        help="random-scheduler seed (default: round-robin)")
     check.add_argument("--no-static", action="store_true",
@@ -73,6 +87,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also run lock-order deadlock analysis")
     check.add_argument("--stats", action="store_true",
                        help="print the event funnel and cache stats")
+    check.add_argument("--phase-times", action="store_true",
+                       help="print a per-phase wall-clock breakdown "
+                       "(interpret / filter / cache / lockset-trie); "
+                       "on-the-fly detection only")
     check.add_argument("--post-mortem", action="store_true",
                        help="record the event stream, then detect offline")
     check.add_argument("--shards", type=int, default=None, metavar="N",
@@ -84,6 +102,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="execute a program (no detection)")
     run.add_argument("file", type=Path)
+    run.add_argument("--engine", choices=sorted(ENGINES),
+                     default=DEFAULT_ENGINE,
+                     help="execution engine (default: %(default)s)")
     run.add_argument("--seed", type=int, default=None)
 
     explain = sub.add_parser(
@@ -101,6 +122,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "difflab",
         help="differential race-oracle lab (corpus check + fuzz campaign)",
     )
+    difflab.add_argument("--engine", choices=sorted(ENGINES),
+                         default=DEFAULT_ENGINE,
+                         help="execution engine for corpus + campaign runs; "
+                         "a non-ast engine is differentially checked "
+                         "against the ast reference on every case "
+                         "(default: %(default)s)")
     difflab.add_argument("--budget", default=None, metavar="TIME",
                          help='campaign time budget, e.g. "120s" or "2m" '
                          "(keeps drawing fuzz seeds until time is up)")
@@ -151,6 +178,7 @@ def _compile(path: Path):
 
 def cmd_check(args) -> int:
     resolved = _compile(args.file)
+    run_engine = engine_runner(args.engine)
     planner = PlannerConfig(
         static_analysis=not args.no_static,
         static_weaker=not args.no_weaker,
@@ -167,6 +195,10 @@ def cmd_check(args) -> int:
     if shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
         return 2
+    if args.phase_times and post_mortem:
+        print("error: --phase-times needs on-the-fly detection "
+              "(drop --post-mortem/--shards)", file=sys.stderr)
+        return 2
 
     sharded = None
     deadlocks = None
@@ -179,7 +211,7 @@ def cmd_check(args) -> int:
         if args.deadlocks:
             deadlocks = DeadlockDetector()
             sink = MulticastSink([log, deadlocks])
-        result = run_program(
+        result = run_engine(
             resolved,
             sink=sink,
             trace_sites=plan.trace_sites,
@@ -197,7 +229,12 @@ def cmd_check(args) -> int:
         funnel = sharded.stats
         cache_stats = sharded.cache_stats
     else:
-        detector = RaceDetector(
+        detector_class = RaceDetector
+        if args.phase_times:
+            from .harness import TimedRaceDetector
+
+            detector_class = TimedRaceDetector
+        detector = detector_class(
             config=detector_config,
             resolved=resolved,
             static_races=plan.static_races,
@@ -206,12 +243,14 @@ def cmd_check(args) -> int:
         if args.deadlocks:
             deadlocks = DeadlockDetector()
             sink = MulticastSink([detector, deadlocks])
-        result = run_program(
+        started = time.perf_counter()
+        result = run_engine(
             resolved,
             sink=sink,
             trace_sites=plan.trace_sites,
             policy=_policy(args.seed),
         )
+        wall_seconds = time.perf_counter() - started
         reports = detector.reports.reports
         funnel = detector.stats
         cache_stats = detector.cache.stats if detector.cache else None
@@ -250,12 +289,20 @@ def cmd_check(args) -> int:
                   f"monitored locations (merged): "
                   f"{sharded.monitored_locations}; "
                   f"trie nodes (merged): {sharded.trie_nodes}")
+    if args.phase_times:
+        phases = detector.phase_seconds(wall_seconds)
+        denom = wall_seconds or 1e-12
+        print(f"phase times (wall {wall_seconds:.3f}s, {args.engine} engine):")
+        for name, seconds in phases.items():
+            label = name.replace("lockset_trie", "lockset/trie")
+            print(f"  {label:<12} {seconds:.3f}s "
+                  f"({100.0 * seconds / denom:.0f}%)")
     return 1 if reports else 0
 
 
 def cmd_run(args) -> int:
     resolved = _compile(args.file)
-    result = run_program(resolved, policy=_policy(args.seed))
+    result = engine_runner(args.engine)(resolved, policy=_policy(args.seed))
     for line in result.output:
         print(line)
     return 0
@@ -362,7 +409,7 @@ def cmd_difflab(args) -> int:
 
     if not args.skip_corpus:
         directory = args.corpus if args.corpus is not None else DEFAULT_CORPUS
-        entries, problems = verify_corpus(directory)
+        entries, problems = verify_corpus(directory, engine=args.engine)
         covered = sorted({klass for e in entries for klass in e.classes})
         print(f"corpus: {len(entries)} entries from {directory}")
         for entry in entries:
@@ -395,6 +442,7 @@ def cmd_difflab(args) -> int:
             config=injection.config if injection else None,
             shrink=not args.no_shrink,
             progress=lambda message: print(f"  .. {message}"),
+            engine=args.engine,
         )
         print(result.summary())
         if result.violations:

@@ -46,6 +46,7 @@ from .shrink import (
 from .verdicts import (
     DEFAULT_SHARDS,
     CaseRun,
+    EngineDivergence,
     ScheduleSpec,
     Verdict,
     compute_verdicts,
@@ -61,6 +62,7 @@ __all__ = [
     "CorpusEntry",
     "Discrepancy",
     "EXPECTED",
+    "EngineDivergence",
     "Expectation",
     "INJECTIONS",
     "MATRIX",

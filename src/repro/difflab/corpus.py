@@ -147,6 +147,7 @@ def verify_entry(
     entry: CorpusEntry,
     shards: Sequence[int] = DEFAULT_SHARDS,
     max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = "ast",
 ) -> list:
     """Re-run one committed entry; return human-readable problems.
 
@@ -157,7 +158,7 @@ def verify_entry(
     problems: list = []
     result = run_case(
         entry.source, entry.schedule, label=entry.name, shards=shards,
-        max_steps=max_steps,
+        max_steps=max_steps, engine=engine,
     )
     if result.error is not None:
         return [f"{entry.name}: execution failed: {result.error}"]
@@ -193,10 +194,11 @@ def verify_entry(
 def verify_corpus(
     directory: Optional[Path] = None,
     shards: Sequence[int] = DEFAULT_SHARDS,
+    engine: str = "ast",
 ) -> tuple:
     """Verify every entry; returns ``(entries, problems)``."""
     entries = load_corpus(directory)
     problems: list = []
     for entry in entries:
-        problems.extend(verify_entry(entry, shards=shards))
+        problems.extend(verify_entry(entry, shards=shards, engine=engine))
     return entries, problems

@@ -36,7 +36,13 @@ from .shrink import (
     shrink_program,
     shrink_schedule,
 )
-from .verdicts import DEFAULT_SHARDS, ScheduleSpec, compute_verdicts, execute_case
+from .verdicts import (
+    DEFAULT_SHARDS,
+    EngineDivergence,
+    ScheduleSpec,
+    compute_verdicts,
+    execute_case,
+)
 
 #: Step budget per fuzz case: generous for fuzzer-sized programs, small
 #: enough that a pathological candidate fails fast during shrinking.
@@ -127,6 +133,7 @@ def run_case(
     shards: Sequence[int] = DEFAULT_SHARDS,
     include_static_axis: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = "ast",
 ) -> CaseResult:
     """Execute and classify one case; runtime failures become errors."""
     if detector_factory is None and config is not None:
@@ -142,8 +149,15 @@ def run_case(
             detector_factory=detector_factory,
             include_static_axis=include_static_axis,
             max_steps=max_steps,
+            engine=engine,
         )
-    except (MJError, DeadlockError, StepLimitExceeded, RecursionError) as exc:
+    except (
+        MJError,
+        DeadlockError,
+        StepLimitExceeded,
+        RecursionError,
+        EngineDivergence,
+    ) as exc:
         return CaseResult(
             label=label,
             source=source,
@@ -177,6 +191,7 @@ def make_predicate(
     include_static_axis: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     extra_check: Optional[Callable[[CaseResult], bool]] = None,
+    engine: str = "ast",
 ):
     """Build the shrinker's *interesting* test.
 
@@ -200,6 +215,7 @@ def make_predicate(
             shards=shards,
             include_static_axis=include_static_axis,
             max_steps=max_steps,
+            engine=engine,
         )
         if result.error is not None:
             return False
@@ -222,6 +238,7 @@ def shrink_case(
     max_steps: int = DEFAULT_MAX_STEPS,
     max_rounds: int = 40,
     extra_check: Optional[Callable[[CaseResult], bool]] = None,
+    engine: str = "ast",
 ) -> tuple:
     """Minimize (source, schedule) while preserving ``target_classes``.
 
@@ -239,6 +256,7 @@ def shrink_case(
         include_static_axis=include_static_axis,
         max_steps=max_steps,
         extra_check=extra_check,
+        engine=engine,
     )
     stats = ShrinkStats(
         initial_schedule=schedule.describe(),
@@ -261,6 +279,7 @@ def shrink_case(
         small, small_schedule, detector_factory=detector_factory,
         config=config, shards=shards,
         include_static_axis=include_static_axis, max_steps=max_steps,
+        engine=engine,
     )
     if final.error is not None or not (
         target_classes <= case_classes(final, violations_only)
@@ -291,6 +310,7 @@ def run_campaign(
     include_static_axis: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     progress: Optional[Callable[[str], None]] = None,
+    engine: str = "ast",
 ) -> CampaignResult:
     """Sweep fuzzed cases; classify; shrink every violating case.
 
@@ -330,6 +350,7 @@ def run_campaign(
                 shards=shards,
                 include_static_axis=include_static_axis,
                 max_steps=max_steps,
+                engine=engine,
             )
             result.cases_run += 1
             if case.error is not None:
@@ -351,6 +372,7 @@ def run_campaign(
                         shards=shards,
                         include_static_axis=include_static_axis,
                         max_steps=max_steps,
+                        engine=engine,
                     )
                 else:
                     small, small_spec = case.source, spec
@@ -373,6 +395,7 @@ def run_campaign(
                     shards=shards,
                     include_static_axis=include_static_axis,
                     max_steps=max_steps,
+                    engine=engine,
                 )
                 result.violations.append(
                     Violation(

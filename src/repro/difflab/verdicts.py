@@ -126,18 +126,29 @@ def _norm_objects(labels) -> frozenset:
     return frozenset(str(label) for label in labels)
 
 
+class EngineDivergence(Exception):
+    """The selected engine and the AST reference engine disagreed."""
+
+
 def execute_case(
     source: str,
     schedule: ScheduleSpec,
     detector_factory: Optional[Callable[[], RaceDetector]] = None,
     include_static_axis: bool = True,
     max_steps: int = 2_000_000,
+    engine: str = "ast",
 ) -> CaseRun:
     """Run one case, recording the all-sites log plus a live detector.
 
     The program is compiled fresh per run (the planner mutates the AST
     in place), and each run gets a fresh policy instance so the
     schedules are identical across runs of the same spec.
+
+    With ``engine`` other than ``"ast"``, the recording run executes on
+    that engine and the AST interpreter reruns the same case as the
+    differential reference: program output and the tuple-encoded event
+    log must match exactly, otherwise :class:`EngineDivergence` is
+    raised (and surfaces as a lab error).
     """
     factory = detector_factory if detector_factory is not None else RaceDetector
     resolved = compile_source(source)
@@ -149,7 +160,30 @@ def execute_case(
         trace_sites=None,
         policy=schedule.policy(),
         max_steps=max_steps,
+        engine=engine,
     )
+    if engine != "ast":
+        reference_log = RecordingSink()
+        reference_result = _run(
+            compile_source(source),
+            reference_log,
+            trace_sites=None,
+            policy=schedule.policy(),
+            max_steps=max_steps,
+            engine="ast",
+        )
+        if reference_result.output != result.output:
+            raise EngineDivergence(
+                f"engine {engine!r} output diverged from the ast "
+                f"reference: {result.output!r} != "
+                f"{reference_result.output!r}"
+            )
+        if reference_log.log != log.log:
+            raise EngineDivergence(
+                f"engine {engine!r} event log diverged from the ast "
+                f"reference ({len(log.log)} vs "
+                f"{len(reference_log.log)} entries)"
+            )
     static_log: Optional[list] = None
     if include_static_axis:
         resolved_static = compile_source(source)
@@ -161,6 +195,7 @@ def execute_case(
             trace_sites=plan.trace_sites,
             policy=schedule.policy(),
             max_steps=max_steps,
+            engine=engine,
         )
         static_log = static_sink.log
     return CaseRun(
@@ -173,10 +208,10 @@ def execute_case(
     )
 
 
-def _run(resolved, sink, trace_sites, policy, max_steps):
-    from ..runtime.interpreter import run_program
+def _run(resolved, sink, trace_sites, policy, max_steps, engine="ast"):
+    from ..runtime import engine_runner
 
-    return run_program(
+    return engine_runner(engine)(
         resolved,
         sink=sink,
         trace_sites=trace_sites,

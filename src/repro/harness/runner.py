@@ -35,7 +35,7 @@ from ..detector.config import DetectorConfig
 from ..detector.pipeline import RaceDetector
 from ..instrument.planner import PlannerConfig, plan_instrumentation
 from ..lang.resolver import compile_source
-from ..runtime.interpreter import run_program
+from ..runtime import DEFAULT_ENGINE, engine_class
 from ..runtime.scheduler import RoundRobinPolicy, SchedulingPolicy
 from ..workloads.base import WorkloadSpec
 
@@ -93,6 +93,81 @@ TABLE2_CONFIGS = [
 TABLE3_CONFIGS = [CONFIG_FULL, CONFIG_FIELDS_MERGED, CONFIG_NO_OWNERSHIP]
 
 
+class TimedRaceDetector(RaceDetector):
+    """A :class:`RaceDetector` that attributes wall-clock to phases.
+
+    The paper's overhead story has distinct layers: interpreting the
+    program, filtering events (location interning + the ownership
+    model), probing the per-thread access caches, and the lockset/trie
+    detector proper.  This subclass times the sink hot path and its two
+    inner stages, so a harness run can split its wall time into
+    ``interpret`` / ``filter`` / ``cache`` / ``lockset_trie``.
+
+    The timer calls themselves add overhead to the measured run, so
+    breakdowns are for *attribution* (which layer dominates), not for
+    comparing absolute totals against untimed runs.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Total time inside the access-event sink (all phases below).
+        self.sink_seconds = 0.0
+        #: Time inside the per-thread access-cache probe.
+        self.cache_seconds = 0.0
+        #: Time inside the lockset/trie detector (weaker-than check,
+        #: race lookup, insert/prune, reporting).
+        self.detect_seconds = 0.0
+        inner = self._cache_access
+        if inner is not None:
+
+            def timed_cache(thread_id, key, kind, locks, _inner=inner):
+                started = time.perf_counter()
+                try:
+                    return _inner(thread_id, key, kind, locks)
+                finally:
+                    self.cache_seconds += time.perf_counter() - started
+
+            self._cache_access = timed_cache
+
+    def on_access_parts(
+        self, object_uid, field, thread_id, kind, site_id, object_kind,
+        object_label,
+    ) -> None:
+        started = time.perf_counter()
+        try:
+            super().on_access_parts(
+                object_uid, field, thread_id, kind, site_id, object_kind,
+                object_label,
+            )
+        finally:
+            self.sink_seconds += time.perf_counter() - started
+
+    def _detect_parts(self, *args) -> None:
+        started = time.perf_counter()
+        try:
+            super()._detect_parts(*args)
+        finally:
+            self.detect_seconds += time.perf_counter() - started
+
+    def phase_seconds(self, wall_seconds: float) -> dict:
+        """Split ``wall_seconds`` (the run's wall time) into phases.
+
+        ``interpret`` is everything outside the sink — program
+        execution plus event emission; ``filter`` is the sink time not
+        spent in the cache probe or the detector (interning +
+        ownership).
+        """
+        filter_seconds = max(
+            self.sink_seconds - self.cache_seconds - self.detect_seconds, 0.0
+        )
+        return {
+            "interpret": max(wall_seconds - self.sink_seconds, 0.0),
+            "filter": filter_seconds,
+            "cache": self.cache_seconds,
+            "lockset_trie": self.detect_seconds,
+        }
+
+
 @dataclass
 class RunOutcome:
     """Everything measured in one execution."""
@@ -125,12 +200,20 @@ def run_workload(
     scale: Optional[int] = None,
     policy: Optional[SchedulingPolicy] = None,
     max_steps: int = 50_000_000,
+    engine: str = DEFAULT_ENGINE,
+    detector_class: type = RaceDetector,
 ) -> RunOutcome:
     """Compile, plan, execute, and measure one workload/config pair.
 
     Compilation and planning happen *outside* the timed region — the
     paper measures runtime overhead of the instrumented executable, not
-    compile time.
+    compile time.  Engine construction is likewise outside: for the
+    compiled engine it includes closure compilation, which is compile
+    time by the same argument.
+
+    ``detector_class`` swaps the detector implementation (e.g.
+    :class:`TimedRaceDetector` for phase attribution); it must be a
+    :class:`RaceDetector` subclass with the same constructor.
     """
     source = spec.build(scale)
     resolved = compile_source(source, filename=spec.name)
@@ -145,21 +228,22 @@ def run_workload(
         sites_instrumented = len(trace_sites)
         static_races = plan.static_races
     if configuration.detector is not None:
-        detector = RaceDetector(
+        detector = detector_class(
             config=configuration.detector,
             resolved=resolved,
             static_races=static_races,
         )
 
     chosen_policy = policy if policy is not None else RoundRobinPolicy(quantum=10)
-    started = time.perf_counter()
-    result = run_program(
+    runner = engine_class(engine)(
         resolved,
         sink=detector,
         trace_sites=trace_sites,
         policy=chosen_policy,
         max_steps=max_steps,
     )
+    started = time.perf_counter()
+    result = runner.run()
     elapsed = time.perf_counter() - started
 
     outcome = RunOutcome(
@@ -189,6 +273,80 @@ def run_workload(
         outcome.trie_nodes = detector.total_trie_nodes()
         outcome.monitored_locations = detector.monitored_locations
     return outcome
+
+
+@dataclass
+class PhaseBreakdown:
+    """Wall-clock attribution for one on-the-fly detection run."""
+
+    workload: str
+    configuration: str
+    engine: str
+    wall_seconds: float
+    #: Program execution + event emission (everything outside the sink).
+    interpret_seconds: float
+    #: Location interning + ownership filtering inside the sink.
+    filter_seconds: float
+    #: Per-thread access-cache probes.
+    cache_seconds: float
+    #: Lockset/trie detection (weaker-than, race lookup, insert/prune).
+    lockset_trie_seconds: float
+    outcome: RunOutcome
+
+    def rows(self) -> list:
+        """``(phase, seconds, percent)`` rows, detection phases last."""
+        wall = self.wall_seconds or 1e-12
+        return [
+            (name, seconds, 100.0 * seconds / wall)
+            for name, seconds in (
+                ("interpret", self.interpret_seconds),
+                ("filter", self.filter_seconds),
+                ("cache", self.cache_seconds),
+                ("lockset/trie", self.lockset_trie_seconds),
+            )
+        ]
+
+
+def run_workload_phases(
+    spec: WorkloadSpec,
+    configuration: Configuration = CONFIG_FULL,
+    scale: Optional[int] = None,
+    policy: Optional[SchedulingPolicy] = None,
+    max_steps: int = 50_000_000,
+    engine: str = DEFAULT_ENGINE,
+) -> PhaseBreakdown:
+    """Run one workload with phase timers attached to the detector.
+
+    Requires a configuration with a detector (the breakdown is
+    meaningless for Base).  The timers add measurement overhead, so the
+    split is for attribution, not cross-run absolute comparison.
+    """
+    if configuration.detector is None:
+        raise ValueError(
+            f"configuration {configuration.name!r} has no detector; "
+            "phase breakdown needs an on-the-fly detection run"
+        )
+    outcome = run_workload(
+        spec,
+        configuration,
+        scale=scale,
+        policy=policy,
+        max_steps=max_steps,
+        engine=engine,
+        detector_class=TimedRaceDetector,
+    )
+    phases = outcome.detector.phase_seconds(outcome.wall_seconds)
+    return PhaseBreakdown(
+        workload=spec.name,
+        configuration=configuration.name,
+        engine=engine,
+        wall_seconds=outcome.wall_seconds,
+        interpret_seconds=phases["interpret"],
+        filter_seconds=phases["filter"],
+        cache_seconds=phases["cache"],
+        lockset_trie_seconds=phases["lockset_trie"],
+        outcome=outcome,
+    )
 
 
 @dataclass
@@ -224,6 +382,7 @@ def run_workload_post_mortem(
     executor: str = "serial",
     policy: Optional[SchedulingPolicy] = None,
     max_steps: int = 50_000_000,
+    engine: str = DEFAULT_ENGINE,
 ) -> PostMortemOutcome:
     """Record one execution, then detect offline both serially and
     sharded, checking that the two agree."""
@@ -244,14 +403,15 @@ def run_workload_post_mortem(
 
     log = RecordingSink()
     chosen_policy = policy if policy is not None else RoundRobinPolicy(quantum=10)
-    started = time.perf_counter()
-    run_program(
+    recorder = engine_class(engine)(
         resolved,
         sink=log,
         trace_sites=trace_sites,
         policy=chosen_policy,
         max_steps=max_steps,
     )
+    started = time.perf_counter()
+    recorder.run()
     record_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -303,6 +463,7 @@ def run_table2_row(
     scale: Optional[int] = None,
     repeats: int = 3,
     configs=None,
+    engine: str = DEFAULT_ENGINE,
 ) -> dict[str, RunOutcome]:
     """Run every Table 2 configuration; keeps the best of ``repeats``
     runs per configuration, as the paper does ("the best-performing
@@ -311,7 +472,7 @@ def run_table2_row(
     for config in configs if configs is not None else TABLE2_CONFIGS:
         best: Optional[RunOutcome] = None
         for _ in range(repeats):
-            outcome = run_workload(spec, config, scale=scale)
+            outcome = run_workload(spec, config, scale=scale, engine=engine)
             if best is None or outcome.wall_seconds < best.wall_seconds:
                 best = outcome
         results[config.name] = best
@@ -319,11 +480,13 @@ def run_table2_row(
 
 
 def run_table3_row(
-    spec: WorkloadSpec, scale: Optional[int] = None
+    spec: WorkloadSpec,
+    scale: Optional[int] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> dict[str, RunOutcome]:
     """Run the Table 3 accuracy configurations once each."""
     return {
-        config.name: run_workload(spec, config, scale=scale)
+        config.name: run_workload(spec, config, scale=scale, engine=engine)
         for config in TABLE3_CONFIGS
     }
 

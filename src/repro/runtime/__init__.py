@@ -15,13 +15,64 @@ from .events import (
     replay_entries,
     validate_entries,
 )
+from .compiled import CompiledInterpreter, run_compiled_program
 from .interpreter import Frame, Interpreter, RunResult, run_program
+
+#: Engine registry: name -> run_program-compatible callable.  Every
+#: entry point that executes MJ (CLI, harness, difflab, replay) selects
+#: through this table so engines stay interchangeable.
+ENGINES = {
+    "ast": run_program,
+    "compiled": run_compiled_program,
+}
+
+#: name -> Interpreter class, for callers that need to construct the
+#: engine separately from running it (the harness keeps construction —
+#: which includes closure compilation — outside its timed region, as it
+#: already keeps MJ compilation and instrumentation planning).
+ENGINE_CLASSES = {
+    "ast": Interpreter,
+    "compiled": CompiledInterpreter,
+}
+
+#: The default engine; the AST interpreter remains the reference
+#: semantics that the compiled engine is differentially tested against.
+#: ``REPRO_ENGINE`` overrides the default process-wide — CI uses it to
+#: run the whole tier-1 suite under each engine without touching tests.
+import os as _os
+
+DEFAULT_ENGINE = _os.environ.get("REPRO_ENGINE", "ast")
+if DEFAULT_ENGINE not in ENGINES:
+    raise ValueError(
+        f"REPRO_ENGINE={DEFAULT_ENGINE!r} is not an engine "
+        f"(choose from: {', '.join(sorted(ENGINES))})"
+    )
+
+
+def engine_runner(engine: str):
+    """Resolve an engine name to its ``run_program``-compatible runner."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        known = ", ".join(sorted(ENGINES))
+        raise ValueError(f"unknown engine {engine!r} (choose from: {known})")
+
+
+def engine_class(engine: str):
+    """Resolve an engine name to its :class:`Interpreter` subclass."""
+    try:
+        return ENGINE_CLASSES[engine]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_CLASSES))
+        raise ValueError(f"unknown engine {engine!r} (choose from: {known})")
+
 from .replay import (
     FallbackReplayPolicy,
     RecordingPolicy,
     ReplayDivergence,
     ReplayPolicy,
     ScheduleTrace,
+    TraceExhausted,
     record_run,
     replay_run,
 )
@@ -39,8 +90,12 @@ from .values import MJArray, MJClassObject, MJObject, Monitor, Reference, mj_rep
 
 __all__ = [
     "AccessEvent",
+    "CompiledInterpreter",
     "CountingSink",
+    "DEFAULT_ENGINE",
     "DeadlockError",
+    "ENGINES",
+    "ENGINE_CLASSES",
     "EventSink",
     "FallbackReplayPolicy",
     "Frame",
@@ -68,12 +123,16 @@ __all__ = [
     "StepLimitExceeded",
     "ThreadState",
     "ThreadStatus",
+    "TraceExhausted",
     "dump_log",
+    "engine_class",
+    "engine_runner",
     "load_log",
     "mj_repr",
     "record_run",
     "replay_entries",
     "replay_run",
+    "run_compiled_program",
     "run_program",
     "validate_entries",
 ]

@@ -60,6 +60,18 @@ class ReplayDivergence(MJRuntimeError):
     """The execution being replayed no longer matches the trace."""
 
 
+class TraceExhausted(ReplayDivergence):
+    """The trace and the replayed execution consumed different numbers
+    of decisions.
+
+    Raised mid-run when the program needs a decision the trace no longer
+    has, and by :meth:`ReplayPolicy.verify_exhausted` when the program
+    *finished* with recorded decisions left over — the previously silent
+    direction of the mismatch (a shorter replay is just as diverged as a
+    longer one; both mean the program changed since recording).
+    """
+
+
 class ReplayPolicy(SchedulingPolicy):
     """Replays a recorded schedule decision-for-decision."""
 
@@ -67,14 +79,24 @@ class ReplayPolicy(SchedulingPolicy):
         self._trace = trace
         self._position = 0
 
-    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+    def _next_decision(self, needed_for: str) -> int:
+        """Consume and return the next recorded decision.
+
+        Both decision kinds (scheduling choices and wakeup picks) draw
+        from the same interleaved sequence, so exhaustion is checked in
+        exactly one place.
+        """
         if self._position >= len(self._trace.choices):
-            raise ReplayDivergence(
-                f"schedule trace exhausted after {self._position} steps "
-                f"but the program is still running"
+            raise TraceExhausted(
+                f"schedule trace exhausted after {self._position} "
+                f"decision(s) but the program still needs {needed_for}"
             )
         wanted = self._trace.choices[self._position]
         self._position += 1
+        return wanted
+
+    def choose(self, runnable: list[ThreadState]) -> ThreadState:
+        wanted = self._next_decision("a scheduling choice")
         for thread in runnable:
             if thread.thread_id == wanted:
                 return thread
@@ -86,13 +108,7 @@ class ReplayPolicy(SchedulingPolicy):
         )
 
     def pick_waiter(self, waiters: list[int]) -> int:
-        if self._position >= len(self._trace.choices):
-            raise ReplayDivergence(
-                f"schedule trace exhausted after {self._position} decisions "
-                f"but the program still needs a wakeup choice"
-            )
-        wanted = self._trace.choices[self._position]
-        self._position += 1
+        wanted = self._next_decision("a wakeup choice")
         if wanted in waiters:
             return wanted
         raise ReplayDivergence(
@@ -100,6 +116,24 @@ class ReplayPolicy(SchedulingPolicy):
             f"{wanted}, but only {sorted(waiters)} are waiting — the "
             f"program or its inputs changed since recording"
         )
+
+    def verify_exhausted(self) -> None:
+        """Assert the finished run consumed the whole trace.
+
+        Call after the replayed execution completes (``replay_run`` does
+        this for every engine).  Leftover decisions mean the replay
+        finished *early* relative to the recording — a divergence the
+        per-step checks cannot see.
+        """
+        remaining = len(self._trace.choices) - self._position
+        if remaining > 0:
+            raise TraceExhausted(
+                f"replayed execution finished after {self._position} "
+                f"decision(s) but the trace recorded "
+                f"{len(self._trace.choices)} — {remaining} decision(s) "
+                f"left over; the program or its inputs changed since "
+                f"recording"
+            )
 
     @property
     def steps_replayed(self) -> int:
@@ -150,23 +184,38 @@ class FallbackReplayPolicy(SchedulingPolicy):
         return self.fallback.pick_waiter(waiters)
 
 
-def record_run(resolved, sink=None, inner_policy=None, **run_kwargs):
+def record_run(
+    resolved, sink=None, inner_policy=None, engine="ast", **run_kwargs
+):
     """Execute once while recording the schedule; returns
     ``(RunResult, ScheduleTrace)``."""
-    from .interpreter import run_program
+    from . import engine_runner
     from .scheduler import RoundRobinPolicy
 
     policy = RecordingPolicy(
         inner_policy if inner_policy is not None else RoundRobinPolicy()
     )
-    result = run_program(resolved, sink=sink, policy=policy, **run_kwargs)
+    result = engine_runner(engine)(
+        resolved, sink=sink, policy=policy, **run_kwargs
+    )
     return result, policy.trace
 
 
-def replay_run(resolved, trace: ScheduleTrace, sink=None, **run_kwargs):
-    """Re-execute under a recorded schedule; returns the RunResult."""
-    from .interpreter import run_program
+def replay_run(
+    resolved, trace: ScheduleTrace, sink=None, engine="ast", **run_kwargs
+):
+    """Re-execute under a recorded schedule; returns the RunResult.
 
-    return run_program(
-        resolved, sink=sink, policy=ReplayPolicy(trace), **run_kwargs
+    Raises :class:`TraceExhausted` when the replayed execution and the
+    trace disagree about how many decisions the run takes — in either
+    direction.  A trace recorded on one engine replays on any other:
+    the engines make identical scheduling decisions.
+    """
+    from . import engine_runner
+
+    policy = ReplayPolicy(trace)
+    result = engine_runner(engine)(
+        resolved, sink=sink, policy=policy, **run_kwargs
     )
+    policy.verify_exhausted()
+    return result

@@ -123,6 +123,36 @@ class TestCheck:
         assert code == 2
         assert "error:" in err
 
+    @pytest.mark.parametrize("engine", ["ast", "compiled"])
+    def test_engine_flag_same_verdict(self, racy_file, engine, capsys):
+        code = main(["check", str(racy_file), "--engine", engine])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DATARACE" in out
+        assert "[program] 2" in out
+
+    def test_unknown_engine_rejected(self, racy_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", str(racy_file), "--engine", "jit"])
+
+    @pytest.mark.parametrize("engine", ["ast", "compiled"])
+    def test_phase_times_flag(self, racy_file, engine, capsys):
+        code = main(
+            ["check", str(racy_file), "--phase-times", "--engine", engine]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "phase times (wall" in out
+        assert f"{engine} engine" in out
+        for phase in ("interpret", "filter", "cache", "lockset/trie"):
+            assert phase in out
+
+    def test_phase_times_rejects_post_mortem(self, racy_file, capsys):
+        code = main(["check", str(racy_file), "--phase-times", "--shards", "2"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "on-the-fly" in err
+
 
 class TestRunAndExplain:
     def test_run_prints_output(self, racy_file, capsys):

@@ -9,6 +9,7 @@ from repro.runtime import (
     RecordingSink,
     ReplayDivergence,
     ScheduleTrace,
+    TraceExhausted,
     record_run,
     replay_run,
 )
@@ -74,3 +75,59 @@ class TestRecordReplay:
         resolved = compile_source(safe_two_writer_source)
         result, trace = record_run(resolved)
         assert len(trace) == result.steps
+
+
+class TestTraceExhaustion:
+    """Both exhaustion directions are validated explicitly: a trace
+    that runs out mid-execution, and a trace with decisions left over
+    when the replayed program has already finished."""
+
+    def test_truncated_trace_is_trace_exhausted(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        _, trace = record_run(resolved, inner_policy=RandomPolicy(1))
+        truncated = ScheduleTrace(choices=trace.choices[: len(trace) // 2])
+        resolved2 = compile_source(racy_two_writer_source)
+        with pytest.raises(TraceExhausted, match="trace exhausted"):
+            replay_run(resolved2, truncated)
+
+    def test_padded_trace_is_trace_exhausted(self, racy_two_writer_source):
+        resolved = compile_source(racy_two_writer_source)
+        _, trace = record_run(resolved, inner_policy=RandomPolicy(1))
+        padded = ScheduleTrace(choices=list(trace.choices) + [0, 0, 0])
+        resolved2 = compile_source(racy_two_writer_source)
+        with pytest.raises(TraceExhausted, match="3 decision"):
+            replay_run(resolved2, padded)
+
+    def test_exhaustion_is_a_divergence(self):
+        # Callers that already catch ReplayDivergence keep working.
+        assert issubclass(TraceExhausted, ReplayDivergence)
+
+
+class TestCrossEngineReplay:
+    """A trace recorded on one engine replays on the other: the
+    engines make identical scheduler decisions, so the decision trace
+    is engine-portable."""
+
+    @pytest.mark.parametrize(
+        "record_engine,replay_engine",
+        [("ast", "compiled"), ("compiled", "ast")],
+    )
+    def test_trace_is_engine_portable(
+        self, racy_two_writer_source, record_engine, replay_engine
+    ):
+        resolved = compile_source(racy_two_writer_source)
+        original = RecordingSink()
+        result, trace = record_run(
+            resolved,
+            sink=original,
+            inner_policy=RandomPolicy(9),
+            engine=record_engine,
+        )
+        resolved2 = compile_source(racy_two_writer_source)
+        replayed_sink = RecordingSink()
+        replayed = replay_run(
+            resolved2, trace, sink=replayed_sink, engine=replay_engine
+        )
+        assert replayed.output == result.output
+        assert replayed.steps == result.steps
+        assert replayed_sink.log == original.log
