@@ -29,16 +29,10 @@ The pytest-benchmark tests below cover the same arms at smoke scale.
 
 from __future__ import annotations
 
-import argparse
 import json
-import platform
-import sys
 import time
-from pathlib import Path
 
-_ROOT = Path(__file__).resolve().parent.parent
-if str(_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(_ROOT / "src"))
+from benchlib import machine_metadata, run_benchmark_main, runner_parser
 
 from repro.detector import RaceDetector, canonical_report_order  # noqa: E402
 from repro.instrument import PlannerConfig, plan_instrumentation  # noqa: E402
@@ -188,19 +182,9 @@ def generate(quick: bool = False, repeats: int = 3) -> dict:
         ),
         "quick": quick,
         "repeats": repeats,
-        "machine": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpus": _cpu_count(),
-        },
+        "machine": machine_metadata(),
         "rows": rows,
     }
-
-
-def _cpu_count() -> int:
-    import os
-
-    return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------
@@ -272,33 +256,11 @@ class TestFullConfiguration:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Measure the compiled engine's end-to-end speedup."
+    parser = runner_parser(
+        "Measure the compiled engine vs the AST interpreter.",
+        "BENCH_compile.json",
     )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smoke scales; print the table but do not write the JSON",
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=3, help="best-of-N timing (default 3)"
-    )
-    parser.add_argument(
-        "--output",
-        default=str(_ROOT / "BENCH_compile.json"),
-        help="output path (default: BENCH_compile.json at the repo root)",
-    )
-    options = parser.parse_args(argv)
-    if options.repeats < 1:
-        parser.error("--repeats must be at least 1")
-    payload = generate(quick=options.quick, repeats=options.repeats)
-    text = json.dumps(payload, indent=2)
-    if options.quick:
-        print(text)
-    else:
-        Path(options.output).write_text(text + "\n")
-        print(f"[bench] wrote {options.output}")
-    return 0
+    return run_benchmark_main(parser, generate, argv)
 
 
 if __name__ == "__main__":

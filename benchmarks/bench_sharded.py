@@ -29,16 +29,7 @@ before their timings are accepted.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import sys
-import time
-from pathlib import Path
-
-_ROOT = Path(__file__).resolve().parent.parent
-if str(_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(_ROOT / "src"))
+from benchlib import best_of, machine_metadata, run_benchmark_main, runner_parser
 
 from repro.detector import (  # noqa: E402
     RaceDetector,
@@ -223,19 +214,6 @@ def _compile(name: str, scale: int):
     return resolved, None
 
 
-def _best_of(repeats: int, run) -> tuple[float, object]:
-    best = None
-    payload = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        value = run()
-        elapsed = time.perf_counter() - started
-        if best is None or elapsed < best:
-            best = elapsed
-            payload = value
-    return best, payload
-
-
 def _report_keys(detector_or_result):
     reports = detector_or_result.reports.reports
     return [
@@ -260,8 +238,8 @@ def bench_on_the_fly(name: str, scale: int, repeats: int) -> dict:
         run_program(resolved, sink=detector, trace_sites=trace_sites)
         return detector
 
-    legacy_s, legacy_detector = _best_of(repeats, legacy)
-    interned_s, interned_detector = _best_of(repeats, interned)
+    legacy_s, legacy_detector = best_of(repeats, legacy)
+    interned_s, interned_detector = best_of(repeats, interned)
     assert _report_keys(legacy_detector) == _report_keys(interned_detector), (
         f"{name}: legacy and interned arms disagree on races"
     )
@@ -290,8 +268,8 @@ def bench_post_mortem(name: str, scale: int, shards: int, repeats: int) -> dict:
     def sharded():
         return detect_sharded(log, shards, resolved=resolved, executor="serial")
 
-    serial_s, serial_detector = _best_of(repeats, serial)
-    sharded_s, sharded_result = _best_of(repeats, sharded)
+    serial_s, serial_detector = best_of(repeats, serial)
+    sharded_s, sharded_result = best_of(repeats, sharded)
     assert _report_keys(serial_detector) == _report_keys(sharded_result), (
         f"{name}: serial and sharded post-mortem disagree on races"
     )
@@ -349,20 +327,10 @@ def generate(quick: bool = False, repeats: int = 3) -> dict:
         ),
         "quick": quick,
         "repeats": repeats,
-        "machine": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpus": _cpu_count(),
-        },
+        "machine": machine_metadata(),
         "on_the_fly": on_the_fly,
         "post_mortem": post_mortem,
     }
-
-
-def _cpu_count() -> int:
-    import os
-
-    return os.cpu_count() or 1
 
 
 # ----------------------------------------------------------------------
@@ -438,33 +406,11 @@ class TestPostMortem:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Measure the hot-path interning + sharding speedups."
+    parser = runner_parser(
+        "Measure the hot-path interning + sharding speedups.",
+        "BENCH_hotpath.json",
     )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="smoke scales; print the table but do not write the JSON",
-    )
-    parser.add_argument(
-        "--repeats", type=int, default=3, help="best-of-N timing (default 3)"
-    )
-    parser.add_argument(
-        "--output",
-        default=str(_ROOT / "BENCH_hotpath.json"),
-        help="output path (default: BENCH_hotpath.json at the repo root)",
-    )
-    options = parser.parse_args(argv)
-    if options.repeats < 1:
-        parser.error("--repeats must be at least 1")
-    payload = generate(quick=options.quick, repeats=options.repeats)
-    text = json.dumps(payload, indent=2)
-    if options.quick:
-        print(text)
-    else:
-        Path(options.output).write_text(text + "\n")
-        print(f"[bench] wrote {options.output}")
-    return 0
+    return run_benchmark_main(parser, generate, argv)
 
 
 if __name__ == "__main__":

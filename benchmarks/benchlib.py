@@ -1,0 +1,86 @@
+"""Shared infrastructure for the committed-JSON benchmark runners.
+
+``bench_sharded.py`` and ``bench_compile.py`` grew identical copies of
+the same runner scaffolding — best-of-N timing, the ``machine``
+metadata block, and the ``--quick``/``--repeats``/``--output`` argument
+set — and they had already drifted in small ways.  This module is the
+single copy: every ``BENCH_*.json`` writer builds on it so the payload
+shape (``quick``, ``repeats``, ``machine: {python, platform, cpus}``)
+stays uniform across benchmarks, which the CI validator and the report
+writer both rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+
+def machine_metadata() -> dict:
+    """The ``machine`` block every committed BENCH_*.json carries."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def best_of(repeats: int, run) -> tuple[float, object]:
+    """Best-of-``repeats`` wall time of ``run()``; returns (seconds,
+    the payload from the fastest round)."""
+    best = None
+    payload = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = run()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+            payload = value
+    return best, payload
+
+
+def runner_parser(description: str, default_output: str) -> argparse.ArgumentParser:
+    """The common benchmark-runner CLI: ``--quick`` (smoke scales, print
+    instead of write), ``--repeats N`` (best-of-N), ``--output PATH``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke scales; print the table but do not write the JSON",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing (default 3)"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(ROOT / default_output),
+        help=f"output path (default: {default_output} at the repo root)",
+    )
+    return parser
+
+
+def run_benchmark_main(parser: argparse.ArgumentParser, generate, argv=None) -> int:
+    """Parse, validate, run ``generate(quick=..., repeats=...)``, and
+    print (``--quick``) or write the JSON payload."""
+    options = parser.parse_args(argv)
+    if options.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    payload = generate(quick=options.quick, repeats=options.repeats)
+    text = json.dumps(payload, indent=2)
+    if options.quick:
+        print(text)
+    else:
+        Path(options.output).write_text(text + "\n")
+        print(f"[bench] wrote {options.output}")
+    return 0

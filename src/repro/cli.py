@@ -15,6 +15,14 @@ Commands
 
 ``run FILE.mj``
     Execute a program uninstrumented and print its output.
+    ``--record PATH`` / ``--record-binary PATH`` additionally log the
+    full event stream to disk (JSON tuple log / ``MJBL`` binary log)
+    for later ``check --from-log`` analysis.
+
+``log-stats PATH``
+    Summarize a recorded event log of either format: event counts by
+    kind, distinct locations/threads/locks, string-table size,
+    bytes/event, and the tuple-vs-binary size ratio.
 
 ``explain FILE.mj``
     Print what the static phases decided: the static datarace set,
@@ -64,7 +72,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="detect dataraces in a program")
-    check.add_argument("file", type=Path)
+    check.add_argument("file", type=Path, nargs="?", default=None,
+                       help="MJ program (optional with --from-log: when "
+                       "given, reports carry source descriptors and "
+                       "static-partner context)")
     check.add_argument("--engine", choices=sorted(ENGINES),
                        default=DEFAULT_ENGINE,
                        help="execution engine: the AST interpreter or the "
@@ -93,6 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        "on-the-fly detection only")
     check.add_argument("--post-mortem", action="store_true",
                        help="record the event stream, then detect offline")
+    check.add_argument("--from-log", type=Path, default=None, metavar="PATH",
+                       help="skip execution and detect over a recorded "
+                       "log (tuple JSON or MJBL binary, auto-detected "
+                       "by magic bytes; implies --post-mortem)")
     check.add_argument("--shards", type=int, default=None, metavar="N",
                        help="sharded post-mortem detection over N "
                        "partitions (implies --post-mortem)")
@@ -106,6 +121,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=DEFAULT_ENGINE,
                      help="execution engine (default: %(default)s)")
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--record", type=Path, default=None, metavar="PATH",
+                     help="record the event stream to a JSON tuple log")
+    run.add_argument("--record-binary", type=Path, default=None,
+                     metavar="PATH",
+                     help="record the event stream to an MJBL binary log "
+                     "(streaming, bounded memory)")
+
+    log_stats = sub.add_parser(
+        "log-stats", help="summarize a recorded event log (either format)"
+    )
+    log_stats.add_argument("file", type=Path,
+                           help="tuple JSON or MJBL binary log")
+    log_stats.add_argument("--verify", action="store_true",
+                           help="also CRC-check a binary log's record "
+                           "region (O(n))")
 
     explain = sub.add_parser(
         "explain", help="show the static phases' decisions"
@@ -177,53 +207,73 @@ def _compile(path: Path):
 
 
 def cmd_check(args) -> int:
-    resolved = _compile(args.file)
-    run_engine = engine_runner(args.engine)
+    if args.file is None and args.from_log is None:
+        print("error: check needs an MJ program, a --from-log PATH, "
+              "or both", file=sys.stderr)
+        return 2
+    resolved = _compile(args.file) if args.file is not None else None
     planner = PlannerConfig(
         static_analysis=not args.no_static,
         static_weaker=not args.no_weaker,
         loop_peeling=not args.no_peeling,
     )
-    plan = plan_instrumentation(resolved, planner)
+    plan = (
+        plan_instrumentation(resolved, planner) if resolved is not None else None
+    )
     detector_config = DetectorConfig(
         cache=not args.no_cache,
         ownership=not args.no_ownership,
         fields_merged=args.fields_merged,
     )
-    post_mortem = args.post_mortem or args.shards is not None
+    post_mortem = (
+        args.post_mortem or args.shards is not None or args.from_log is not None
+    )
     shards = args.shards if args.shards is not None else 1
     if shards < 1:
         print("error: --shards must be positive", file=sys.stderr)
         return 2
     if args.phase_times and post_mortem:
         print("error: --phase-times needs on-the-fly detection "
-              "(drop --post-mortem/--shards)", file=sys.stderr)
+              "(drop --post-mortem/--shards/--from-log)", file=sys.stderr)
         return 2
 
     sharded = None
     deadlocks = None
+    result = None
     if post_mortem:
         from .detector import detect_sharded
-        from .runtime import RecordingSink
+        from .runtime import RecordingSink, open_log, replay_entries
+        from .runtime.binlog import as_log_entries
 
-        log = RecordingSink()
-        sink = log
-        if args.deadlocks:
-            deadlocks = DeadlockDetector()
-            sink = MulticastSink([log, deadlocks])
-        result = run_engine(
-            resolved,
-            sink=sink,
-            trace_sites=plan.trace_sites,
-            policy=_policy(args.seed),
-        )
+        if args.from_log is not None:
+            # Detect over a pre-recorded log, auto-detected by magic
+            # bytes; open_log is the single validation point (binary
+            # logs validate structurally, tuple logs pay one
+            # validate_entries pass).
+            log = open_log(args.from_log)
+            if args.deadlocks:
+                deadlocks = DeadlockDetector()
+                replay_entries(as_log_entries(log), deadlocks)
+        else:
+            log = RecordingSink()
+            sink = log
+            if args.deadlocks:
+                deadlocks = DeadlockDetector()
+                sink = MulticastSink([log, deadlocks])
+            result = engine_runner(args.engine)(
+                resolved,
+                sink=sink,
+                trace_sites=plan.trace_sites,
+                policy=_policy(args.seed),
+            )
         sharded = detect_sharded(
             log,
             shards,
             config=detector_config,
             resolved=resolved,
-            static_races=plan.static_races,
+            static_races=plan.static_races if plan is not None else None,
             executor=args.executor,
+            validate=False,  # recorded in-process or validated by open_log
         )
         reports = sharded.reports.reports
         funnel = sharded.stats
@@ -244,7 +294,7 @@ def cmd_check(args) -> int:
             deadlocks = DeadlockDetector()
             sink = MulticastSink([detector, deadlocks])
         started = time.perf_counter()
-        result = run_engine(
+        result = engine_runner(args.engine)(
             resolved,
             sink=sink,
             trace_sites=plan.trace_sites,
@@ -254,8 +304,9 @@ def cmd_check(args) -> int:
         reports = detector.reports.reports
         funnel = detector.stats
         cache_stats = detector.cache.stats if detector.cache else None
-    for line in result.output:
-        print(f"[program] {line}")
+    if result is not None:
+        for line in result.output:
+            print(f"[program] {line}")
     if reports:
         for report in reports:
             print(report.describe())
@@ -267,19 +318,21 @@ def cmd_check(args) -> int:
                 print(report.describe())
         else:
             print("no potential deadlocks detected (dynamic)")
-        from .analysis import analyze_static_deadlocks
+        if resolved is not None:
+            from .analysis import analyze_static_deadlocks
 
-        static_reports = analyze_static_deadlocks(resolved)
-        if static_reports:
-            for report in static_reports:
-                print(report.describe())
-        else:
-            print("no potential deadlocks detected (static)")
+            static_reports = analyze_static_deadlocks(resolved)
+            if static_reports:
+                for report in static_reports:
+                    print(report.describe())
+            else:
+                print("no potential deadlocks detected (static)")
     if args.stats:
-        print(f"instrumented sites: {plan.stats.sites_instrumented} of "
-              f"{plan.stats.sites_total} "
-              f"(+{plan.stats.sites_cloned_by_peeling} peeled clones, "
-              f"-{plan.stats.sites_eliminated_weaker} statically weaker)")
+        if plan is not None:
+            print(f"instrumented sites: {plan.stats.sites_instrumented} of "
+                  f"{plan.stats.sites_total} "
+                  f"(+{plan.stats.sites_cloned_by_peeling} peeled clones, "
+                  f"-{plan.stats.sites_eliminated_weaker} statically weaker)")
         print(f"funnel: {funnel.funnel()}")
         if cache_stats is not None:
             print(f"cache hit rate: {cache_stats.hit_rate:.1%}")
@@ -302,9 +355,89 @@ def cmd_check(args) -> int:
 
 def cmd_run(args) -> int:
     resolved = _compile(args.file)
-    result = engine_runner(args.engine)(resolved, policy=_policy(args.seed))
+    sinks = []
+    binary_sink = None
+    tuple_sink = None
+    if args.record_binary is not None:
+        from .runtime import BinaryLogSink
+
+        binary_sink = BinaryLogSink(args.record_binary)
+        sinks.append(binary_sink)
+    if args.record is not None:
+        from .runtime import RecordingSink
+
+        tuple_sink = RecordingSink()
+        sinks.append(tuple_sink)
+    sink = None
+    if len(sinks) == 1:
+        sink = sinks[0]
+    elif sinks:
+        sink = MulticastSink(sinks)
+    result = engine_runner(args.engine)(
+        resolved, sink=sink, policy=_policy(args.seed)
+    )
     for line in result.output:
         print(line)
+    if binary_sink is not None:
+        binary_sink.close()  # idempotent; the engine's run-end already closed
+        print(f"[recorded] {binary_sink.record_count} events -> "
+              f"{args.record_binary} ({args.record_binary.stat().st_size} "
+              f"bytes, binary)", file=sys.stderr)
+    if tuple_sink is not None:
+        import json
+
+        from .runtime import dump_log
+
+        args.record.write_text(json.dumps(dump_log(tuple_sink)) + "\n")
+        print(f"[recorded] {len(tuple_sink.log)} events -> {args.record} "
+              f"({args.record.stat().st_size} bytes, tuple JSON)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_log_stats(args) -> int:
+    from .runtime import BinaryLogReader, open_log
+    from .runtime.binlog import collect_log_stats, tuple_log_json_bytes
+
+    log = open_log(args.file)
+    on_disk = args.file.stat().st_size
+    if isinstance(log, BinaryLogReader):
+        if args.verify:
+            log.verify()
+            print("crc: ok")
+        stats = log.stats()
+        binary_bytes = on_disk
+        tuple_bytes = tuple_log_json_bytes(log.entries())
+        print(f"format: binary (MJBL v1, {len(log.blocks)} index blocks, "
+              f"{len(log.strings)} interned strings)")
+    else:
+        stats = collect_log_stats(log)
+        tuple_bytes = on_disk
+        # What the same stream costs as MJBL: record widths + header +
+        # string table + index, without writing anything.
+        from .runtime import RecordingSink
+        from .runtime.binlog import estimate_binary_bytes
+
+        binary_bytes = estimate_binary_bytes(log)
+        print(f"format: tuple JSON (schema v{RecordingSink.SCHEMA_VERSION})")
+    events = stats["events"]
+    print(f"events: {events}")
+    for tag in ("access", "enter", "exit", "start", "end", "join", "wait",
+                "notify"):
+        count = stats["counts"].get(tag, 0)
+        if count:
+            print(f"  {tag:<8} {count}")
+    print(f"  reads/writes: {stats['reads']}/{stats['writes']}")
+    print(f"distinct locations: {stats['distinct_locations']}")
+    print(f"distinct threads:   {stats['distinct_threads']}")
+    print(f"distinct locks:     {stats['distinct_locks']}")
+    print(f"distinct conditions:{stats['distinct_conditions']:>5}")
+    if events:
+        print(f"bytes/event: {on_disk / events:.1f} on disk")
+    print(f"tuple JSON bytes:  {tuple_bytes}")
+    print(f"binary MJBL bytes: {binary_bytes}")
+    if binary_bytes:
+        print(f"tuple/binary size ratio: {tuple_bytes / binary_bytes:.2f}x")
     return 0
 
 
@@ -473,13 +606,16 @@ def main(argv=None) -> int:
     handlers = {
         "check": cmd_check,
         "run": cmd_run,
+        "log-stats": cmd_log_stats,
         "explain": cmd_explain,
         "tables": cmd_tables,
         "difflab": cmd_difflab,
     }
+    from .runtime import LogSchemaError
+
     try:
         return handlers[args.command](args)
-    except MJError as error:
+    except (MJError, LogSchemaError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

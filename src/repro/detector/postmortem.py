@@ -70,25 +70,40 @@ def detect_from_log(
     """Phase 2: run the detector (and optionally the FullRace oracle)
     over a recorded log.
 
-    ``log`` is a :class:`~repro.runtime.events.RecordingSink` or a raw
+    ``log`` is a :class:`~repro.runtime.events.RecordingSink`, a raw
     list of its tuple-encoded entries (e.g. the output of
-    :func:`~repro.runtime.events.load_log`).  ``validate`` (default on)
-    checks the log against the current tuple schema first, so a stale
-    or corrupted log fails with a
+    :func:`~repro.runtime.events.load_log`), a mapped
+    :class:`~repro.runtime.binlog.BinaryLogReader`, or a path to an
+    on-disk log of either format (auto-detected by magic bytes).
+
+    Validation happens exactly once per log: for tuple logs,
+    ``validate`` (default on) checks the current tuple schema first, so
+    a stale or corrupted log fails with a
     :class:`~repro.runtime.events.LogSchemaError` instead of being
-    misdecoded.
+    misdecoded; binary logs were already validated structurally when
+    the reader opened, so no O(n) pre-scan runs here.
     """
-    entries = log.log if isinstance(log, RecordingSink) else log
-    if validate:
-        validate_entries(entries)
+    from pathlib import Path
+
+    from ..runtime.binlog import BinaryLogReader, open_log
+
+    if isinstance(log, (str, Path)):
+        log = open_log(log)
+        validate = False  # open_log is the single validation point
+    if isinstance(log, BinaryLogReader):
+        entries = None
+    else:
+        entries = log.log if isinstance(log, RecordingSink) else log
+        if validate:
+            validate_entries(entries)
     detector = RaceDetector(
         config=config, resolved=resolved, static_races=static_races
     )
-    replay_entries(entries, detector)
+    replay_entries(log.entries() if entries is None else entries, detector)
     pairs: Optional[list] = None
     if enumerate_full_race:
         oracle = ReferenceDetector(config)
-        replay_entries(entries, oracle)
+        replay_entries(log.entries() if entries is None else entries, oracle)
         pairs = oracle.full_race
     return detector, pairs
 

@@ -42,9 +42,11 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence
 
 from ..lang.resolver import ResolvedProgram
+from ..runtime.binlog import BinaryLogReader, open_log
 from ..runtime.events import RecordingSink, replay_entries, validate_entries
 from .cache import CacheStats
 from .config import DetectorConfig
@@ -125,6 +127,36 @@ def _detect_shard(
     )
 
 
+def _detect_shard_mapped(
+    shard_index: int,
+    path,
+    shards: int,
+    config: Optional[DetectorConfig],
+) -> ShardOutcome:
+    """Run one shard's detector over a *mapped* binary log.
+
+    Module-level and picklable: only ``(path, shard, shards, config)``
+    cross a process boundary — each worker opens its own mmap view and
+    decodes lazily, so no shard's event stream is ever materialized or
+    pickled.  The shard index confines decoding to the byte ranges this
+    shard consumes (its uid partition plus replicated sync blocks).
+    """
+    detector = RaceDetector(config=config)
+    with BinaryLogReader(path) as reader:
+        replay_entries(reader.shard_entries(shard_index, shards), detector)
+    return ShardOutcome(
+        shard_index=shard_index,
+        reports=detector.reports.reports,
+        stats=detector.stats,
+        trie_stats=detector.trie_stats,
+        cache_stats=detector.cache.stats if detector.cache is not None else None,
+        monitored_locations=detector.monitored_locations,
+        trie_nodes=detector.total_trie_nodes(),
+        interned_locksets=detector.locks.interned_locksets,
+        access_events=detector.stats.accesses,
+    )
+
+
 def canonical_report_order(reports: Sequence[RaceReport]) -> list[RaceReport]:
     """Reports in the canonical cross-shard order: sorted by location
     key (stably, so each location's reports keep their log order).
@@ -184,20 +216,34 @@ def detect_sharded(
 ) -> ShardedDetectionResult:
     """Run sharded post-mortem detection over a recorded event log.
 
-    ``log`` is a :class:`~repro.runtime.events.RecordingSink` or a raw
-    list of its tuple-encoded entries.  ``executor`` selects how shards
-    run: ``"serial"``, ``"thread"``, or ``"process"``.  The merged
-    result is identical (races, monitored locations, trie node totals)
-    to a serial :func:`~repro.detector.postmortem.detect_from_log` run,
-    for every shard count and executor.
+    ``log`` is a :class:`~repro.runtime.events.RecordingSink`, a raw
+    list of its tuple-encoded entries, a mapped
+    :class:`~repro.runtime.binlog.BinaryLogReader`, or a path to an
+    on-disk log of either format (auto-detected by magic bytes).
+    ``executor`` selects how shards run: ``"serial"``, ``"thread"``, or
+    ``"process"``.  The merged result is identical (races, monitored
+    locations, trie node totals) to a serial
+    :func:`~repro.detector.postmortem.detect_from_log` run, for every
+    shard count, executor, and log format.
 
-    ``validate`` (default on) schema-checks the log once before
-    partitioning, so stale tuple layouts fail with a clear
-    :class:`~repro.runtime.events.LogSchemaError` rather than
-    misdecoding inside a shard worker.
+    Validation happens exactly once per log.  Tuple logs: ``validate``
+    (default on) schema-checks before partitioning, so stale layouts
+    fail with a clear :class:`~repro.runtime.events.LogSchemaError`
+    rather than misdecoding inside a shard worker; callers holding a
+    log they already validated (or recorded in-process this run) pass
+    ``validate=False``.  Binary logs were validated structurally when
+    the reader opened — no O(n) pre-scan happens here, and shard
+    workers map only the byte ranges their partition consumes.
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    if isinstance(log, (str, Path)):
+        log = open_log(log)
+        validate = False  # open_log is the single validation point
+    if isinstance(log, BinaryLogReader):
+        return _detect_sharded_mapped(
+            log, shards, config, resolved, static_races, executor, max_workers
+        )
     entries = log.log if isinstance(log, RecordingSink) else log
     if validate:
         validate_entries(entries)
@@ -220,6 +266,64 @@ def detect_sharded(
             ]
             outcomes = [future.result() for future in futures]
 
+    return _merge_outcomes(
+        outcomes, shards, executor, resolved, static_races, accesses, syncs
+    )
+
+
+def _detect_sharded_mapped(
+    reader: BinaryLogReader,
+    shards: int,
+    config: Optional[DetectorConfig],
+    resolved: Optional[ResolvedProgram],
+    static_races,
+    executor: str,
+    max_workers: Optional[int],
+) -> ShardedDetectionResult:
+    """Sharded detection over a mapped binary log: no partitioning pass,
+    no materialized shard streams — each shard decodes its own byte
+    ranges straight off the mmap (its own process's mmap, for the
+    process executor; only the path crosses the boundary)."""
+    path = reader.path
+    if executor == "serial" or shards == 1:
+        outcomes = [
+            _detect_shard_mapped(index, path, shards, config)
+            for index in range(shards)
+        ]
+    else:
+        pool_cls = (
+            ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+        )
+        workers = min(max_workers or shards, shards)
+        with pool_cls(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_detect_shard_mapped, index, path, shards, config)
+                for index in range(shards)
+            ]
+            outcomes = [future.result() for future in futures]
+    return _merge_outcomes(
+        outcomes,
+        shards,
+        executor,
+        resolved,
+        static_races,
+        reader.access_count,
+        reader.sync_count,
+    )
+
+
+def _merge_outcomes(
+    outcomes: list[ShardOutcome],
+    shards: int,
+    executor: str,
+    resolved: Optional[ResolvedProgram],
+    static_races,
+    accesses: int,
+    syncs: int,
+) -> ShardedDetectionResult:
+    """Deterministic merge of per-shard outcomes into one result —
+    shared by the tuple-partitioned and mmap-backed paths so both
+    produce byte-identical reports and counters."""
     outcomes.sort(key=lambda outcome: outcome.shard_index)
 
     # Post-fill source context: shard workers run without the resolved

@@ -232,7 +232,47 @@ def classify_case(verdicts: dict, shards=DEFAULT_SHARDS) -> list:
             )
     discrepancies.extend(_mode_parity(verdicts))
     discrepancies.extend(_sharded_parity(verdicts, shards))
+    discrepancies.extend(_binlog_parity(verdicts))
     return discrepancies
+
+
+def _binlog_parity(verdicts: dict) -> list:
+    """paper-binlog vs paper: the at-rest-format theorem — the tuple →
+    binary → tuple round trip is entry-for-entry lossless, so the
+    detector battery over the decoded stream must agree with the
+    in-memory path on every counter and report."""
+    binlog = verdicts.get("paper-binlog")
+    paper = verdicts.get("paper")
+    if binlog is None or paper is None:
+        return []
+    binlog_counters = binlog.counter_map()
+    serial_counters = paper.counter_map()
+    broken = [
+        name
+        for name in PARITY_COUNTERS
+        if serial_counters.get(name) != binlog_counters.get(name)
+    ]
+    if not binlog_counters.get("roundtrip_identical", True):
+        broken.append("roundtrip_identical")
+    if binlog.locations != paper.locations or broken:
+        return [
+            Discrepancy(
+                left="paper-binlog",
+                right="paper",
+                domain="locations",
+                klass="binlog-parity-break",
+                classification=VIOLATION,
+                items=tuple(sorted(binlog.locations ^ paper.locations)),
+                detail="counters: " + ", ".join(
+                    f"{name}={binlog_counters.get(name)!r}"
+                    f"!={serial_counters.get(name)!r}"
+                    for name in broken
+                )
+                if broken
+                else "report sets differ",
+            )
+        ]
+    return []
 
 
 def _mode_parity(verdicts: dict) -> list:
@@ -307,7 +347,7 @@ def expected_classes() -> tuple:
 
 def violation_classes() -> tuple:
     """All violation class names the matrix (and parity checks) can emit."""
-    names = {"mode-parity-break", "sharded-parity-break"}
+    names = {"mode-parity-break", "sharded-parity-break", "binlog-parity-break"}
     for expectation in MATRIX:
         for spec in (expectation.on_left_extra, expectation.on_right_extra):
             if spec is not None and spec.startswith("violation:"):

@@ -271,6 +271,35 @@ def compute_verdicts(
     replay_entries(case.log, paper)
     verdicts["paper"] = _paper_verdict("paper", paper)
 
+    # The at-rest-format axis: round-trip the tuple log through the
+    # MJBL binary format and rerun the paper detector over the decoded
+    # stream.  Entry-for-entry round-trip identity and verdict parity
+    # are both theorems; either breaking is a lab violation
+    # (``binlog-parity-break``).
+    import os
+    import tempfile
+
+    from ..runtime.binlog import read_binary_log, write_binary_log
+
+    handle = tempfile.NamedTemporaryFile(suffix=".mjbl", delete=False)
+    handle.close()
+    try:
+        write_binary_log(case.log, handle.name)
+        decoded = read_binary_log(handle.name)
+    finally:
+        os.unlink(handle.name)
+    binlog_paper = factory()
+    replay_entries(decoded, binlog_paper)
+    binlog_verdict = _paper_verdict("paper-binlog", binlog_paper)
+    verdicts["paper-binlog"] = Verdict(
+        detector="paper-binlog",
+        locations=binlog_verdict.locations,
+        objects=binlog_verdict.objects,
+        races=binlog_verdict.races,
+        counters=binlog_verdict.counters
+        + (("roundtrip_identical", decoded == list(case.log)),),
+    )
+
     if detector_factory is None:
         for count in shards:
             sharded = detect_sharded(case.log, count, config=cfg, validate=False)

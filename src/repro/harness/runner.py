@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional
 
 from ..detector.config import DetectorConfig
@@ -372,6 +373,11 @@ class PostMortemOutcome:
     #: (same reports, monitored locations, and trie node totals).
     matches_serial: bool
     sharded: "object" = None
+    #: ``"tuple"`` (in-memory entries) or ``"binary"`` (MJBL file,
+    #: mmap-backed detection).
+    log_format: str = "tuple"
+    #: On-disk size of the binary log, when one was recorded.
+    log_bytes: int = 0
 
 
 def run_workload_post_mortem(
@@ -383,15 +389,27 @@ def run_workload_post_mortem(
     policy: Optional[SchedulingPolicy] = None,
     max_steps: int = 50_000_000,
     engine: str = DEFAULT_ENGINE,
+    log_format: str = "tuple",
+    log_path=None,
 ) -> PostMortemOutcome:
     """Record one execution, then detect offline both serially and
-    sharded, checking that the two agree."""
+    sharded, checking that the two agree.
+
+    ``log_format`` selects the at-rest representation: ``"tuple"``
+    records into an in-memory :class:`RecordingSink`; ``"binary"``
+    streams an MJBL file (to ``log_path``, or a temporary file) and
+    both detection passes run over the mapped reader — the zero-copy
+    path.  Reports are identical either way; the harness asserts it.
+    """
     from ..detector.postmortem import detect_from_log
     from ..detector.sharded import canonical_report_order, detect_sharded
+    from ..runtime.binlog import BinaryLogReader, BinaryLogSink
     from ..runtime.events import RecordingSink
 
     if configuration.detector is None:
         raise ValueError("post-mortem detection needs a detector config")
+    if log_format not in ("tuple", "binary"):
+        raise ValueError(f"unknown log format {log_format!r}")
     source = spec.build(scale)
     resolved = compile_source(source, filename=spec.name)
     trace_sites: Optional[set] = set()
@@ -401,7 +419,21 @@ def run_workload_post_mortem(
         trace_sites = plan.trace_sites
         static_races = plan.static_races
 
-    log = RecordingSink()
+    binary_path = None
+    if log_format == "binary":
+        if log_path is not None:
+            binary_path = Path(log_path)
+        else:
+            import tempfile
+
+            handle = tempfile.NamedTemporaryFile(
+                suffix=".mjbl", delete=False
+            )
+            handle.close()
+            binary_path = Path(handle.name)
+        log = BinaryLogSink(binary_path)
+    else:
+        log = RecordingSink()
     chosen_policy = policy if policy is not None else RoundRobinPolicy(quantum=10)
     recorder = engine_class(engine)(
         resolved,
@@ -412,27 +444,42 @@ def run_workload_post_mortem(
     )
     started = time.perf_counter()
     recorder.run()
+    if log_format == "binary":
+        log.close()
     record_seconds = time.perf_counter() - started
+    log_bytes = binary_path.stat().st_size if binary_path is not None else 0
 
-    started = time.perf_counter()
-    serial, _ = detect_from_log(
-        log,
-        config=configuration.detector,
-        resolved=resolved,
-        static_races=static_races,
-    )
-    serial_seconds = time.perf_counter() - started
+    if log_format == "binary":
+        detectable = BinaryLogReader(binary_path)
+    else:
+        detectable = log
 
-    started = time.perf_counter()
-    sharded = detect_sharded(
-        log,
-        shards,
-        config=configuration.detector,
-        resolved=resolved,
-        static_races=static_races,
-        executor=executor,
-    )
-    sharded_seconds = time.perf_counter() - started
+    try:
+        started = time.perf_counter()
+        serial, _ = detect_from_log(
+            detectable,
+            config=configuration.detector,
+            resolved=resolved,
+            static_races=static_races,
+        )
+        serial_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        sharded = detect_sharded(
+            detectable,
+            shards,
+            config=configuration.detector,
+            resolved=resolved,
+            static_races=static_races,
+            executor=executor,
+            validate=False,  # detect_from_log above already validated
+        )
+        sharded_seconds = time.perf_counter() - started
+    finally:
+        if log_format == "binary":
+            detectable.close()
+            if log_path is None:
+                binary_path.unlink(missing_ok=True)
 
     matches = (
         sharded.reports.reports
@@ -455,6 +502,8 @@ def run_workload_post_mortem(
         trie_nodes=sharded.trie_nodes,
         matches_serial=matches,
         sharded=sharded,
+        log_format=log_format,
+        log_bytes=log_bytes,
     )
 
 

@@ -15,6 +15,16 @@ from .events import (
     replay_entries,
     validate_entries,
 )
+from .binlog import (
+    BinaryLogReader,
+    BinaryLogSink,
+    as_log_entries,
+    collect_log_stats,
+    is_binary_log,
+    open_log,
+    read_binary_log,
+    write_binary_log,
+)
 from .compiled import CompiledInterpreter, run_compiled_program
 from .interpreter import Frame, Interpreter, RunResult, run_program
 

@@ -1,0 +1,855 @@
+"""The binary at-rest event-log format (``MJBL``) and its mmap reader.
+
+The schema-v3 tuple log (:mod:`repro.runtime.events`) is the in-memory
+interchange format: compact to build, cheap to pickle, but every entry
+is still a Python tuple holding Python ints and strings, and the whole
+log must be resident to detect over it.  That caps post-mortem traces
+at a few hundred thousand events.  This module is the at-rest
+counterpart — the record-then-analyze split of PROBE's binary probe-log
+arenas, applied to the paper's "create a log of access events …
+perform the final datarace detection phase off-line" mode:
+
+* :class:`BinaryLogSink` streams fixed-width struct-packed records to
+  disk with bounded memory — no per-event Python object survives
+  recording.  Field names and object labels are interned into a string
+  table; records carry u32 string ids.
+* :class:`BinaryLogReader` maps the file (``mmap``) and decodes records
+  *lazily*: iterating yields ordinary schema-v3 tuples, and
+  :meth:`BinaryLogReader.shard_entries` uses the per-block shard index
+  to map only the byte ranges a shard's detector consumes —
+  untouched blocks are never faulted in, let alone deserialized.
+* The ``tuple → binary → tuple`` round trip is lossless and is pinned
+  by property tests; sharded detection over a mapped binary log merges
+  to byte-identical reports vs the in-memory tuple path.
+
+On-disk layout (all little-endian; full spec in ``docs/event_log.md``)::
+
+    header      80 bytes: magic "MJBL", version, section offsets,
+                record/access counts, records CRC-32
+    records     back-to-back fixed-width records, one per event;
+                per-kind layouts (access 28B, enter/exit/wait/notify
+                16B, start/join 12B, end 8B)
+    strings     u32 count, then (u32 length, utf-8 bytes) per string
+    index       u32 block count, u32 records-per-block, then one
+                40-byte entry per block: byte span, record/access/sync
+                counts, a uid-partition bitmap (uid % 64) and a
+                has-sync flag
+
+The index is what makes sharded reads sub-linear in file size: shard
+``k`` of ``s`` must decode a block only if the block contains sync
+events (replicated to every shard) or its partition bitmap intersects
+the residues ``uid % 64`` that shard ``k`` can own.  For power-of-two
+shard counts the bitmap discriminates exactly; for odd counts it
+degrades gracefully to a full scan (every partition may own every
+shard) without ever dropping an event.
+
+Validation is structural and O(1): the header carries the section
+offsets, record count, and a records CRC-32, so a mapped read needs no
+O(n) pre-scan (the satellite contract — tuple logs pay a
+``validate_entries`` pass at every trust boundary; binary logs are
+checked once at :meth:`BinaryLogReader.open` time against the file
+size and magic, and corruption inside the record region surfaces as a
+:class:`~repro.runtime.events.LogSchemaError` naming the byte offset).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..lang.ast import AccessKind
+from .events import (
+    EventSink,
+    LogSchemaError,
+    ObjectKind,
+    RecordingSink,
+    load_log,
+    validate_entries,
+)
+
+MAGIC = b"MJBL"
+BINLOG_VERSION = 1
+
+#: Header: magic, version, header size, flags, record count, access
+#: count, records offset/length, strings offset/length, index
+#: offset/length, records CRC-32.
+_HEADER = struct.Struct("<4sIIIQQQQQQQII")
+HEADER_SIZE = _HEADER.size  # 80
+
+_FLAG_FINALIZED = 1
+
+#: Record tags (the first byte of every record).
+TAG_ACCESS = 1
+TAG_ENTER = 2
+TAG_EXIT = 3
+TAG_START = 4
+TAG_END = 5
+TAG_JOIN = 6
+TAG_WAIT = 7
+TAG_NOTIFY = 8
+
+#: Per-kind fixed-width record layouts.  The schema-v3 tuple shapes
+#: (8/4/3/2 columns) map directly: every non-tag column has a slot,
+#: enums become u8 codes, strings become u32 string-table ids.
+_ACCESS = struct.Struct("<BBBxQIIII")  # tag, kind, objkind, uid, thread, site, field, label
+_MONITOR = struct.Struct("<BBxxIQ")    # tag, reentrant, thread, lock (ENTER/EXIT)
+_START = struct.Struct("<BxxxII")      # tag, parent, child
+_END = struct.Struct("<BxxxI")         # tag, thread
+_JOIN = struct.Struct("<BxxxII")       # tag, joiner, joined
+_WAIT = struct.Struct("<BxxxIQ")       # tag, thread, cond
+_NOTIFY = struct.Struct("<BBxxIQ")     # tag, notify_all, thread, cond
+
+_RECORD_SIZE = {
+    TAG_ACCESS: _ACCESS.size,
+    TAG_ENTER: _MONITOR.size,
+    TAG_EXIT: _MONITOR.size,
+    TAG_START: _START.size,
+    TAG_END: _END.size,
+    TAG_JOIN: _JOIN.size,
+    TAG_WAIT: _WAIT.size,
+    TAG_NOTIFY: _NOTIFY.size,
+}
+
+_KIND_CODE = {AccessKind.READ: 0, AccessKind.WRITE: 1}
+_KIND_FROM = (AccessKind.READ, AccessKind.WRITE)
+_OBJKIND_CODE = {ObjectKind.INSTANCE: 0, ObjectKind.ARRAY: 1, ObjectKind.CLASS: 2}
+_OBJKIND_FROM = (ObjectKind.INSTANCE, ObjectKind.ARRAY, ObjectKind.CLASS)
+
+#: Shard-index entry: byte offset, byte length, record count, access
+#: count, sync count, uid-partition bitmap (uid % 64), has-sync flag.
+_INDEX_ENTRY = struct.Struct("<QIIIIQB7x")
+_INDEX_HEADER = struct.Struct("<II")  # block count, records per block
+
+#: How many uid partitions the block bitmaps track.  64 residues fit a
+#: single u64; shard counts whose gcd with 64 exceeds 1 (all even
+#: counts, exactly the power-of-two counts used in practice) get
+#: selective block mapping.
+UID_PARTITIONS = 64
+
+DEFAULT_RECORDS_PER_BLOCK = 4096
+
+
+class BinaryLogSink(EventSink):
+    """Streams the event stream to disk as ``MJBL`` with bounded memory.
+
+    A drop-in :class:`~repro.runtime.events.EventSink`: attach it to any
+    engine run (or :func:`write_binary_log` an existing tuple log
+    through it) and every event becomes one fixed-width record appended
+    to an in-memory block buffer that is flushed to disk at block
+    boundaries.  State that grows with the *trace* — the per-event
+    tuples of :class:`~repro.runtime.events.RecordingSink` — is never
+    held; what is held is bounded by the *program*: the string table
+    (distinct field names and object labels) and the 40-bytes-per-4096-
+    events block index.
+
+    ``on_run_end`` finalizes the file (string table, index, header
+    patch); :meth:`close` does the same for streams that end without a
+    run-end event.  Both are idempotent.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        records_per_block: int = DEFAULT_RECORDS_PER_BLOCK,
+    ) -> None:
+        if records_per_block < 1:
+            raise ValueError("records_per_block must be positive")
+        self.path = Path(path)
+        self.records_per_block = records_per_block
+        self._file: Optional[io.BufferedWriter] = open(self.path, "wb")
+        self._file.write(b"\0" * HEADER_SIZE)
+        self._buffer = bytearray()
+        self._strings: dict[str, int] = {}
+        self._index = bytearray()
+        self._crc = 0
+        self._records_length = 0
+        self.record_count = 0
+        self.access_count = 0
+        # Per-block accumulators.
+        self._block_offset = HEADER_SIZE
+        self._block_records = 0
+        self._block_accesses = 0
+        self._block_syncs = 0
+        self._block_partitions = 0
+        self._block_has_sync = False
+
+    # -- string interning ------------------------------------------------
+
+    def _intern(self, text: str) -> int:
+        table = self._strings
+        ident = table.get(text)
+        if ident is None:
+            table[text] = ident = len(table)
+        return ident
+
+    # -- block bookkeeping ----------------------------------------------
+
+    def _end_block(self) -> None:
+        length = len(self._buffer)
+        self._index += _INDEX_ENTRY.pack(
+            self._block_offset,
+            length,
+            self._block_records,
+            self._block_accesses,
+            self._block_syncs,
+            self._block_partitions,
+            1 if self._block_has_sync else 0,
+        )
+        self._crc = zlib.crc32(self._buffer, self._crc)
+        self._file.write(self._buffer)
+        self._records_length += length
+        self._block_offset += length
+        self._buffer.clear()
+        self._block_records = 0
+        self._block_accesses = 0
+        self._block_syncs = 0
+        self._block_partitions = 0
+        self._block_has_sync = False
+
+    def _bump(self, access: bool, uid: int = 0) -> None:
+        self.record_count += 1
+        self._block_records += 1
+        if access:
+            self.access_count += 1
+            self._block_accesses += 1
+            self._block_partitions |= 1 << (uid % UID_PARTITIONS)
+        else:
+            self._block_syncs += 1
+            self._block_has_sync = True
+        if self._block_records >= self.records_per_block:
+            self._end_block()
+
+    # -- EventSink -------------------------------------------------------
+
+    def on_access_parts(
+        self, object_uid, field, thread_id, kind, site_id, object_kind, object_label
+    ) -> None:
+        self._buffer += _ACCESS.pack(
+            TAG_ACCESS,
+            _KIND_CODE[kind],
+            _OBJKIND_CODE[object_kind],
+            object_uid,
+            thread_id,
+            site_id,
+            self._intern(field),
+            self._intern(object_label),
+        )
+        self._bump(True, object_uid)
+
+    def on_access(self, event) -> None:
+        location = event.location
+        self.on_access_parts(
+            location.object_uid,
+            location.field,
+            event.thread_id,
+            event.kind,
+            event.site_id,
+            event.object_kind,
+            event.object_label,
+        )
+
+    def on_monitor_enter(self, thread_id, lock_uid, reentrant) -> None:
+        self._buffer += _MONITOR.pack(TAG_ENTER, 1 if reentrant else 0, thread_id, lock_uid)
+        self._bump(False)
+
+    def on_monitor_exit(self, thread_id, lock_uid, reentrant) -> None:
+        self._buffer += _MONITOR.pack(TAG_EXIT, 1 if reentrant else 0, thread_id, lock_uid)
+        self._bump(False)
+
+    def on_thread_start(self, parent_id, child_id) -> None:
+        self._buffer += _START.pack(TAG_START, parent_id, child_id)
+        self._bump(False)
+
+    def on_thread_end(self, thread_id) -> None:
+        self._buffer += _END.pack(TAG_END, thread_id)
+        self._bump(False)
+
+    def on_thread_join(self, joiner_id, joined_id) -> None:
+        self._buffer += _JOIN.pack(TAG_JOIN, joiner_id, joined_id)
+        self._bump(False)
+
+    def on_wait(self, thread_id, cond_uid) -> None:
+        self._buffer += _WAIT.pack(TAG_WAIT, thread_id, cond_uid)
+        self._bump(False)
+
+    def on_notify(self, thread_id, cond_uid, notify_all) -> None:
+        self._buffer += _NOTIFY.pack(TAG_NOTIFY, 1 if notify_all else 0, thread_id, cond_uid)
+        self._bump(False)
+
+    def on_run_end(self) -> None:
+        self.close()
+
+    # -- finalization ----------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the tail block, write string table + index, patch the
+        header.  Idempotent."""
+        if self._file is None:
+            return
+        if self._block_records or not self._index:
+            self._end_block()
+        strings_offset = HEADER_SIZE + self._records_length
+        strings = bytearray(struct.pack("<I", len(self._strings)))
+        for text in self._strings:  # dicts preserve insertion order = id order
+            data = text.encode("utf-8")
+            strings += struct.pack("<I", len(data))
+            strings += data
+        self._file.write(strings)
+        index_offset = strings_offset + len(strings)
+        block_count = len(self._index) // _INDEX_ENTRY.size
+        index = _INDEX_HEADER.pack(block_count, self.records_per_block) + bytes(self._index)
+        self._file.write(index)
+        self._file.seek(0)
+        self._file.write(
+            _HEADER.pack(
+                MAGIC,
+                BINLOG_VERSION,
+                HEADER_SIZE,
+                _FLAG_FINALIZED,
+                self.record_count,
+                self.access_count,
+                HEADER_SIZE,
+                self._records_length,
+                strings_offset,
+                len(strings),
+                index_offset,
+                len(index),
+                self._crc,
+            )
+        )
+        self._file.close()
+        self._file = None
+
+    def __enter__(self) -> "BinaryLogSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BlockSpan:
+    """One index block's byte span, as the shard planner hands it out."""
+
+    __slots__ = ("offset", "length", "records", "accesses", "syncs", "partitions", "has_sync")
+
+    def __init__(self, offset, length, records, accesses, syncs, partitions, has_sync):
+        self.offset = offset
+        self.length = length
+        self.records = records
+        self.accesses = accesses
+        self.syncs = syncs
+        self.partitions = partitions
+        self.has_sync = bool(has_sync)
+
+
+def _shard_partition_mask(shard: int, shards: int) -> int:
+    """Bitmap of the residues ``uid % UID_PARTITIONS`` that can hold a
+    uid routed to ``shard`` (routing is ``uid % shards``).
+
+    A uid in partition ``p`` has the form ``p + UID_PARTITIONS·t``; it
+    lands in ``shard`` iff ``p ≡ shard (mod gcd(UID_PARTITIONS,
+    shards))``.  Power-of-two shard counts therefore discriminate
+    exactly; odd counts collapse to the full mask (no block can be
+    ruled out) — conservative, never lossy.
+    """
+    import math
+
+    g = math.gcd(UID_PARTITIONS, shards)
+    mask = 0
+    for p in range(UID_PARTITIONS):
+        if (p - shard) % g == 0:
+            mask |= 1 << p
+    return mask
+
+
+class BinaryLogReader:
+    """Zero-copy view over an ``MJBL`` file.
+
+    Opening validates the header *structurally* (magic, version,
+    finalized flag, section offsets vs the actual file size) in O(1) —
+    no record scan.  Record decoding happens lazily, per iteration;
+    :meth:`shard_entries` skips whole blocks the shard cannot own.
+    """
+
+    def __init__(self, path: Union[str, Path], verify: bool = False) -> None:
+        self.path = Path(path)
+        size = self.path.stat().st_size
+        if size < HEADER_SIZE:
+            raise LogSchemaError(
+                f"{self.path}: {size}-byte file is smaller than the "
+                f"{HEADER_SIZE}-byte MJBL header"
+            )
+        self._file = open(self.path, "rb")
+        try:
+            self._map: mmap.mmap = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):
+            self._file.close()
+            raise
+        try:
+            (
+                magic,
+                version,
+                header_size,
+                flags,
+                self.record_count,
+                self.access_count,
+                self.records_offset,
+                self.records_length,
+                self.strings_offset,
+                self.strings_length,
+                self.index_offset,
+                self.index_length,
+                self.records_crc32,
+            ) = _HEADER.unpack_from(self._map, 0)
+            if magic != MAGIC:
+                raise LogSchemaError(
+                    f"{self.path}: bad magic {magic!r} at byte offset 0 "
+                    f"(expected {MAGIC!r}; not a binary event log)"
+                )
+            if version != BINLOG_VERSION:
+                raise LogSchemaError(
+                    f"{self.path}: binary log version {version}, but this "
+                    f"build reads version {BINLOG_VERSION} — re-record the "
+                    f"execution with the current build"
+                )
+            if not flags & _FLAG_FINALIZED:
+                raise LogSchemaError(
+                    f"{self.path}: log was never finalized (recording "
+                    f"crashed or the sink was not closed) — header flags "
+                    f"at byte offset 12 lack the finalized bit"
+                )
+            end = self.index_offset + self.index_length
+            if (
+                header_size != HEADER_SIZE
+                or self.records_offset != HEADER_SIZE
+                or self.strings_offset != HEADER_SIZE + self.records_length
+                or self.index_offset != self.strings_offset + self.strings_length
+                or end != size
+            ):
+                raise LogSchemaError(
+                    f"{self.path}: truncated or corrupt binary log — "
+                    f"header promises sections ending at byte offset "
+                    f"{end}, file has {size} bytes"
+                )
+        except Exception:
+            self.close()
+            raise
+        self._strings: Optional[list[str]] = None
+        self._blocks: Optional[list[BlockSpan]] = None
+        if verify:
+            self.verify()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if getattr(self, "_map", None) is not None:
+            self._map.close()
+            self._map = None
+        if getattr(self, "_file", None) is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "BinaryLogReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def sync_count(self) -> int:
+        return self.record_count - self.access_count
+
+    def size_bytes(self) -> int:
+        return self.index_offset + self.index_length
+
+    # -- sections --------------------------------------------------------
+
+    @property
+    def strings(self) -> list[str]:
+        """The interned string table (decoded once, on first use)."""
+        if self._strings is None:
+            view = self._map
+            offset = self.strings_offset
+            end = offset + self.strings_length
+            (count,) = struct.unpack_from("<I", view, offset)
+            offset += 4
+            table: list[str] = []
+            for _ in range(count):
+                if offset + 4 > end:
+                    raise LogSchemaError(
+                        f"{self.path}: string table truncated at byte "
+                        f"offset {offset}"
+                    )
+                (length,) = struct.unpack_from("<I", view, offset)
+                offset += 4
+                if offset + length > end:
+                    raise LogSchemaError(
+                        f"{self.path}: string table truncated at byte "
+                        f"offset {offset}"
+                    )
+                table.append(view[offset : offset + length].decode("utf-8"))
+                offset += length
+            self._strings = table
+        return self._strings
+
+    @property
+    def blocks(self) -> list[BlockSpan]:
+        """The shard index (decoded once, on first use)."""
+        if self._blocks is None:
+            view = self._map
+            offset = self.index_offset
+            block_count, self.records_per_block = _INDEX_HEADER.unpack_from(view, offset)
+            offset += _INDEX_HEADER.size
+            expected = self.index_offset + self.index_length
+            if offset + block_count * _INDEX_ENTRY.size != expected:
+                raise LogSchemaError(
+                    f"{self.path}: shard index truncated at byte offset "
+                    f"{offset} ({block_count} blocks promised)"
+                )
+            blocks = []
+            for _ in range(block_count):
+                blocks.append(BlockSpan(*_INDEX_ENTRY.unpack_from(view, offset)))
+                offset += _INDEX_ENTRY.size
+            self._blocks = blocks
+        return self._blocks
+
+    def verify(self) -> None:
+        """Full integrity check: CRC-32 over the record region.
+
+        The O(n) scan mapped reads deliberately skip; ``repro
+        log-stats`` and the corruption tests call it explicitly.
+        """
+        region = self._map[self.records_offset : self.records_offset + self.records_length]
+        actual = zlib.crc32(region)
+        if actual != self.records_crc32:
+            raise LogSchemaError(
+                f"{self.path}: record region CRC mismatch "
+                f"(header says {self.records_crc32:#010x}, bytes hash to "
+                f"{actual:#010x}) — log corrupted between byte offsets "
+                f"{self.records_offset} and "
+                f"{self.records_offset + self.records_length}"
+            )
+
+    # -- decoding --------------------------------------------------------
+
+    def _decode_span(
+        self,
+        offset: int,
+        end: int,
+        shard: int = -1,
+        shards: int = 1,
+    ) -> Iterator[tuple]:
+        """Decode ``[offset, end)`` into schema-v3 tuples.
+
+        With ``shard >= 0``, access records whose uid is not routed to
+        that shard are skipped after reading only their uid — the lazy
+        path sharded detection rides on.
+        """
+        view = self._map
+        strings = self.strings
+        access = RecordingSink.ACCESS
+        enter = RecordingSink.ENTER
+        exit_ = RecordingSink.EXIT
+        start = RecordingSink.START
+        end_tag = RecordingSink.END
+        join = RecordingSink.JOIN
+        wait = RecordingSink.WAIT
+        notify = RecordingSink.NOTIFY
+        sizes = _RECORD_SIZE
+        while offset < end:
+            tag = view[offset]
+            size = sizes.get(tag)
+            if size is None:
+                raise LogSchemaError(
+                    f"{self.path}: unknown record tag {tag} at byte "
+                    f"offset {offset} — log corrupted"
+                )
+            if offset + size > end:
+                raise LogSchemaError(
+                    f"{self.path}: record at byte offset {offset} "
+                    f"(tag {tag}) extends past the record region end "
+                    f"{end} — log truncated"
+                )
+            if tag == TAG_ACCESS:
+                (_, kind, objkind, uid, thread, site, field_id, label_id) = (
+                    _ACCESS.unpack_from(view, offset)
+                )
+                if shard < 0 or uid % shards == shard:
+                    try:
+                        yield (
+                            access,
+                            uid,
+                            strings[field_id],
+                            thread,
+                            _KIND_FROM[kind],
+                            site,
+                            _OBJKIND_FROM[objkind],
+                            strings[label_id],
+                        )
+                    except IndexError:
+                        raise LogSchemaError(
+                            f"{self.path}: access record at byte offset "
+                            f"{offset} references an out-of-range string "
+                            f"or enum code — log corrupted"
+                        ) from None
+            elif tag == TAG_ENTER or tag == TAG_EXIT:
+                (_, reentrant, thread, lock) = _MONITOR.unpack_from(view, offset)
+                yield (
+                    enter if tag == TAG_ENTER else exit_,
+                    thread,
+                    lock,
+                    bool(reentrant),
+                )
+            elif tag == TAG_START:
+                (_, parent, child) = _START.unpack_from(view, offset)
+                yield (start, parent, child)
+            elif tag == TAG_END:
+                (_, thread) = _END.unpack_from(view, offset)
+                yield (end_tag, thread)
+            elif tag == TAG_JOIN:
+                (_, joiner, joined) = _JOIN.unpack_from(view, offset)
+                yield (join, joiner, joined)
+            elif tag == TAG_WAIT:
+                (_, thread, cond) = _WAIT.unpack_from(view, offset)
+                yield (wait, thread, cond)
+            else:
+                (_, notify_all, thread, cond) = _NOTIFY.unpack_from(view, offset)
+                yield (notify, thread, cond, bool(notify_all))
+            offset += size
+
+    def entries(self) -> Iterator[tuple]:
+        """Lazily decode the whole log as schema-v3 tuples, in order."""
+        return self._decode_span(
+            self.records_offset, self.records_offset + self.records_length
+        )
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self.entries()
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    def shard_blocks(self, shard: int, shards: int) -> list[BlockSpan]:
+        """The blocks shard ``shard`` of ``shards`` must consume: every
+        block holding sync events, plus blocks whose uid-partition
+        bitmap intersects the shard's residue mask."""
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shards")
+        mask = _shard_partition_mask(shard, shards)
+        return [
+            block
+            for block in self.blocks
+            if block.has_sync or block.partitions & mask
+        ]
+
+    def shard_entries(self, shard: int, shards: int) -> Iterator[tuple]:
+        """Lazily decode exactly the entries shard ``shard`` consumes:
+        its own access events plus every sync event, in log order —
+        the same stream :func:`repro.detector.sharded.partition_log`
+        would hand that shard, without materializing the others."""
+        for block in self.shard_blocks(shard, shards):
+            yield from self._decode_span(
+                block.offset, block.offset + block.length, shard, shards
+            )
+
+    # -- statistics ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Event counts by kind plus distinct-entity counts (one lazy
+        pass over the mapped records)."""
+        return collect_log_stats(self.entries())
+
+
+# ----------------------------------------------------------------------
+# Format-agnostic helpers.
+
+
+LogLike = Union[RecordingSink, Sequence[tuple], BinaryLogReader]
+
+
+def as_log_entries(log: LogLike) -> Iterable[tuple]:
+    """Normalize any log shape — :class:`RecordingSink`, raw tuple
+    entries, or a mapped :class:`BinaryLogReader` — to an iterable of
+    schema-v3 tuples.  The common adapter the detector, harness, and
+    difflab boundaries accept either format through."""
+    if isinstance(log, RecordingSink):
+        return log.log
+    if isinstance(log, BinaryLogReader):
+        return log.entries()
+    return log
+
+
+def write_binary_log(log: LogLike, path: Union[str, Path]) -> Path:
+    """Serialize any log shape to an ``MJBL`` file (the ``tuple →
+    binary`` half of the round-trip contract)."""
+    from .events import replay_entries
+
+    path = Path(path)
+    with BinaryLogSink(path) as sink:
+        replay_entries(as_log_entries(log), sink)
+    return path
+
+
+def read_binary_log(path: Union[str, Path]) -> list[tuple]:
+    """Materialize an ``MJBL`` file as schema-v3 tuples (the ``binary →
+    tuple`` half of the round-trip contract)."""
+    with BinaryLogReader(path) as reader:
+        return list(reader.entries())
+
+
+def is_binary_log(path: Union[str, Path]) -> bool:
+    """True if ``path`` starts with the ``MJBL`` magic bytes."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def open_log(path: Union[str, Path]) -> LogLike:
+    """Open an on-disk event log of either format, auto-detected by
+    magic bytes.
+
+    Returns a :class:`BinaryLogReader` for ``MJBL`` files, or the
+    validated tuple entries for JSON logs produced by
+    :func:`~repro.runtime.events.dump_log`.  Binary logs are validated
+    structurally in O(1); tuple logs pay the one
+    :func:`~repro.runtime.events.validate_entries` pass here — their
+    single validation point — so downstream detection must not
+    re-validate.
+    """
+    path = Path(path)
+    if is_binary_log(path):
+        return BinaryLogReader(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise LogSchemaError(
+            f"{path}: neither a binary event log (no MJBL magic at byte "
+            f"offset 0) nor a JSON tuple log ({error})"
+        ) from error
+    return load_log(payload)
+
+
+def collect_log_stats(entries: Iterable[tuple]) -> dict:
+    """One streaming pass of summary statistics over schema-v3 tuples:
+    counts by kind and distinct locations / threads / locks / condition
+    objects.  Works on any entry source, so ``repro log-stats`` serves
+    both formats through it."""
+    counts = {
+        RecordingSink.ACCESS: 0,
+        RecordingSink.ENTER: 0,
+        RecordingSink.EXIT: 0,
+        RecordingSink.START: 0,
+        RecordingSink.END: 0,
+        RecordingSink.JOIN: 0,
+        RecordingSink.WAIT: 0,
+        RecordingSink.NOTIFY: 0,
+    }
+    reads = writes = 0
+    locations: set = set()
+    threads: set = set()
+    locks: set = set()
+    conditions: set = set()
+    access = RecordingSink.ACCESS
+    for entry in entries:
+        tag = entry[0]
+        counts[tag] += 1
+        if tag == access:
+            locations.add((entry[1], entry[2]))
+            threads.add(entry[3])
+            if entry[4] is AccessKind.WRITE:
+                writes += 1
+            else:
+                reads += 1
+        elif tag in (RecordingSink.ENTER, RecordingSink.EXIT):
+            threads.add(entry[1])
+            locks.add(entry[2])
+        elif tag == RecordingSink.START:
+            threads.add(entry[1])
+            threads.add(entry[2])
+        elif tag in (RecordingSink.END, RecordingSink.WAIT, RecordingSink.NOTIFY):
+            threads.add(entry[1])
+            if tag != RecordingSink.END:
+                conditions.add(entry[2])
+        elif tag == RecordingSink.JOIN:
+            threads.add(entry[1])
+            threads.add(entry[2])
+    total = sum(counts.values())
+    return {
+        "events": total,
+        "counts": dict(counts),
+        "reads": reads,
+        "writes": writes,
+        "distinct_locations": len(locations),
+        "distinct_threads": len(threads),
+        "distinct_locks": len(locks),
+        "distinct_conditions": len(conditions),
+    }
+
+
+def estimate_binary_bytes(
+    entries: Iterable[tuple],
+    records_per_block: int = DEFAULT_RECORDS_PER_BLOCK,
+) -> int:
+    """Size in bytes the ``MJBL`` serialization of ``entries`` would
+    occupy — record widths plus header, string table, and index —
+    computed streaming, without writing anything.  The numerator of
+    ``repro log-stats``'s size ratio for tuple-format inputs."""
+    records = 0
+    count = 0
+    strings: set[str] = set()
+    string_bytes = 0
+    access = RecordingSink.ACCESS
+    tag_of = {
+        RecordingSink.ENTER: TAG_ENTER,
+        RecordingSink.EXIT: TAG_EXIT,
+        RecordingSink.START: TAG_START,
+        RecordingSink.END: TAG_END,
+        RecordingSink.JOIN: TAG_JOIN,
+        RecordingSink.WAIT: TAG_WAIT,
+        RecordingSink.NOTIFY: TAG_NOTIFY,
+    }
+    for entry in entries:
+        count += 1
+        if entry[0] == access:
+            records += _ACCESS.size
+            for text in (entry[2], entry[7]):
+                if text not in strings:
+                    strings.add(text)
+                    string_bytes += 4 + len(text.encode("utf-8"))
+        else:
+            records += _RECORD_SIZE[tag_of[entry[0]]]
+    blocks = max(1, -(-count // records_per_block))
+    return (
+        HEADER_SIZE
+        + records
+        + 4 + string_bytes
+        + _INDEX_HEADER.size + blocks * _INDEX_ENTRY.size
+    )
+
+
+def tuple_log_json_bytes(entries: Iterable[tuple]) -> int:
+    """Size in bytes of the JSON tuple-log serialization of ``entries``,
+    computed streaming (no materialized payload) — the denominator of
+    ``repro log-stats``'s tuple-vs-binary size ratio."""
+    # Mirrors dump_log()'s shape: {"version": N, "entries": [...]}.
+    size = len(f'{{"version": {RecordingSink.SCHEMA_VERSION}, "entries": [') + len("]}")
+    first = True
+    access = RecordingSink.ACCESS
+    for entry in entries:
+        if entry[0] == access:
+            encoded = [entry[0], entry[1], entry[2], entry[3], entry[4].value,
+                       entry[5], entry[6].value, entry[7]]
+        else:
+            encoded = list(entry)
+        size += len(json.dumps(encoded)) + (0 if first else 2)
+        first = False
+    return size

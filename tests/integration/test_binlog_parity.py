@@ -1,0 +1,251 @@
+"""Binary-vs-tuple detection parity, end to end.
+
+The at-rest format's hard constraint: race reports produced over a
+mapped MJBL file must be byte-identical to those produced over the
+in-memory tuple log — for every workload, every committed corpus
+reproducer, serial and sharded, and through every user-facing entry
+point (``repro run --record-binary``, ``repro check --from-log``,
+``repro log-stats``, and the harness's binary post-mortem mode).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.detector import canonical_report_order, detect_from_log, detect_sharded
+from repro.difflab import load_corpus
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang.resolver import compile_source
+from repro.runtime import RecordingSink, RoundRobinPolicy, dump_log, run_program
+from repro.runtime.binlog import BinaryLogReader, write_binary_log
+from repro.workloads import ALL_WORKLOADS
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _record(source, policy=None):
+    resolved = compile_source(source)
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    log = RecordingSink()
+    run_program(
+        resolved,
+        sink=log,
+        trace_sites=plan.trace_sites,
+        policy=policy if policy is not None else RoundRobinPolicy(),
+        max_steps=50_000_000,
+    )
+    return resolved, log
+
+
+def _report_lines(reports):
+    return [
+        (str(r.key), r.object_label, r.field, r.current.thread_id)
+        for r in reports
+    ]
+
+
+def _assert_binary_parity(resolved, log, tmp_path):
+    serial, _ = detect_from_log(log, resolved=resolved)
+    serial_lines = _report_lines(canonical_report_order(serial.reports.reports))
+    path = tmp_path / "trace.mjbl"
+    write_binary_log(log, path)
+    with BinaryLogReader(path) as reader:
+        assert list(reader.entries()) == list(log.log)
+        for shards in SHARD_COUNTS:
+            sharded = detect_sharded(
+                reader, shards, resolved=resolved, validate=False
+            )
+            assert _report_lines(sharded.reports.reports) == serial_lines
+            assert sharded.reports.racy_locations == serial.reports.racy_locations
+            assert sharded.stats.accesses == serial.stats.accesses
+            assert (
+                sharded.stats.detector_processed
+                == serial.stats.detector_processed
+            )
+    # The path-based entry point (what --from-log uses) agrees too.
+    sharded = detect_sharded(path, 2, resolved=resolved)
+    assert _report_lines(sharded.reports.reports) == serial_lines
+
+
+class TestWorkloadParity:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_binary_reports_identical(self, name, tmp_path):
+        spec = ALL_WORKLOADS[name]
+        scale = min(spec.default_scale, 2)
+        resolved, log = _record(spec.build(scale))
+        _assert_binary_parity(resolved, log, tmp_path)
+
+
+class TestCorpusParity:
+    @pytest.mark.parametrize(
+        "entry", load_corpus(), ids=lambda entry: entry.name
+    )
+    def test_reproducer_binary_reports_identical(self, entry, tmp_path):
+        resolved, log = _record(entry.source, policy=entry.schedule.policy())
+        _assert_binary_parity(resolved, log, tmp_path)
+
+
+class TestHarnessBinaryMode:
+    def test_binary_post_mortem_matches_tuple(self, tmp_path):
+        from repro.harness.runner import CONFIG_FULL, run_workload_post_mortem
+
+        spec = ALL_WORKLOADS["tsp2"]
+        config = CONFIG_FULL
+        tuple_outcome = run_workload_post_mortem(
+            spec, config, shards=2, scale=1, log_format="tuple"
+        )
+        path = tmp_path / "tsp2.mjbl"
+        binary_outcome = run_workload_post_mortem(
+            spec, config, shards=2, scale=1, log_format="binary", log_path=path
+        )
+        assert binary_outcome.log_format == "binary"
+        assert binary_outcome.matches_serial
+        assert binary_outcome.races_reported == tuple_outcome.races_reported
+        assert binary_outcome.access_events == tuple_outcome.access_events
+        assert binary_outcome.trie_nodes == tuple_outcome.trie_nodes
+        assert path.exists()
+        assert binary_outcome.log_bytes == path.stat().st_size
+
+
+RACY = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    print d.x;
+  }
+}
+class Data { field x; }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.x = this.d.x + 1; }
+}
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.mj"
+    path.write_text(RACY)
+    return path
+
+
+class TestCliRecordAndReplay:
+    def _race_lines(self, text):
+        return [line for line in text.splitlines() if "DATARACE" in line]
+
+    def test_record_binary_then_from_log(self, racy_file, tmp_path, capsys):
+        log = tmp_path / "run.mjbl"
+        assert main(["run", str(racy_file), "--record-binary", str(log)]) == 0
+        err = capsys.readouterr().err
+        assert "binary" in err
+        assert log.exists()
+
+        direct = main(["check", str(racy_file)])
+        direct_out = capsys.readouterr().out
+        replayed = main(["check", str(racy_file), "--from-log", str(log)])
+        replayed_out = capsys.readouterr().out
+        assert direct == replayed == 1
+        assert self._race_lines(direct_out) == self._race_lines(replayed_out)
+
+    def test_record_both_formats_agree(self, racy_file, tmp_path, capsys):
+        binary = tmp_path / "run.mjbl"
+        tuples = tmp_path / "run.json"
+        assert main([
+            "run", str(racy_file),
+            "--record", str(tuples),
+            "--record-binary", str(binary),
+        ]) == 0
+        capsys.readouterr()
+        from_binary = main(["check", str(racy_file), "--from-log", str(binary)])
+        binary_out = capsys.readouterr().out
+        from_tuples = main(["check", str(racy_file), "--from-log", str(tuples)])
+        tuple_out = capsys.readouterr().out
+        assert from_binary == from_tuples == 1
+        assert self._race_lines(binary_out) == self._race_lines(tuple_out)
+
+    def test_from_log_without_program(self, racy_file, tmp_path, capsys):
+        log = tmp_path / "run.mjbl"
+        main(["run", str(racy_file), "--record-binary", str(log)])
+        capsys.readouterr()
+        code = main(["check", "--from-log", str(log)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DATARACE" in out
+
+    def test_from_log_sharded(self, racy_file, tmp_path, capsys):
+        log = tmp_path / "run.mjbl"
+        main(["run", str(racy_file), "--record-binary", str(log)])
+        capsys.readouterr()
+        serial = main(["check", str(racy_file), "--from-log", str(log)])
+        serial_out = capsys.readouterr().out
+        sharded = main([
+            "check", str(racy_file), "--from-log", str(log), "--shards", "4"
+        ])
+        sharded_out = capsys.readouterr().out
+        assert serial == sharded == 1
+        assert self._race_lines(serial_out) == self._race_lines(sharded_out)
+
+    def test_check_without_file_or_log_errors(self, capsys):
+        assert main(["check"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_from_log_rejects_corrupt_file(self, tmp_path, capsys):
+        noise = tmp_path / "noise.mjbl"
+        noise.write_bytes(b"MJBL" + b"\x00" * 8)  # magic but truncated
+        code = main(["check", "--from-log", str(noise)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error" in err
+
+
+class TestCliLogStats:
+    def test_binary_log_stats(self, racy_file, tmp_path, capsys):
+        log = tmp_path / "run.mjbl"
+        main(["run", str(racy_file), "--record-binary", str(log)])
+        capsys.readouterr()
+        assert main(["log-stats", str(log), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "format: binary (MJBL v1" in out
+        assert "crc: ok" in out
+        assert "tuple/binary size ratio:" in out
+
+    def test_tuple_log_stats(self, racy_file, tmp_path, capsys):
+        log = tmp_path / "run.json"
+        main(["run", str(racy_file), "--record", str(log)])
+        capsys.readouterr()
+        assert main(["log-stats", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "format: tuple JSON" in out
+        assert "tuple/binary size ratio:" in out
+
+    def test_stats_agree_across_formats(self, racy_file, tmp_path, capsys):
+        binary = tmp_path / "run.mjbl"
+        tuples = tmp_path / "run.json"
+        main([
+            "run", str(racy_file),
+            "--record", str(tuples),
+            "--record-binary", str(binary),
+        ])
+        capsys.readouterr()
+        main(["log-stats", str(binary)])
+        binary_out = capsys.readouterr().out
+        main(["log-stats", str(tuples)])
+        tuple_out = capsys.readouterr().out
+
+        def facts(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith(("events:", "  ", "distinct"))
+            ]
+
+        assert facts(binary_out) == facts(tuple_out)
+
+    def test_log_stats_rejects_noise(self, tmp_path, capsys):
+        noise = tmp_path / "noise.log"
+        noise.write_text("not a log")
+        assert main(["log-stats", str(noise)]) == 2

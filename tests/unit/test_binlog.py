@@ -1,0 +1,381 @@
+"""The MJBL binary at-rest event-log format.
+
+Pins the on-disk contract of ``repro/runtime/binlog.py``: structural
+validation is O(1) and names byte offsets when it rejects a file,
+corruption inside the record region surfaces lazily (or via the
+explicit CRC ``verify()``), the string table round-trips every field
+name and label, and the per-block shard index lets power-of-two shard
+counts skip blocks without ever dropping an event.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.runtime import RecordingSink
+from repro.runtime.binlog import (
+    BINLOG_VERSION,
+    DEFAULT_RECORDS_PER_BLOCK,
+    HEADER_SIZE,
+    MAGIC,
+    UID_PARTITIONS,
+    BinaryLogReader,
+    BinaryLogSink,
+    _shard_partition_mask,
+    as_log_entries,
+    collect_log_stats,
+    estimate_binary_bytes,
+    is_binary_log,
+    open_log,
+    read_binary_log,
+    write_binary_log,
+)
+from repro.runtime.events import LogSchemaError, dump_log
+from repro.runtime.synthlog import synthesize_into
+
+from ..conftest import run_source
+
+SOURCE = """
+class Main {
+  static def main() {
+    var s = new Shared();
+    var c = new C(s);
+    var d = new D(s);
+    start c; start d;
+    sync (s) { while (s.flag != 1) { wait s; } }
+    join c; join d;
+    print s.x;
+  }
+}
+class Shared { field flag; field x; }
+class C {
+  field s;
+  def init(s) { this.s = s; }
+  def run() {
+    sync (this.s) { this.s.flag = 1; notifyall this.s; }
+  }
+}
+class D {
+  field s;
+  def init(s) { this.s = s; }
+  def run() { this.s.x = 2; }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """A real run covering all eight schema-v3 event kinds."""
+    log = RecordingSink()
+    run_source(SOURCE, sink=log)
+    tags = {entry[0] for entry in log.log}
+    assert tags == {
+        RecordingSink.ACCESS, RecordingSink.ENTER, RecordingSink.EXIT,
+        RecordingSink.START, RecordingSink.END, RecordingSink.JOIN,
+        RecordingSink.WAIT, RecordingSink.NOTIFY,
+    }
+    return log
+
+
+@pytest.fixture()
+def binary_path(recorded, tmp_path):
+    path = tmp_path / "run.mjbl"
+    write_binary_log(recorded, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_tuple_binary_tuple_is_identity(self, recorded, binary_path):
+        assert read_binary_log(binary_path) == list(recorded.log)
+
+    def test_reader_iterates_lazily_in_order(self, recorded, binary_path):
+        with BinaryLogReader(binary_path) as reader:
+            assert list(reader) == list(recorded.log)
+            assert len(reader) == len(recorded.log)
+
+    def test_counts_match_header(self, recorded, binary_path):
+        accesses = recorded.access_count
+        with BinaryLogReader(binary_path) as reader:
+            assert reader.record_count == len(recorded.log)
+            assert reader.access_count == accesses
+            assert reader.sync_count == len(recorded.log) - accesses
+
+    def test_string_table_interns_fields_and_labels(self, recorded, binary_path):
+        expected = set()
+        for entry in recorded.log:
+            if entry[0] == RecordingSink.ACCESS:
+                expected.add(entry[2])
+                expected.add(entry[7])
+        with BinaryLogReader(binary_path) as reader:
+            table = reader.strings
+            assert set(table) == expected
+            assert len(table) == len(expected)  # interned: no duplicates
+
+    def test_estimate_matches_actual_file_size(self, recorded, binary_path):
+        assert (
+            estimate_binary_bytes(recorded.log)
+            == binary_path.stat().st_size
+        )
+
+    def test_sink_is_idempotent_on_double_close(self, recorded, tmp_path):
+        path = tmp_path / "twice.mjbl"
+        sink = BinaryLogSink(path)
+        from repro.runtime.events import replay_entries
+
+        replay_entries(recorded.log, sink)  # replay ends with on_run_end
+        sink.close()
+        sink.close()
+        assert read_binary_log(path) == list(recorded.log)
+
+    def test_empty_log_round_trips(self, tmp_path):
+        path = tmp_path / "empty.mjbl"
+        BinaryLogSink(path).close()
+        assert read_binary_log(path) == []
+
+
+class TestValidation:
+    def test_rejects_short_file_with_offset(self, tmp_path):
+        path = tmp_path / "short.mjbl"
+        path.write_bytes(MAGIC)
+        with pytest.raises(LogSchemaError, match="smaller than"):
+            BinaryLogReader(path)
+
+    def test_rejects_bad_magic_at_offset_zero(self, binary_path):
+        data = bytearray(binary_path.read_bytes())
+        data[:4] = b"JUNK"
+        binary_path.write_bytes(data)
+        with pytest.raises(LogSchemaError, match="byte offset 0"):
+            BinaryLogReader(binary_path)
+
+    def test_rejects_future_version_with_remediation(self, binary_path):
+        data = bytearray(binary_path.read_bytes())
+        struct.pack_into("<I", data, 4, BINLOG_VERSION + 1)
+        binary_path.write_bytes(data)
+        with pytest.raises(LogSchemaError, match="re-record"):
+            BinaryLogReader(binary_path)
+
+    def test_rejects_unfinalized_log(self, binary_path):
+        data = bytearray(binary_path.read_bytes())
+        struct.pack_into("<I", data, 12, 0)  # clear the finalized flag
+        binary_path.write_bytes(data)
+        with pytest.raises(LogSchemaError, match="never finalized"):
+            BinaryLogReader(binary_path)
+
+    def test_rejects_truncated_file_naming_expected_end(self, binary_path):
+        size = binary_path.stat().st_size
+        binary_path.write_bytes(binary_path.read_bytes()[: size - 10])
+        with pytest.raises(
+            LogSchemaError, match=rf"ending at byte offset {size}"
+        ):
+            BinaryLogReader(binary_path)
+
+    def test_record_corruption_surfaces_with_byte_offset(self, binary_path):
+        # Structural validation is O(1), so a flipped tag byte inside the
+        # record region is only seen when decoding reaches it — and the
+        # error names where.
+        data = bytearray(binary_path.read_bytes())
+        data[HEADER_SIZE] = 99  # no such tag
+        binary_path.write_bytes(data)
+        reader = BinaryLogReader(binary_path)  # opens fine: O(1) checks only
+        with pytest.raises(
+            LogSchemaError, match=rf"tag 99 at byte offset {HEADER_SIZE}"
+        ):
+            list(reader.entries())
+        reader.close()
+
+    def test_crc_verify_catches_silent_corruption(self, binary_path):
+        # A payload flip that keeps every tag valid: undetectable
+        # structurally, caught by the explicit O(n) CRC pass.
+        data = bytearray(binary_path.read_bytes())
+        data[HEADER_SIZE + 5] ^= 0xFF
+        binary_path.write_bytes(data)
+        with pytest.raises(LogSchemaError, match="CRC mismatch"):
+            BinaryLogReader(binary_path, verify=True)
+
+    def test_crc_verify_passes_on_intact_log(self, binary_path):
+        with BinaryLogReader(binary_path, verify=True) as reader:
+            reader.verify()
+
+    def test_out_of_range_string_id_is_corruption(self, recorded, tmp_path):
+        path = tmp_path / "badstr.mjbl"
+        write_binary_log(recorded, path)
+        data = bytearray(path.read_bytes())
+        reader = BinaryLogReader(path)
+        offset = None
+        for block in reader.blocks:
+            offset = block.offset
+            break
+        # Find the first access record and point its field id past the table.
+        from repro.runtime.binlog import TAG_ACCESS, _RECORD_SIZE
+
+        while data[offset] != TAG_ACCESS:
+            offset += _RECORD_SIZE[data[offset]]
+        struct.pack_into("<I", data, offset + 20, 2**31)
+        reader.close()
+        path.write_bytes(data)
+        with BinaryLogReader(path) as reader:
+            with pytest.raises(LogSchemaError, match="out-of-range string"):
+                list(reader.entries())
+
+
+class TestShardIndex:
+    @pytest.fixture(scope="class")
+    def multiblock(self, tmp_path_factory):
+        """A synthetic log forced into many small blocks."""
+        path = tmp_path_factory.mktemp("binlog") / "multi.mjbl"
+        sink = BinaryLogSink(path, records_per_block=128)
+        synthesize_into(sink, 20_000)
+        return path
+
+    def test_small_blocks_produce_many_index_entries(self, multiblock):
+        with BinaryLogReader(multiblock) as reader:
+            assert len(reader.blocks) >= 20_000 // 128
+            assert reader.records_per_block == 128
+            assert sum(b.records for b in reader.blocks) == reader.record_count
+            assert sum(b.accesses for b in reader.blocks) == reader.access_count
+
+    def test_shard_entries_partition_losslessly(self, multiblock):
+        with BinaryLogReader(multiblock) as reader:
+            full = list(reader.entries())
+            for shards in (1, 2, 4, 8):
+                seen_access = []
+                sync_streams = []
+                for shard in range(shards):
+                    entries = list(reader.shard_entries(shard, shards))
+                    accesses = [
+                        e for e in entries if e[0] == RecordingSink.ACCESS
+                    ]
+                    for entry in accesses:
+                        assert entry[1] % shards == shard
+                    seen_access.extend(accesses)
+                    sync_streams.append(
+                        [e for e in entries if e[0] != RecordingSink.ACCESS]
+                    )
+                # Every access lands in exactly one shard ...
+                all_accesses = [
+                    e for e in full if e[0] == RecordingSink.ACCESS
+                ]
+                assert sorted(map(repr, seen_access)) == sorted(
+                    map(repr, all_accesses)
+                )
+                # ... and every shard replays the full sync stream in order.
+                full_sync = [e for e in full if e[0] != RecordingSink.ACCESS]
+                for stream in sync_streams:
+                    assert stream == full_sync
+
+    def test_power_of_two_sharding_skips_blocks(self, tmp_path):
+        # The point of the index: an access-only block whose uid
+        # partitions miss a shard's residues is never decoded for that
+        # shard.  Build a log with uid-local access runs — each block
+        # touches one object — so 8-way sharding maps each access block
+        # to exactly one shard.
+        from repro.lang.ast import AccessKind
+        from repro.runtime.events import ObjectKind
+
+        path = tmp_path / "local.mjbl"
+        sink = BinaryLogSink(path, records_per_block=128)
+        sink.on_thread_start(0, 1)
+        for i in range(128 * 16):
+            # Access i is record i+1 (after the start event); pick the
+            # uid so every 128-record block holds exactly one object.
+            uid = 1000 + ((i + 1) // 128)
+            sink.on_access_parts(
+                uid, "f", 1, AccessKind.READ, 0, ObjectKind.INSTANCE, f"O#{uid}"
+            )
+        sink.on_thread_end(1)
+        sink.on_thread_join(0, 1)
+        sink.close()
+        with BinaryLogReader(path) as reader:
+            total = len(reader.blocks)
+            access_only = [b for b in reader.blocks if not b.has_sync]
+            assert len(access_only) >= 15
+            mapped = sum(len(reader.shard_blocks(k, 8)) for k in range(8))
+            # Sync-bearing blocks replicate to all 8 shards; each
+            # access-only block maps to exactly one.
+            sync_blocks = total - len(access_only)
+            assert mapped == 8 * sync_blocks + len(access_only)
+            # And the mapped shard view still reconstructs everything.
+            full = list(reader.entries())
+            recovered = []
+            for k in range(8):
+                recovered.extend(
+                    e for e in reader.shard_entries(k, 8)
+                    if e[0] == RecordingSink.ACCESS
+                )
+            assert len(recovered) == reader.access_count == 128 * 16
+            assert sorted(map(repr, recovered)) == sorted(
+                map(repr, [e for e in full if e[0] == RecordingSink.ACCESS])
+            )
+
+    def test_shard_mask_covers_all_partitions(self):
+        for shards in (1, 2, 3, 4, 5, 8, 16, 64):
+            union = 0
+            for shard in range(shards):
+                union |= _shard_partition_mask(shard, shards)
+            assert union == (1 << UID_PARTITIONS) - 1
+
+    def test_power_of_two_masks_are_disjoint(self):
+        for shards in (2, 4, 8, 16, 32, 64):
+            seen = 0
+            for shard in range(shards):
+                mask = _shard_partition_mask(shard, shards)
+                assert seen & mask == 0
+                seen |= mask
+
+    def test_odd_shard_counts_fall_back_to_full_mask(self):
+        # gcd(64, 3) == 1: no residue can be ruled out, so the mask is
+        # conservative — every block qualifies, nothing is lost.
+        full = (1 << UID_PARTITIONS) - 1
+        assert _shard_partition_mask(0, 3) == full
+        assert _shard_partition_mask(2, 3) == full
+
+    def test_shard_out_of_range_rejected(self, multiblock):
+        with BinaryLogReader(multiblock) as reader:
+            with pytest.raises(ValueError, match="out of range"):
+                reader.shard_blocks(4, 4)
+
+
+class TestOpenLog:
+    def test_detects_binary_by_magic(self, binary_path, recorded):
+        assert is_binary_log(binary_path)
+        log = open_log(binary_path)
+        assert isinstance(log, BinaryLogReader)
+        assert list(as_log_entries(log)) == list(recorded.log)
+        log.close()
+
+    def test_detects_json_tuple_log(self, recorded, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps(dump_log(recorded)))
+        assert not is_binary_log(path)
+        entries = open_log(path)
+        assert entries == list(recorded.log)
+
+    def test_rejects_neither_format(self, tmp_path):
+        path = tmp_path / "noise.bin"
+        path.write_bytes(b"\x00\x01\x02 definitely not a log")
+        with pytest.raises(LogSchemaError, match="neither a binary"):
+            open_log(path)
+
+    def test_missing_file_is_not_binary(self, tmp_path):
+        assert not is_binary_log(tmp_path / "absent.mjbl")
+
+
+class TestLogStats:
+    def test_counts_by_kind_and_entities(self, recorded, binary_path):
+        from_tuples = collect_log_stats(recorded.log)
+        with BinaryLogReader(binary_path) as reader:
+            from_binary = reader.stats()
+        assert from_binary == from_tuples
+        assert from_tuples["events"] == len(recorded.log)
+        assert from_tuples["counts"][RecordingSink.WAIT] >= 1
+        assert from_tuples["counts"][RecordingSink.NOTIFY] >= 1
+        assert from_tuples["reads"] + from_tuples["writes"] == recorded.access_count
+        assert from_tuples["distinct_threads"] >= 3
+
+    def test_default_block_size_is_sane(self):
+        assert DEFAULT_RECORDS_PER_BLOCK >= 1024
+
+    def test_sink_rejects_nonpositive_block_size(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            BinaryLogSink(tmp_path / "x.mjbl", records_per_block=0)

@@ -101,6 +101,7 @@ class TestMatrixShape:
             "hb-inclusion-break",
             "mode-parity-break",
             "sharded-parity-break",
+            "binlog-parity-break",
         }
 
     def test_every_row_names_sides_and_reason(self):
