@@ -111,6 +111,11 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--shards", type=int, default=None, metavar="N",
                        help="sharded post-mortem detection over N "
                        "partitions (implies --post-mortem)")
+    check.add_argument("--predict", choices=("shb", "hybrid"), default=None,
+                       help="also run the predictive pass over the "
+                       "recorded trace: races realizable in schedulable "
+                       "reorderings, not just the observed interleaving "
+                       "(implies --post-mortem; see docs/prediction.md)")
     check.add_argument("--executor", choices=("serial", "thread", "process"),
                        default="serial",
                        help="how sharded detection runs (default: serial)")
@@ -181,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="list the available injected bugs and exit")
     difflab.add_argument("--no-shrink", action="store_true",
                          help="report violations without minimizing them")
+    difflab.add_argument("--predict", choices=("shb", "hybrid"), default=None,
+                         help="hunt the predictive discrepancy classes: "
+                         "shrink the first case exhibiting "
+                         "predicted-not-observed (and, with hybrid, "
+                         "lockset-fp-refuted) into a reproducer with a "
+                         "synthesized witness schedule, written to --out")
     difflab.add_argument("--sync-vocab", action="store_true",
                          help="fuzz with the wait/notify/barrier "
                          "vocabulary enabled")
@@ -226,7 +237,10 @@ def cmd_check(args) -> int:
         fields_merged=args.fields_merged,
     )
     post_mortem = (
-        args.post_mortem or args.shards is not None or args.from_log is not None
+        args.post_mortem
+        or args.shards is not None
+        or args.from_log is not None
+        or args.predict is not None
     )
     shards = args.shards if args.shards is not None else 1
     if shards < 1:
@@ -240,6 +254,9 @@ def cmd_check(args) -> int:
     sharded = None
     deadlocks = None
     result = None
+    predictor = None
+    predicted = set()
+    observed = set()
     if post_mortem:
         from .detector import detect_sharded
         from .runtime import RecordingSink, open_log, replay_entries
@@ -278,6 +295,19 @@ def cmd_check(args) -> int:
         reports = sharded.reports.reports
         funnel = sharded.stats
         cache_stats = sharded.cache_stats
+        if args.predict is not None:
+            from .baselines import HappensBeforeDetector
+            from .detector.predict import predict_races
+
+            predictor = predict_races(log, args.predict, validate=False)
+            observed_hb = HappensBeforeDetector()
+            replay_entries(as_log_entries(log), observed_hb)
+            predicted = {
+                str(location) for location in predictor.racy_locations
+            }
+            observed = {
+                str(location) for location in observed_hb.racy_locations
+            }
     else:
         detector_class = RaceDetector
         if args.phase_times:
@@ -312,6 +342,19 @@ def cmd_check(args) -> int:
             print(report.describe())
     else:
         print("no dataraces detected")
+    if predictor is not None:
+        if predicted:
+            for location in sorted(predicted):
+                marker = (
+                    "also observed"
+                    if location in observed
+                    else "predicted only — not observed in this interleaving"
+                )
+                print(f"[{args.predict}] predicted race on {location} "
+                      f"({marker})")
+        else:
+            print(f"[{args.predict}] no races predicted in reorderings "
+                  f"of this trace")
     if deadlocks is not None:
         if deadlocks.reports:
             for report in deadlocks.reports:
@@ -350,7 +393,7 @@ def cmd_check(args) -> int:
             label = name.replace("lockset_trie", "lockset/trie")
             print(f"  {label:<12} {seconds:.3f}s "
                   f"({100.0 * seconds / denom:.0f}%)")
-    return 1 if reports else 0
+    return 1 if reports or predicted else 0
 
 
 def cmd_run(args) -> int:
@@ -563,6 +606,14 @@ def cmd_difflab(args) -> int:
     elif args.sync_vocab:
         fuzzer_kwargs["sync_vocab"] = True
 
+    hunt_classes = None
+    if args.predict == "shb":
+        hunt_classes = frozenset({"predicted-not-observed"})
+    elif args.predict == "hybrid":
+        hunt_classes = frozenset(
+            {"predicted-not-observed", "lockset-fp-refuted"}
+        )
+
     budget = _parse_budget(args.budget) if args.budget is not None else None
     if budget is not None or args.programs > 0:
         result = run_campaign(
@@ -576,8 +627,24 @@ def cmd_difflab(args) -> int:
             shrink=not args.no_shrink,
             progress=lambda message: print(f"  .. {message}"),
             engine=args.engine,
+            hunt_classes=hunt_classes,
         )
         print(result.summary())
+        if result.finds:
+            args.out.mkdir(parents=True, exist_ok=True)
+            for find in result.finds:
+                stem = args.out / f"find-{find.klass}-{find.fingerprint}"
+                stem.with_suffix(".mj").write_text(find.source)
+                stem.with_suffix(".json").write_text(json.dumps({
+                    "fingerprint": find.fingerprint,
+                    "class": find.klass,
+                    "schedule": find.schedule.to_json(),
+                    "original_label": find.original_label,
+                    "shrink": find.stats.describe(),
+                    "items": list(find.items),
+                    "witness": find.witness,
+                }, indent=2) + "\n")
+                print(f"wrote {stem.with_suffix('.mj')}")
         if result.violations:
             failed = True
             args.out.mkdir(parents=True, exist_ok=True)

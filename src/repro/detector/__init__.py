@@ -31,6 +31,17 @@ from .postmortem import (
     detect_post_mortem,
     record_execution,
 )
+from .predict import (
+    PREDICTORS,
+    HybridPredictor,
+    PredictedRace,
+    SHBPredictor,
+    Witness,
+    find_witness,
+    make_predictor,
+    predict_races,
+    replay_witness,
+)
 from .sharded import (
     ShardedDetectionResult,
     ShardOutcome,
@@ -64,10 +75,15 @@ __all__ = [
     "DetectorConfig",
     "FIELDS_MERGED",
     "FULL",
+    "HybridPredictor",
     "LockTracker",
     "LockTrie",
     "NO_CACHE",
     "NO_OWNERSHIP",
+    "PREDICTORS",
+    "PredictedRace",
+    "SHBPredictor",
+    "Witness",
     "OwnershipFilter",
     "OwnershipStats",
     "PackedLockTrie",
@@ -94,8 +110,12 @@ __all__ = [
     "detect_post_mortem",
     "detect_sharded",
     "detect_sharded_post_mortem",
+    "find_witness",
+    "make_predictor",
     "partition_log",
+    "predict_races",
     "record_execution",
+    "replay_witness",
     "access_leq",
     "access_meet",
     "is_race",

@@ -8,6 +8,7 @@ See :mod:`repro.difflab.expectations` for the declarative matrix,
 from .corpus import (
     DEFAULT_CORPUS,
     CorpusEntry,
+    check_witness,
     load_corpus,
     save_entry,
     verify_corpus,
@@ -27,12 +28,15 @@ from .inject import INJECTIONS
 from .lab import (
     CampaignResult,
     CaseResult,
+    Find,
     Violation,
     case_classes,
+    class_items,
     fingerprint,
     run_campaign,
     run_case,
     shrink_case,
+    synthesize_witness,
 )
 from .shrink import (
     ShrinkResult,
@@ -64,6 +68,7 @@ __all__ = [
     "EXPECTED",
     "EngineDivergence",
     "Expectation",
+    "Find",
     "INJECTIONS",
     "MATRIX",
     "ScheduleSpec",
@@ -73,6 +78,8 @@ __all__ = [
     "VIOLATION",
     "Violation",
     "case_classes",
+    "check_witness",
+    "class_items",
     "classify_case",
     "compute_verdicts",
     "count_statements",
@@ -87,6 +94,7 @@ __all__ = [
     "shrink_case",
     "shrink_program",
     "shrink_schedule",
+    "synthesize_witness",
     "validate_structure",
     "verify_corpus",
     "verify_entry",

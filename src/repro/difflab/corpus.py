@@ -45,6 +45,12 @@ class CorpusEntry:
     #: ``{detector: {"locations": [...], "objects": [...], "races": n}}``
     verdicts: dict = field(default_factory=dict)
     notes: str = ""
+    #: For ``predicted-not-observed`` entries: a
+    #: :class:`~repro.detector.predict.Witness` payload — a recorded
+    #: scheduler decision trace whose exact replay makes the plain HB
+    #: detector *observe* a race at the predicted location.  The gate
+    #: re-executes it on every verification.
+    witness: Optional[dict] = None
 
     def describe(self) -> str:
         return (
@@ -78,8 +84,16 @@ def save_entry(
     notes: str = "",
     shards: Sequence[int] = DEFAULT_SHARDS,
     max_steps: int = DEFAULT_MAX_STEPS,
+    witness=None,
 ) -> CorpusEntry:
-    """Mint and write a corpus entry, recording its verdict matrix."""
+    """Mint and write a corpus entry, recording its verdict matrix.
+
+    ``predicted-not-observed`` entries must supply a ``witness`` (a
+    :class:`~repro.detector.predict.Witness` or its JSON payload); it
+    is replay-validated before anything is written.
+    """
+    from ..detector.predict import Witness, replay_witness
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     result = run_case(source, schedule, shards=shards, max_steps=max_steps)
@@ -92,6 +106,21 @@ def save_entry(
             f"corpus candidate does not exhibit {sorted(missing)} "
             f"(got {sorted(exhibited)})"
         )
+    if witness is not None and not isinstance(witness, Witness):
+        witness = Witness.from_json(witness)
+    if "predicted-not-observed" in classes and witness is None:
+        raise ValueError(
+            f"corpus entry {name} is annotated predicted-not-observed "
+            f"but carries no witness schedule — predictions are "
+            f"verified by execution, not assertion"
+        )
+    if witness is not None and not replay_witness(
+        source, witness, max_steps=max_steps
+    ):
+        raise ValueError(
+            f"corpus entry {name}: witness replay does not observe an "
+            f"HB race at {witness.location}"
+        )
     entry = CorpusEntry(
         name=name,
         source=source,
@@ -101,6 +130,7 @@ def save_entry(
         fingerprint=fingerprint(source, schedule, classes),
         verdicts=verdict_matrix(result),
         notes=notes,
+        witness=witness.to_json() if witness is not None else None,
     )
     (directory / f"{name}.mj").write_text(source)
     payload = {
@@ -111,6 +141,8 @@ def save_entry(
         "verdicts": entry.verdicts,
         "notes": notes,
     }
+    if entry.witness is not None:
+        payload["witness"] = entry.witness
     (directory / f"{name}.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
@@ -138,6 +170,7 @@ def load_corpus(directory: Optional[Path] = None) -> list:
                 fingerprint=payload.get("fingerprint", ""),
                 verdicts=payload.get("verdicts", {}),
                 notes=payload.get("notes", ""),
+                witness=payload.get("witness"),
             )
         )
     return entries
@@ -188,7 +221,48 @@ def verify_entry(
                 f"{entry.name}: {detector} verdict drifted: "
                 f"recorded {recorded} vs current {current}"
             )
+    if "predicted-not-observed" in entry.classes and entry.witness is None:
+        problems.append(
+            f"{entry.name}: predicted-not-observed entry carries no "
+            f"witness schedule"
+        )
+    if entry.witness is not None:
+        problems.extend(check_witness(entry, max_steps=max_steps, engine=engine))
     return problems
+
+
+def check_witness(
+    entry: CorpusEntry,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = "ast",
+) -> list:
+    """Replay one entry's witness; return human-readable problems.
+
+    The witness is an exact decision trace: the replay must consume it
+    completely (both exhaustion directions checked) and the plain HB
+    detector must *observe* a race at the predicted location — the
+    executable proof behind a ``predicted-not-observed`` annotation.
+    """
+    from ..detector.predict import Witness, replay_witness
+    from ..runtime.replay import ReplayDivergence
+
+    if entry.witness is None:
+        return [f"{entry.name}: no witness to check"]
+    witness = Witness.from_json(entry.witness)
+    try:
+        observed = replay_witness(
+            entry.source, witness, max_steps=max_steps, engine=engine
+        )
+    except ReplayDivergence as exc:
+        return [
+            f"{entry.name}: witness replay diverged ({engine} engine): {exc}"
+        ]
+    if not observed:
+        return [
+            f"{entry.name}: witness replays but the HB detector does "
+            f"not observe a race at {witness.location} ({engine} engine)"
+        ]
+    return []
 
 
 def verify_corpus(

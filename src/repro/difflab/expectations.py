@@ -26,6 +26,15 @@ Hard expectations (violations when broken):
   ``owned_filtered`` and ``detector_processed`` are invariant across
   shard counts, and ``cache_hits + weaker_filtered`` is invariant as a
   sum.
+* ``hb ⊆ shb`` — the predictive superset theorem: the SHB relation
+  drops HB edges (lock release→acquire) and adds only edges already
+  implied by HB (lock-coupled write→read), so with the identical
+  check-then-update structure prediction can only *add* reports.
+* ``hybrid ⊆ shb`` — the hybrid is SHB plus a lockset conjunct; a
+  conjunction never admits more than one of its conjuncts.
+* ``hybrid ⊆ reference-raw`` — every hybrid report is a conflicting
+  disjoint-lockset pair between different threads under reference-raw
+  lockset semantics, hence a pair FullRace also enumerates.
 
 Expected discrepancy classes (documented gaps, never violations):
 
@@ -48,6 +57,15 @@ Expected discrepancy classes (documented gaps, never violations):
   disappear outright, and the §7.2 interaction (fewer events move the
   owned→shared transition) can shift which accesses are visible in
   either direction.
+* ``predicted-not-observed`` — races SHB predicts in schedulable
+  reorderings of the trace that the observed interleaving's HB order
+  hid (the predictive detector's whole point; corpus entries of this
+  class carry an executable witness schedule).
+* ``lockset-fp-refuted`` — disjoint-lockset pairs the FullRace
+  reference flags that the hybrid predictor refutes: a start/join/
+  condition or write→read edge orders them in *every* schedulable
+  reordering (the classic case is initialization-phase writes the
+  child thread only ever reads after ``start``).
 """
 
 from __future__ import annotations
@@ -134,6 +152,39 @@ MATRIX = (
         on_right_extra="static-elimination-miss",
         why="The optimized plan emits fewer events; §7.2's "
         "ownership-timing interaction can shift reports either way.",
+    ),
+    Expectation(
+        left="shb",
+        right="hb",
+        domain="locations",
+        on_left_extra="predicted-not-observed",
+        on_right_extra="violation:predictive-superset-break",
+        why="Every SHB edge is an HB edge, so prediction can only add "
+        "reports: races realizable in reorderings of the trace.",
+    ),
+    Expectation(
+        left="hybrid",
+        right="shb",
+        domain="locations",
+        on_left_extra="violation:hybrid-exceeds-shb",
+        # The converse direction — SHB locations the hybrid filters —
+        # is the lockset conjunct doing its job on pure SHB's
+        # lock-protected false positives; it is not a distinct class
+        # (the interesting refutations surface against reference-raw).
+        on_right_extra=None,
+        why="The hybrid is SHB restricted by the lockset conjunct; a "
+        "conjunction cannot admit more than one conjunct alone.",
+    ),
+    Expectation(
+        left="hybrid",
+        right="reference-raw",
+        domain="locations",
+        on_left_extra="violation:hybrid-lockset-break",
+        on_right_extra="lockset-fp-refuted",
+        why="Every hybrid report is a disjoint-lockset conflicting "
+        "pair, hence in FullRace; the converse gap is a lockset false "
+        "positive that prediction refutes (SHB-ordered in every "
+        "schedulable reordering).",
     ),
 )
 

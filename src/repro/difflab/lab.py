@@ -84,12 +84,38 @@ class Violation:
 
 
 @dataclass
+class Find:
+    """A shrunk reproducer for a *hunted* expected class.
+
+    Hunting campaigns (``difflab --predict``) target documented
+    discrepancy classes rather than violations: the first case
+    exhibiting each hunted class is DDmin-shrunk into a committable
+    reproducer.  ``predicted-not-observed`` finds additionally carry a
+    synthesized witness schedule (when the search locates one) proving
+    the prediction by execution.
+    """
+
+    fingerprint: str
+    klass: str
+    source: str
+    schedule: ScheduleSpec
+    original_label: str
+    stats: ShrinkStats
+    #: The offending locations, from the shrunk case.
+    items: tuple = ()
+    #: ``Witness.to_json()`` payload, or None.
+    witness: Optional[dict] = None
+
+
+@dataclass
 class CampaignResult:
     cases_run: int = 0
     errors: list = field(default_factory=list)
     #: expected discrepancy class → number of cases exhibiting it.
     expected_counts: Counter = field(default_factory=Counter)
     violations: list = field(default_factory=list)
+    #: shrunk reproducers for hunted expected classes (non-failing).
+    finds: list = field(default_factory=list)
     duration: float = 0.0
 
     @property
@@ -109,6 +135,12 @@ class CampaignResult:
                 f"  VIOLATION {violation.fingerprint} "
                 f"[{', '.join(violation.classes)}] from "
                 f"{violation.original_label}: {violation.stats.describe()}"
+            )
+        for find in self.finds:
+            witness = "with witness" if find.witness else "no witness"
+            lines.append(
+                f"  FIND {find.fingerprint} [{find.klass}] ({witness}) "
+                f"from {find.original_label}: {find.stats.describe()}"
             )
         for label, message in self.errors:
             lines.append(f"  ERROR {label}: {message}")
@@ -288,6 +320,40 @@ def shrink_case(
     return small, small_schedule, stats
 
 
+def class_items(result: CaseResult, klass: str) -> tuple:
+    """The offending location/object strings for one class, sorted."""
+    items: set = set()
+    for discrepancy in result.discrepancies:
+        if discrepancy.klass == klass:
+            items.update(discrepancy.items)
+    return tuple(sorted(items))
+
+
+def synthesize_witness(
+    source: str,
+    items: Sequence[str],
+    max_steps: int = DEFAULT_MAX_STEPS,
+    engine: str = "ast",
+    seeds: int = 64,
+):
+    """Search for a witness schedule for any of ``items``.
+
+    Returns the first :class:`~repro.detector.predict.Witness` whose
+    replay observes an HB race at a predicted location, or None when
+    every item resists the search budget (pure SHB's lock-protected
+    false positives have no witness by design).
+    """
+    from ..detector.predict import find_witness
+
+    for item in items:
+        witness = find_witness(
+            source, item, seeds=seeds, max_steps=max_steps, engine=engine
+        )
+        if witness is not None:
+            return witness
+    return None
+
+
 def default_schedules(count: int) -> list:
     """The campaign's schedule axis: round-robin, then seeded random."""
     specs = [ScheduleSpec(kind="roundrobin")]
@@ -311,6 +377,7 @@ def run_campaign(
     max_steps: int = DEFAULT_MAX_STEPS,
     progress: Optional[Callable[[str], None]] = None,
     engine: str = "ast",
+    hunt_classes: Optional[frozenset] = None,
 ) -> CampaignResult:
     """Sweep fuzzed cases; classify; shrink every violating case.
 
@@ -318,6 +385,12 @@ def run_campaign(
     past ``programs`` until time is up; without one it runs exactly
     ``programs × schedules`` cases.  Violations with a fingerprint
     already seen (same shrunk source/schedule/classes) are deduplicated.
+
+    ``hunt_classes`` names *expected* discrepancy classes to hunt: the
+    first case exhibiting each is shrunk (preserving the class) into a
+    :class:`Find`; ``predicted-not-observed`` finds get a witness
+    synthesis pass.  Hunting never fails a campaign — finds are
+    candidate corpus entries, not bugs.
     """
     kwargs = dict(fuzzer_kwargs or {})
     kwargs.setdefault("n_workers", 3)
@@ -327,6 +400,7 @@ def run_campaign(
     started = time.monotonic()
     result = CampaignResult()
     seen_fingerprints = set()
+    hunted_found: set = set()
 
     program_index = 0
     while True:
@@ -358,6 +432,59 @@ def run_campaign(
                 continue
             for klass in {d.klass for d in case.expected}:
                 result.expected_counts[klass] += 1
+            if hunt_classes:
+                for klass in sorted(
+                    (hunt_classes & {d.klass for d in case.expected})
+                    - hunted_found
+                ):
+                    hunted_found.add(klass)
+                    if progress is not None:
+                        progress(f"hunted {klass} in {label}, shrinking")
+                    if shrink:
+                        small, small_spec, stats = shrink_case(
+                            case.source,
+                            spec,
+                            frozenset([klass]),
+                            violations_only=False,
+                            detector_factory=detector_factory,
+                            config=config,
+                            shards=shards,
+                            include_static_axis=include_static_axis,
+                            max_steps=max_steps,
+                            engine=engine,
+                        )
+                    else:
+                        small, small_spec = case.source, spec
+                        stats = ShrinkStats(
+                            initial_statements=count_statements(case.source),
+                            final_statements=count_statements(case.source),
+                            initial_schedule=spec.describe(),
+                            final_schedule=spec.describe(),
+                        )
+                    shrunk = run_case(
+                        small, small_spec, detector_factory=detector_factory,
+                        config=config, shards=shards,
+                        include_static_axis=include_static_axis,
+                        max_steps=max_steps, engine=engine,
+                    )
+                    items = class_items(shrunk, klass)
+                    witness = None
+                    if klass == "predicted-not-observed":
+                        witness = synthesize_witness(
+                            small, items, max_steps=max_steps, engine=engine
+                        )
+                    result.finds.append(
+                        Find(
+                            fingerprint=fingerprint(small, small_spec, [klass]),
+                            klass=klass,
+                            source=small,
+                            schedule=small_spec,
+                            original_label=label,
+                            stats=stats,
+                            items=items,
+                            witness=witness.to_json() if witness else None,
+                        )
+                    )
             violating = case_classes(case, violations_only=True)
             if violating:
                 if progress is not None:

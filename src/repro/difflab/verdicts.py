@@ -25,6 +25,7 @@ from ..baselines import (
 )
 from ..detector.config import DetectorConfig
 from ..detector.pipeline import RaceDetector
+from ..detector.predict import make_predictor
 from ..detector.reference import ReferenceDetector
 from ..detector.sharded import canonical_report_order, detect_sharded
 from ..instrument.planner import PlannerConfig, plan_instrumentation
@@ -364,6 +365,22 @@ def compute_verdicts(
         objects=_norm_objects(hb.racy_objects),
         races=len(hb.reports),
     )
+
+    # The predictive axes: SHB and the hybrid lockset+HB predictor run
+    # over the same recorded stream.  Their expectation rows are
+    # theorems of the battery designs: shb ⊇ hb (prediction only adds
+    # reports) and hybrid ⊆ reference-raw (every hybrid report is a
+    # lockset race); the expected directions are the two predictive
+    # discrepancy classes.
+    for mode in ("shb", "hybrid"):
+        predictor = make_predictor(mode)
+        replay_entries(case.log, predictor)
+        verdicts[mode] = Verdict(
+            detector=mode,
+            locations=_norm_locations(predictor.racy_locations),
+            objects=_norm_objects(predictor.racy_objects),
+            races=len(predictor.reports),
+        )
 
     objectrace = ObjectRaceDetector()
     replay_entries(case.log, objectrace)

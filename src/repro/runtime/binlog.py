@@ -162,7 +162,18 @@ class BinaryLogSink(EventSink):
         self.path = Path(path)
         self.records_per_block = records_per_block
         self._file: Optional[io.BufferedWriter] = open(self.path, "wb")
-        self._file.write(b"\0" * HEADER_SIZE)
+        # A *provisional* header: real magic and version, finalized
+        # flag clear, every section zero.  A recording that crashes
+        # before close() leaves a file that is still recognizably MJBL,
+        # so readers diagnose "never finalized (header flags at byte
+        # offset 12)" instead of falling through magic detection into a
+        # misleading "neither binary nor JSON" error.
+        self._file.write(
+            _HEADER.pack(
+                MAGIC, BINLOG_VERSION, HEADER_SIZE, 0,
+                0, 0, HEADER_SIZE, 0, 0, 0, 0, 0, 0,
+            )
+        )
         self._buffer = bytearray()
         self._strings: dict[str, int] = {}
         self._index = bytearray()
@@ -478,6 +489,15 @@ class BinaryLogReader:
             view = self._map
             offset = self.strings_offset
             end = offset + self.strings_length
+            if self.strings_length < 4:
+                # Without this guard a crafted zero-length (but offset-
+                # consistent) string section would let unpack_from read
+                # into the index region — or raise a bare struct.error.
+                raise LogSchemaError(
+                    f"{self.path}: string table at byte offset {offset} "
+                    f"is {self.strings_length} bytes — too short for "
+                    f"its 4-byte count header"
+                )
             (count,) = struct.unpack_from("<I", view, offset)
             offset += 4
             table: list[str] = []
@@ -505,6 +525,16 @@ class BinaryLogReader:
         if self._blocks is None:
             view = self._map
             offset = self.index_offset
+            if self.index_length < _INDEX_HEADER.size:
+                # Same hazard as the string table: a consistent-looking
+                # header with a short index section would otherwise hit
+                # unpack_from past the mapped file — a bare struct.error
+                # with no file context.
+                raise LogSchemaError(
+                    f"{self.path}: shard index at byte offset {offset} "
+                    f"is {self.index_length} bytes — too short for its "
+                    f"{_INDEX_HEADER.size}-byte header"
+                )
             block_count, self.records_per_block = _INDEX_HEADER.unpack_from(view, offset)
             offset += _INDEX_HEADER.size
             expected = self.index_offset + self.index_length

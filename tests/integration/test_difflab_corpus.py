@@ -9,20 +9,24 @@ fuzzer and the hand-written cases can reach.
 
 import pytest
 
+from repro.detector import Witness, replay_witness
 from repro.difflab import load_corpus, run_case, verify_corpus
 from repro.difflab.corpus import verdict_matrix
 
 #: Classes the committed corpus must demonstrate.  The deferral-miss
 #: and ownership-timing-shift classes became reachable with the
-#: wait/notify/barrier vocabulary (see docs/difflab.md).
+#: wait/notify/barrier vocabulary; the two predictive classes with the
+#: SHB/hybrid battery axes (see docs/difflab.md and docs/prediction.md).
 REACHABLE_CLASSES = {
     "eraser-deferral-miss",
     "eraser-single-lock-fp",
     "feasible-race-gap",
+    "lockset-fp-refuted",
     "object-deferral-miss",
     "object-granularity-fp",
     "ownership-suppressed",
     "ownership-timing-shift",
+    "predicted-not-observed",
     "static-elimination-miss",
 }
 
@@ -150,3 +154,58 @@ class TestVerdictMatrices:
         for entry in corpus.values():
             result, matrix = self.run(entry)
             assert matrix == entry.verdicts, entry.name
+
+    def test_predicted_not_observed_min(self, corpus):
+        result, matrix = self.run(corpus["predicted-not-observed-min"])
+        # The recorded schedule orders the unlocked write before the
+        # locked read through the lock's release/acquire HB edge, so hb
+        # observes nothing; SHB has no such edge (no same-lock
+        # write-read communication) and both predictors report, and the
+        # lockset conjunct agrees the pair is unprotected.
+        assert matrix["hb"]["locations"] == []
+        assert "#1.f2" in matrix["shb"]["locations"]
+        assert "#1.f2" in matrix["hybrid"]["locations"]
+        assert result.violations == []
+
+    def test_lockset_fp_refuted_min(self, corpus):
+        result, matrix = self.run(corpus["lockset-fp-refuted-min"])
+        # reference-raw flags the init handoff on disjoint locksets; the
+        # hybrid's SHB conjunct sees the start edge ordering the pair in
+        # every reordering and refutes the report.
+        assert "#1.f2" in matrix["reference-raw"]["locations"]
+        assert matrix["hybrid"]["locations"] == []
+        assert result.violations == []
+
+
+class TestWitnessReplay:
+    """Every predicted-not-observed entry carries an executable proof:
+    a recorded decision trace whose exact replay makes the plain HB
+    detector observe the predicted race — on both engines."""
+
+    def test_predicted_entries_carry_witnesses(self, corpus):
+        predicted = [
+            entry for entry in corpus.values()
+            if "predicted-not-observed" in entry.classes
+        ]
+        assert predicted, "no predicted-not-observed entries committed"
+        for entry in predicted:
+            assert entry.witness is not None, entry.name
+
+    @pytest.mark.parametrize("engine", ["ast", "compiled"])
+    def test_witnesses_replay_to_observed_races(self, corpus, engine):
+        for entry in corpus.values():
+            if entry.witness is None:
+                continue
+            witness = Witness.from_json(entry.witness)
+            assert replay_witness(
+                entry.source, witness, engine=engine
+            ), (entry.name, engine)
+
+    def test_witness_locations_match_predictions(self, corpus):
+        for entry in corpus.values():
+            if entry.witness is None:
+                continue
+            witness = Witness.from_json(entry.witness)
+            result, matrix = TestVerdictMatrices().run(entry)
+            assert witness.location in matrix["shb"]["locations"], entry.name
+            assert witness.location not in matrix["hb"]["locations"], entry.name

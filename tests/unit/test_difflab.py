@@ -93,6 +93,8 @@ class TestMatrixShape:
             "ownership-suppressed",
             "ownership-timing-shift",
             "static-elimination-miss",
+            "predicted-not-observed",
+            "lockset-fp-refuted",
         }
         assert set(violation_classes()) == {
             "definition1-miss",
@@ -102,6 +104,9 @@ class TestMatrixShape:
             "mode-parity-break",
             "sharded-parity-break",
             "binlog-parity-break",
+            "predictive-superset-break",
+            "hybrid-exceeds-shb",
+            "hybrid-lockset-break",
         }
 
     def test_every_row_names_sides_and_reason(self):
@@ -178,6 +183,123 @@ class TestClassification:
         # Injection runs drop the sharded battery; static axis optional.
         verdicts = {"paper": verdict("paper", {"#1.f0"})}
         assert classify_case(verdicts) == []
+
+
+class TestPredictiveClassification:
+    """The three predictive matrix rows, each direction pinned."""
+
+    def test_predicted_not_observed_is_expected(self):
+        verdicts = {
+            "shb": verdict("shb", {"#1.x", "#1.y"}),
+            "hb": verdict("hb", {"#1.y"}),
+        }
+        (d,) = classify_case(verdicts)
+        assert d.klass == "predicted-not-observed"
+        assert d.classification == EXPECTED
+        assert d.items == ("#1.x",)
+
+    def test_predictive_superset_break_is_violation(self):
+        # An HB-observed race the predictor missed: the superset
+        # theorem is broken, which only a detector bug can cause.
+        verdicts = {
+            "shb": verdict("shb"),
+            "hb": verdict("hb", {"#1.x"}),
+        }
+        (d,) = classify_case(verdicts)
+        assert d.klass == "predictive-superset-break"
+        assert d.is_violation
+
+    def test_hybrid_exceeds_shb_is_violation(self):
+        verdicts = {
+            "hybrid": verdict("hybrid", {"#1.x"}),
+            "shb": verdict("shb"),
+        }
+        classes = {d.klass: d for d in classify_case(verdicts)}
+        assert classes["hybrid-exceeds-shb"].is_violation
+
+    def test_hybrid_filtering_shb_is_silent(self):
+        # The conjunct dropping pure-SHB false positives is the design
+        # working, not a discrepancy class.
+        verdicts = {
+            "hybrid": verdict("hybrid"),
+            "shb": verdict("shb", {"#1.x"}),
+        }
+        assert classify_case(verdicts) == []
+
+    def test_lockset_fp_refuted_is_expected(self):
+        verdicts = {
+            "hybrid": verdict("hybrid"),
+            "reference-raw": verdict("reference-raw", {"#2.s"}),
+        }
+        (d,) = classify_case(verdicts)
+        assert d.klass == "lockset-fp-refuted"
+        assert d.classification == EXPECTED
+
+    def test_hybrid_lockset_break_is_violation(self):
+        verdicts = {
+            "hybrid": verdict("hybrid", {"#1.x"}),
+            "reference-raw": verdict("reference-raw"),
+        }
+        classes = {d.klass: d for d in classify_case(verdicts)}
+        assert classes["hybrid-lockset-break"].is_violation
+
+    def test_agreement_across_predictive_axes_is_silent(self):
+        verdicts = {
+            "hb": verdict("hb", {"#1.x"}),
+            "shb": verdict("shb", {"#1.x"}),
+            "hybrid": verdict("hybrid", {"#1.x"}),
+            "reference-raw": verdict("reference-raw", {"#1.x"}),
+        }
+        assert classify_case(verdicts) == []
+
+
+class TestFindHelpers:
+    def test_class_items_collects_sorted_union(self):
+        from repro.difflab import class_items
+
+        verdicts = {
+            "shb": verdict("shb", {"#1.y", "#1.x"}),
+            "hb": verdict("hb"),
+        }
+        result = CaseResult(
+            label="synthetic",
+            source="",
+            schedule=ScheduleSpec(),
+            discrepancies=classify_case(verdicts),
+        )
+        assert class_items(result, "predicted-not-observed") == (
+            "#1.x", "#1.y",
+        )
+        assert class_items(result, "lockset-fp-refuted") == ()
+
+    def test_campaign_summary_lists_finds(self):
+        from repro.difflab import Find
+        from repro.difflab.lab import CampaignResult
+        from repro.difflab.shrink import ShrinkStats
+
+        result = CampaignResult(cases_run=1)
+        result.finds.append(Find(
+            fingerprint="cafebabe",
+            klass="predicted-not-observed",
+            source="",
+            schedule=ScheduleSpec(),
+            original_label="fuzz-0",
+            stats=ShrinkStats(),
+            items=("#1.x",),
+            witness={"location": "#1.x", "choices": [0, 1]},
+        ))
+        result.finds.append(Find(
+            fingerprint="deadbeef",
+            klass="lockset-fp-refuted",
+            source="",
+            schedule=ScheduleSpec(),
+            original_label="fuzz-1",
+            stats=ShrinkStats(),
+            items=("#2.s",),
+        ))
+        summary = result.summary()
+        assert "FIND cafebabe [predicted-not-observed] (with witness)" in summary
+        assert "FIND deadbeef [lockset-fp-refuted] (no witness)" in summary
 
 
 class TestParityChecks:

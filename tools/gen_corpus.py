@@ -22,6 +22,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.detector import find_witness  # noqa: E402
 from repro.difflab import (  # noqa: E402
     ScheduleSpec,
     case_classes,
@@ -521,6 +522,60 @@ def shrunk_fuzz_entry(
     )
 
 
+def _witnessable(result):
+    """A ``predicted-not-observed`` item is worth committing only if it
+    also survives the hybrid lockset conjunct on a shared data field:
+    that is the subset for which a reordering witness can exist at all
+    (pure-SHB extras on lock-protected fields are schedule artifacts the
+    hybrid exists to refute, not reproducers)."""
+    predicted = {
+        item
+        for d in result.discrepancies
+        if d.klass == "predicted-not-observed"
+        for item in d.items
+    }
+    hybrid = result.verdicts.get("hybrid")
+    hb = result.verdicts.get("hb")
+    if hybrid is None or hb is None:
+        return False
+    return any(".f" in c for c in predicted & (hybrid.locations - hb.locations))
+
+
+def predicted_entry(out, name, seed, schedule, notes, **fuzz_kwargs):
+    """Find a ``predicted-not-observed`` fuzz case, shrink it, then mint
+    it together with a replay-checked reordering witness."""
+    source = generate_program(seed, **fuzz_kwargs)
+    result = run_case(source, schedule)
+    assert result.error is None, result.error
+    assert _witnessable(result), (name, "seed case is not witnessable")
+    small, small_spec, stats = shrink_case(
+        source, schedule, frozenset(["predicted-not-observed"]),
+        violations_only=False, extra_check=_witnessable,
+    )
+    print(f"  {name}: {stats.describe()}")
+    shrunk = run_case(small, small_spec)
+    predicted = {
+        item
+        for d in shrunk.discrepancies
+        if d.klass == "predicted-not-observed"
+        for item in d.items
+    }
+    candidates = sorted(
+        predicted
+        & (shrunk.verdicts["hybrid"].locations - shrunk.verdicts["hb"].locations)
+    )
+    witness = None
+    for location in candidates:
+        witness = find_witness(small, location)
+        if witness is not None:
+            break
+    assert witness is not None, (name, "no witness found", candidates)
+    return save_entry(
+        out, name, small, small_spec,
+        classes=["predicted-not-observed"], notes=notes, witness=witness,
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -677,6 +732,38 @@ def main() -> int:
         "in the battery agrees (see the verdict matrix) — this is the "
         "shape the read-write-blind injection misses and the shrinker "
         "reduces the acceptance case to.",
+    ))
+
+    print("predictive entries:")
+    entries.append(predicted_entry(
+        out, "predicted-not-observed-min", 8,
+        ScheduleSpec(kind="random", seed=3),
+        "Shrunk fuzz case: the §2.2 reordering shape on the predictive "
+        "axis.  Worker2 writes f2 unlocked and then enters lock1; "
+        "Worker1 reads f2 inside lock1.  The recorded schedule runs "
+        "Worker2 first, so plain happens-before orders write and read "
+        "through the lock1 release/acquire edge and observes nothing — "
+        "but SHB couples threads only through lock-protected write-read "
+        "communication, and this read never sees a same-lock write, so "
+        "the pair stays SHB-unordered and both predictors report "
+        "#1.f2.  The committed witness schedule reorders the run "
+        "(Worker1's locked read first) and the HB detector then "
+        "observes the race, proving the prediction feasible.",
+        n_workers=3, n_fields=3, n_locks=2,
+    ))
+    entries.append(shrunk_fuzz_entry(
+        out, "lockset-fp-refuted-min", "lockset-fp-refuted", 4, RR,
+        "Shrunk fuzz case: the hybrid predictor refuting a pure-lockset "
+        "report.  Main initializes f2 and a single worker reads it — "
+        "reference-raw flags the disjoint-lockset pair (S_0 vs S_1, no "
+        "common lock), but the start edge orders initialization before "
+        "the read in SHB under *every* reordering of this trace, so "
+        "the hybrid's SHB conjunct drops the report.  The "
+        "false-positive direction the predictive axis is designed to "
+        "kill (the ownership filter suppresses the same pair for the "
+        "paper detector; the hybrid reaches the same verdict without "
+        "ownership state).",
+        min_workers=1, n_workers=3, n_fields=3, n_locks=2,
     ))
 
     print(f"wrote {len(entries)} entries to {out}")
