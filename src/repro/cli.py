@@ -32,6 +32,15 @@ Commands
     Regenerate the paper's Tables 1/2/3 (``--scale`` and ``--repeats``
     control cost).
 
+``serve``
+    The race-detection HTTP daemon: POST MJ programs or recorded event
+    logs (tuple JSON / MJBL, classified by magic bytes) and get the
+    same machine-readable race report ``check --report-json`` prints.
+    ``--workers`` bounds the detection process pool, ``--queue-depth``
+    the pending queue (full → 429 + Retry-After), ``--timeout`` the
+    per-job wall-clock budget; SIGTERM drains in-flight jobs before
+    exit.  See ``docs/service.md``.
+
 ``difflab``
     The differential race-oracle lab: verify the committed reproducer
     corpus (``tests/corpus/``), then fuzz a campaign of
@@ -119,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--executor", choices=("serial", "thread", "process"),
                        default="serial",
                        help="how sharded detection runs (default: serial)")
+    check.add_argument("--report-json", action="store_true",
+                       help="print one canonical machine-readable JSON "
+                       "report instead of the human-readable lines "
+                       "(byte-identical to the report object a "
+                       "`repro serve` job returns for the same input)")
 
     run = sub.add_parser("run", help="execute a program (no detection)")
     run.add_argument("file", type=Path)
@@ -152,6 +166,26 @@ def _build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--repeats", type=int, default=1)
     tables.add_argument("--output", type=Path, default=None,
                         help="write a markdown report instead of printing")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the race-detection HTTP daemon (see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port; 0 picks a free port and prints it "
+                       "(default: %(default)s)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="detection worker processes (default: "
+                       "%(default)s)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="pending-job queue bound; a full queue "
+                       "answers 429 + Retry-After (default: %(default)s)")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-job wall-clock budget in seconds; an "
+                       "overrunning job is killed and reported as "
+                       "`timeout` (default: %(default)s)")
 
     difflab = sub.add_parser(
         "difflab",
@@ -250,6 +284,12 @@ def cmd_check(args) -> int:
         print("error: --phase-times needs on-the-fly detection "
               "(drop --post-mortem/--shards/--from-log)", file=sys.stderr)
         return 2
+    if args.report_json and (args.deadlocks or args.predict or
+                             args.phase_times):
+        print("error: --report-json covers the race report only "
+              "(drop --deadlocks/--predict/--phase-times)",
+              file=sys.stderr)
+        return 2
 
     sharded = None
     deadlocks = None
@@ -334,6 +374,18 @@ def cmd_check(args) -> int:
         reports = detector.reports.reports
         funnel = detector.stats
         cache_stats = detector.cache.stats if detector.cache else None
+    if args.report_json:
+        from .service.protocol import canonical_json, detection_report
+
+        # The same builder + canonical encoding the daemon uses — the
+        # CLI-vs-service byte-identity contract lives right here.
+        print(canonical_json(detection_report(
+            reports,
+            funnel,
+            cache_stats,
+            output=result.output if result is not None else (),
+        )))
+        return 1 if reports else 0
     if result is not None:
         for line in result.output:
             print(f"[program] {line}")
@@ -667,6 +719,27 @@ def cmd_difflab(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args) -> int:
+    from .service import ServeConfig, serve_forever
+
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be positive", file=sys.stderr)
+        return 2
+    if args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 2
+    return serve_forever(ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        timeout=args.timeout,
+    ))
+
+
 def main(argv=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -676,12 +749,33 @@ def main(argv=None) -> int:
         "log-stats": cmd_log_stats,
         "explain": cmd_explain,
         "tables": cmd_tables,
+        "serve": cmd_serve,
         "difflab": cmd_difflab,
     }
-    from .runtime import LogSchemaError
+    from .runtime import (
+        LogCorruptError,
+        LogNotFoundError,
+        LogSchemaError,
+        LogSchemaMismatchError,
+    )
 
+    # The log-error taxonomy maps to distinct exit codes so scripts can
+    # branch without parsing messages: 2 = not found (or any usage /
+    # compile error), 3 = corrupt or truncated (the message carries the
+    # byte offset of the first damage), 4 = schema mismatch (intact
+    # bytes, wrong recording schema).  ``repro serve`` maps the same
+    # classes to 404 / 422 / 400.
     try:
         return handlers[args.command](args)
+    except LogNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except LogCorruptError as error:
+        print(f"error: corrupt event log: {error}", file=sys.stderr)
+        return 3
+    except LogSchemaMismatchError as error:
+        print(f"error: event-log schema mismatch: {error}", file=sys.stderr)
+        return 4
     except (MJError, LogSchemaError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

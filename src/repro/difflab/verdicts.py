@@ -277,18 +277,15 @@ def compute_verdicts(
     # stream.  Entry-for-entry round-trip identity and verdict parity
     # are both theorems; either breaking is a lab violation
     # (``binlog-parity-break``).
-    import os
-    import tempfile
+    from ..runtime.binlog import (
+        read_binary_log,
+        temporary_binary_log,
+        write_binary_log,
+    )
 
-    from ..runtime.binlog import read_binary_log, write_binary_log
-
-    handle = tempfile.NamedTemporaryFile(suffix=".mjbl", delete=False)
-    handle.close()
-    try:
-        write_binary_log(case.log, handle.name)
-        decoded = read_binary_log(handle.name)
-    finally:
-        os.unlink(handle.name)
+    with temporary_binary_log() as roundtrip_path:
+        write_binary_log(case.log, roundtrip_path)
+        decoded = read_binary_log(roundtrip_path)
     binlog_paper = factory()
     replay_entries(decoded, binlog_paper)
     binlog_verdict = _paper_verdict("paper-binlog", binlog_paper)

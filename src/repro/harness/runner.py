@@ -401,9 +401,15 @@ def run_workload_post_mortem(
     both detection passes run over the mapped reader — the zero-copy
     path.  Reports are identical either way; the harness asserts it.
     """
+    from contextlib import ExitStack
+
     from ..detector.postmortem import detect_from_log
     from ..detector.sharded import canonical_report_order, detect_sharded
-    from ..runtime.binlog import BinaryLogReader, BinaryLogSink
+    from ..runtime.binlog import (
+        BinaryLogReader,
+        BinaryLogSink,
+        temporary_binary_log,
+    )
     from ..runtime.events import RecordingSink
 
     if configuration.detector is None:
@@ -419,42 +425,47 @@ def run_workload_post_mortem(
         trace_sites = plan.trace_sites
         static_races = plan.static_races
 
-    binary_path = None
-    if log_format == "binary":
-        if log_path is not None:
-            binary_path = Path(log_path)
+    # Every resource from here on registers with the stack the moment
+    # it exists, so a failure anywhere — engine construction, the
+    # recording run, opening the reader, detection — still closes the
+    # sink and removes the temp file (the old shape only guarded the
+    # detection block, leaking both on a mid-record failure).
+    with ExitStack() as stack:
+        binary_path = None
+        if log_format == "binary":
+            if log_path is not None:
+                binary_path = Path(log_path)
+            else:
+                binary_path = stack.enter_context(temporary_binary_log())
+            log = BinaryLogSink(binary_path)
+            stack.callback(log.close)
         else:
-            import tempfile
+            log = RecordingSink()
+        chosen_policy = (
+            policy if policy is not None else RoundRobinPolicy(quantum=10)
+        )
+        recorder = engine_class(engine)(
+            resolved,
+            sink=log,
+            trace_sites=trace_sites,
+            policy=chosen_policy,
+            max_steps=max_steps,
+        )
+        started = time.perf_counter()
+        recorder.run()
+        if log_format == "binary":
+            log.close()
+        record_seconds = time.perf_counter() - started
+        log_bytes = (
+            binary_path.stat().st_size if binary_path is not None else 0
+        )
 
-            handle = tempfile.NamedTemporaryFile(
-                suffix=".mjbl", delete=False
-            )
-            handle.close()
-            binary_path = Path(handle.name)
-        log = BinaryLogSink(binary_path)
-    else:
-        log = RecordingSink()
-    chosen_policy = policy if policy is not None else RoundRobinPolicy(quantum=10)
-    recorder = engine_class(engine)(
-        resolved,
-        sink=log,
-        trace_sites=trace_sites,
-        policy=chosen_policy,
-        max_steps=max_steps,
-    )
-    started = time.perf_counter()
-    recorder.run()
-    if log_format == "binary":
-        log.close()
-    record_seconds = time.perf_counter() - started
-    log_bytes = binary_path.stat().st_size if binary_path is not None else 0
+        if log_format == "binary":
+            detectable = BinaryLogReader(binary_path)
+            stack.callback(detectable.close)
+        else:
+            detectable = log
 
-    if log_format == "binary":
-        detectable = BinaryLogReader(binary_path)
-    else:
-        detectable = log
-
-    try:
         started = time.perf_counter()
         serial, _ = detect_from_log(
             detectable,
@@ -475,11 +486,6 @@ def run_workload_post_mortem(
             validate=False,  # detect_from_log above already validated
         )
         sharded_seconds = time.perf_counter() - started
-    finally:
-        if log_format == "binary":
-            detectable.close()
-            if log_path is None:
-                binary_path.unlink(missing_ok=True)
 
     matches = (
         sharded.reports.reports

@@ -5,7 +5,10 @@ from .events import (
     CountingSink,
     EventSink,
     LocationInterner,
+    LogCorruptError,
+    LogNotFoundError,
     LogSchemaError,
+    LogSchemaMismatchError,
     MemoryLocation,
     MulticastSink,
     ObjectKind,
@@ -23,6 +26,7 @@ from .binlog import (
     is_binary_log,
     open_log,
     read_binary_log,
+    temporary_binary_log,
     write_binary_log,
 )
 from .compiled import CompiledInterpreter, run_compiled_program

@@ -59,13 +59,17 @@ import json
 import mmap
 import struct
 import zlib
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..lang.ast import AccessKind
 from .events import (
     EventSink,
+    LogCorruptError,
+    LogNotFoundError,
     LogSchemaError,
+    LogSchemaMismatchError,
     ObjectKind,
     RecordingSink,
     load_log,
@@ -389,11 +393,17 @@ class BinaryLogReader:
 
     def __init__(self, path: Union[str, Path], verify: bool = False) -> None:
         self.path = Path(path)
-        size = self.path.stat().st_size
+        try:
+            size = self.path.stat().st_size
+        except OSError as error:
+            raise LogNotFoundError(
+                f"{self.path}: cannot open binary event log ({error})"
+            ) from error
         if size < HEADER_SIZE:
-            raise LogSchemaError(
+            raise LogCorruptError(
                 f"{self.path}: {size}-byte file is smaller than the "
-                f"{HEADER_SIZE}-byte MJBL header"
+                f"{HEADER_SIZE}-byte MJBL header",
+                offset=size,
             )
         self._file = open(self.path, "rb")
         try:
@@ -420,21 +430,23 @@ class BinaryLogReader:
                 self.records_crc32,
             ) = _HEADER.unpack_from(self._map, 0)
             if magic != MAGIC:
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: bad magic {magic!r} at byte offset 0 "
-                    f"(expected {MAGIC!r}; not a binary event log)"
+                    f"(expected {MAGIC!r}; not a binary event log)",
+                    offset=0,
                 )
             if version != BINLOG_VERSION:
-                raise LogSchemaError(
+                raise LogSchemaMismatchError(
                     f"{self.path}: binary log version {version}, but this "
                     f"build reads version {BINLOG_VERSION} — re-record the "
                     f"execution with the current build"
                 )
             if not flags & _FLAG_FINALIZED:
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: log was never finalized (recording "
                     f"crashed or the sink was not closed) — header flags "
-                    f"at byte offset 12 lack the finalized bit"
+                    f"at byte offset 12 lack the finalized bit",
+                    offset=12,
                 )
             end = self.index_offset + self.index_length
             if (
@@ -444,10 +456,11 @@ class BinaryLogReader:
                 or self.index_offset != self.strings_offset + self.strings_length
                 or end != size
             ):
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: truncated or corrupt binary log — "
                     f"header promises sections ending at byte offset "
-                    f"{end}, file has {size} bytes"
+                    f"{end}, file has {size} bytes",
+                    offset=min(end, size),
                 )
         except Exception:
             self.close()
@@ -493,26 +506,29 @@ class BinaryLogReader:
                 # Without this guard a crafted zero-length (but offset-
                 # consistent) string section would let unpack_from read
                 # into the index region — or raise a bare struct.error.
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: string table at byte offset {offset} "
                     f"is {self.strings_length} bytes — too short for "
-                    f"its 4-byte count header"
+                    f"its 4-byte count header",
+                    offset=offset,
                 )
             (count,) = struct.unpack_from("<I", view, offset)
             offset += 4
             table: list[str] = []
             for _ in range(count):
                 if offset + 4 > end:
-                    raise LogSchemaError(
+                    raise LogCorruptError(
                         f"{self.path}: string table truncated at byte "
-                        f"offset {offset}"
+                        f"offset {offset}",
+                        offset=offset,
                     )
                 (length,) = struct.unpack_from("<I", view, offset)
                 offset += 4
                 if offset + length > end:
-                    raise LogSchemaError(
+                    raise LogCorruptError(
                         f"{self.path}: string table truncated at byte "
-                        f"offset {offset}"
+                        f"offset {offset}",
+                        offset=offset,
                     )
                 table.append(view[offset : offset + length].decode("utf-8"))
                 offset += length
@@ -530,18 +546,20 @@ class BinaryLogReader:
                 # header with a short index section would otherwise hit
                 # unpack_from past the mapped file — a bare struct.error
                 # with no file context.
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: shard index at byte offset {offset} "
                     f"is {self.index_length} bytes — too short for its "
-                    f"{_INDEX_HEADER.size}-byte header"
+                    f"{_INDEX_HEADER.size}-byte header",
+                    offset=offset,
                 )
             block_count, self.records_per_block = _INDEX_HEADER.unpack_from(view, offset)
             offset += _INDEX_HEADER.size
             expected = self.index_offset + self.index_length
             if offset + block_count * _INDEX_ENTRY.size != expected:
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: shard index truncated at byte offset "
-                    f"{offset} ({block_count} blocks promised)"
+                    f"{offset} ({block_count} blocks promised)",
+                    offset=offset,
                 )
             blocks = []
             for _ in range(block_count):
@@ -559,12 +577,13 @@ class BinaryLogReader:
         region = self._map[self.records_offset : self.records_offset + self.records_length]
         actual = zlib.crc32(region)
         if actual != self.records_crc32:
-            raise LogSchemaError(
+            raise LogCorruptError(
                 f"{self.path}: record region CRC mismatch "
                 f"(header says {self.records_crc32:#010x}, bytes hash to "
                 f"{actual:#010x}) — log corrupted between byte offsets "
                 f"{self.records_offset} and "
-                f"{self.records_offset + self.records_length}"
+                f"{self.records_offset + self.records_length}",
+                offset=self.records_offset,
             )
 
     # -- decoding --------------------------------------------------------
@@ -597,15 +616,17 @@ class BinaryLogReader:
             tag = view[offset]
             size = sizes.get(tag)
             if size is None:
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: unknown record tag {tag} at byte "
-                    f"offset {offset} — log corrupted"
+                    f"offset {offset} — log corrupted",
+                    offset=offset,
                 )
             if offset + size > end:
-                raise LogSchemaError(
+                raise LogCorruptError(
                     f"{self.path}: record at byte offset {offset} "
                     f"(tag {tag}) extends past the record region end "
-                    f"{end} — log truncated"
+                    f"{end} — log truncated",
+                    offset=offset,
                 )
             if tag == TAG_ACCESS:
                 (_, kind, objkind, uid, thread, site, field_id, label_id) = (
@@ -624,10 +645,11 @@ class BinaryLogReader:
                             strings[label_id],
                         )
                     except IndexError:
-                        raise LogSchemaError(
+                        raise LogCorruptError(
                             f"{self.path}: access record at byte offset "
                             f"{offset} references an out-of-range string "
-                            f"or enum code — log corrupted"
+                            f"or enum code — log corrupted",
+                            offset=offset,
                         ) from None
             elif tag == TAG_ENTER or tag == TAG_EXIT:
                 (_, reentrant, thread, lock) = _MONITOR.unpack_from(view, offset)
@@ -716,6 +738,32 @@ def as_log_entries(log: LogLike) -> Iterable[tuple]:
     return log
 
 
+@contextmanager
+def temporary_binary_log(suffix: str = ".mjbl", dir=None):
+    """A temp-file path that is *always* unlinked, even on error.
+
+    ``NamedTemporaryFile(delete=False)`` + a manual ``unlink`` leaks
+    whenever anything raises between close and unlink (and fights
+    Windows-style locked-file semantics, since the writer reopens the
+    file by name while the handle object still exists).  This context
+    manager is the one shared shape: create the name eagerly with the
+    handle already closed, yield the :class:`~pathlib.Path`, and
+    guarantee removal in ``finally``.  The difflab round-trip axis, the
+    harness post-mortem recorder, and the ``repro serve`` upload spool
+    all route through it.
+    """
+    import os
+    import tempfile
+
+    descriptor, name = tempfile.mkstemp(suffix=suffix, dir=dir)
+    os.close(descriptor)
+    path = Path(name)
+    try:
+        yield path
+    finally:
+        path.unlink(missing_ok=True)
+
+
 def write_binary_log(log: LogLike, path: Union[str, Path]) -> Path:
     """Serialize any log shape to an ``MJBL`` file (the ``tuple →
     binary`` half of the round-trip contract)."""
@@ -756,14 +804,31 @@ def open_log(path: Union[str, Path]) -> LogLike:
     re-validate.
     """
     path = Path(path)
+    if not path.exists():
+        raise LogNotFoundError(f"{path}: event log not found")
     if is_binary_log(path):
         return BinaryLogReader(path)
     try:
-        payload = json.loads(path.read_text())
-    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise LogSchemaError(
+        text = path.read_text()
+    except OSError as error:
+        raise LogNotFoundError(
+            f"{path}: cannot read event log ({error})"
+        ) from error
+    except UnicodeDecodeError as error:
+        raise LogCorruptError(
             f"{path}: neither a binary event log (no MJBL magic at byte "
-            f"offset 0) nor a JSON tuple log ({error})"
+            f"offset 0) nor a JSON tuple log (not UTF-8 at byte offset "
+            f"{error.start})",
+            offset=error.start,
+        ) from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise LogCorruptError(
+            f"{path}: neither a binary event log (no MJBL magic at byte "
+            f"offset 0) nor a JSON tuple log (JSON decode failed at "
+            f"byte offset {error.pos}: {error.msg})",
+            offset=error.pos,
         ) from error
     return load_log(payload)
 

@@ -296,7 +296,45 @@ class LogSchemaError(ValueError):
     recorded by an older build (different column layout) or truncated in
     transit would otherwise be silently misread as field values shifting
     into the wrong positions.
+
+    Consumers that need to act on *why* a log was rejected catch the
+    three subclasses below — the error taxonomy shared by the CLI
+    (distinct exit codes) and the ``repro serve`` daemon (distinct HTTP
+    statuses):
+
+    ==============================  =========  ====
+    subclass                        CLI exit   HTTP
+    ==============================  =========  ====
+    :class:`LogNotFoundError`       2          404
+    :class:`LogCorruptError`        3          422
+    :class:`LogSchemaMismatchError` 4          400
+    ==============================  =========  ====
     """
+
+
+class LogNotFoundError(LogSchemaError):
+    """The referenced log file does not exist (or cannot be opened)."""
+
+
+class LogCorruptError(LogSchemaError):
+    """The log's bytes are damaged: truncated sections, unknown record
+    tags, CRC mismatches, out-of-range string ids, undecodable JSON.
+
+    Carries the byte ``offset`` of the first damage when it is known —
+    the CLI prints it, and the daemon's 422 response body echoes it so
+    clients can locate the corruption without re-parsing the message.
+    """
+
+    def __init__(self, message: str, offset=None) -> None:
+        super().__init__(message)
+        #: Byte offset of the first corrupt structure, or None.
+        self.offset = offset
+
+
+class LogSchemaMismatchError(LogSchemaError):
+    """The log is structurally intact but was recorded under a schema
+    this build does not read (version skew, wrong entry layout, or a
+    JSON payload that is not a serialized event log at all)."""
 
 
 class RecordingSink(EventSink):
@@ -442,24 +480,24 @@ def validate_entries(entries, version: int = RecordingSink.SCHEMA_VERSION) -> No
     been recorded by a different build, pickled, or persisted to disk.
     """
     if version != RecordingSink.SCHEMA_VERSION:
-        raise LogSchemaError(
+        raise LogSchemaMismatchError(
             f"event log uses schema version {version}, but this build "
             f"reads version {RecordingSink.SCHEMA_VERSION} — re-record "
             f"the execution with the current build"
         )
     for index, entry in enumerate(entries):
         if not isinstance(entry, tuple) or not entry:
-            raise LogSchemaError(
+            raise LogSchemaMismatchError(
                 f"log entry {index} is not a tagged tuple: {entry!r}"
             )
         arity = _ENTRY_ARITY.get(entry[0])
         if arity is None:
-            raise LogSchemaError(
+            raise LogSchemaMismatchError(
                 f"log entry {index} has unknown tag {entry[0]!r} "
                 f"(known: {sorted(_ENTRY_ARITY)})"
             )
         if len(entry) != arity:
-            raise LogSchemaError(
+            raise LogSchemaMismatchError(
                 f"log entry {index} ({entry[0]!r}) has {len(entry)} "
                 f"columns, schema version {RecordingSink.SCHEMA_VERSION} "
                 f"expects {arity}: {entry!r}"
@@ -473,7 +511,7 @@ def validate_entries(entries, version: int = RecordingSink.SCHEMA_VERSION) -> No
             and isinstance(entry[6], ObjectKind)
             and isinstance(entry[7], str)
         ):
-            raise LogSchemaError(
+            raise LogSchemaMismatchError(
                 f"log entry {index} has mistyped access columns: {entry!r}"
             )
 
@@ -498,12 +536,12 @@ def load_log(payload: dict) -> list[tuple]:
     """Decode a :func:`dump_log` payload back into tuple entries,
     validating the schema version and layout first."""
     if not isinstance(payload, dict) or "entries" not in payload:
-        raise LogSchemaError(
+        raise LogSchemaMismatchError(
             "payload is not a serialized event log (missing 'entries')"
         )
     version = payload.get("version")
     if version != RecordingSink.SCHEMA_VERSION:
-        raise LogSchemaError(
+        raise LogSchemaMismatchError(
             f"event log was serialized with schema version {version}, "
             f"but this build reads version "
             f"{RecordingSink.SCHEMA_VERSION} — re-record the execution"
@@ -511,10 +549,10 @@ def load_log(payload: dict) -> list[tuple]:
     entries: list[tuple] = []
     for index, raw in enumerate(payload["entries"]):
         if not raw:
-            raise LogSchemaError(f"serialized entry {index} is empty")
+            raise LogSchemaMismatchError(f"serialized entry {index} is empty")
         if raw[0] == RecordingSink.ACCESS:
             if len(raw) != _ENTRY_ARITY[RecordingSink.ACCESS]:
-                raise LogSchemaError(
+                raise LogSchemaMismatchError(
                     f"serialized access entry {index} has {len(raw)} "
                     f"columns: {raw!r}"
                 )
@@ -522,7 +560,7 @@ def load_log(payload: dict) -> list[tuple]:
                 kind = AccessKind(raw[4])
                 object_kind = ObjectKind(raw[6])
             except ValueError as error:
-                raise LogSchemaError(
+                raise LogSchemaMismatchError(
                     f"serialized entry {index} has unknown enum value: "
                     f"{error}"
                 ) from error

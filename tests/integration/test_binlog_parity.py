@@ -199,7 +199,7 @@ class TestCliRecordAndReplay:
         noise.write_bytes(b"MJBL" + b"\x00" * 8)  # magic but truncated
         code = main(["check", "--from-log", str(noise)])
         err = capsys.readouterr().err
-        assert code == 2
+        assert code == 3  # corrupt bytes, distinct from generic errors
         assert "error" in err
 
 
@@ -248,4 +248,5 @@ class TestCliLogStats:
     def test_log_stats_rejects_noise(self, tmp_path, capsys):
         noise = tmp_path / "noise.log"
         noise.write_text("not a log")
-        assert main(["log-stats", str(noise)]) == 2
+        # Unparseable bytes are the corrupt-log exit, not a generic error.
+        assert main(["log-stats", str(noise)]) == 3

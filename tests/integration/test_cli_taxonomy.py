@@ -1,0 +1,149 @@
+"""CLI exit-code taxonomy for damaged, missing, and skewed event logs.
+
+``repro check --from-log`` and ``repro log-stats`` used to fold every
+log problem into one fused "neither binary nor JSON" error; the
+contract now is three distinguishable failures scripts can branch on
+without parsing messages:
+
+* exit 2 — the log does not exist (or a usage/compile error),
+* exit 3 — the bytes are corrupt or truncated (message carries the
+  damage's byte offset),
+* exit 4 — intact bytes recorded under a different schema version.
+
+``repro serve`` maps the same classes to HTTP 404 / 422 / 400
+(tested in ``test_service.py``).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runtime.binlog import write_binary_log
+from repro.runtime.events import RecordingSink, dump_log
+
+PROGRAM = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 1;
+    print d.x;
+  }
+}
+class Data { field x; }
+"""
+
+
+@pytest.fixture
+def binary_log(tmp_path):
+    """A small, valid MJBL log recorded from a real run."""
+    from repro.lang import compile_source
+    from repro.runtime import run_program
+
+    sink = RecordingSink()
+    run_program(compile_source(PROGRAM), sink=sink)
+    path = tmp_path / "run.mjbl"
+    write_binary_log(sink, path)
+    return path, sink
+
+
+@pytest.mark.parametrize("command", ["check", "log-stats"])
+class TestLogErrorExitCodes:
+    def _invoke(self, command, path):
+        if command == "check":
+            return main(["check", "--from-log", str(path)])
+        return main(["log-stats", str(path)])
+
+    def test_missing_log_exits_2(self, command, tmp_path, capsys):
+        code = self._invoke(command, tmp_path / "nope.mjbl")
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not found" in captured.err
+
+    def test_truncated_binary_log_exits_3_with_offset(
+        self, command, binary_log, tmp_path, capsys
+    ):
+        path, _ = binary_log
+        truncated = tmp_path / "truncated.mjbl"
+        truncated.write_bytes(path.read_bytes()[:40])
+        code = self._invoke(command, truncated)
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "corrupt" in captured.err
+        # The message names the byte offset of the damage (the 40-byte
+        # file ends before the 80-byte header).
+        assert "40" in captured.err
+
+    def test_damaged_record_region_exits_3(
+        self, command, binary_log, tmp_path, capsys
+    ):
+        path, _ = binary_log
+        blob = bytearray(path.read_bytes())
+        damaged = tmp_path / "damaged.mjbl"
+        damaged.write_bytes(blob[: len(blob) - 7])
+        code = self._invoke(command, damaged)
+        assert code == 3
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_garbage_json_exits_3(self, command, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{ this is not json")
+        code = self._invoke(command, path)
+        assert code == 3
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_schema_skew_exits_4(
+        self, command, binary_log, tmp_path, capsys
+    ):
+        _, sink = binary_log
+        payload = dump_log(sink)
+        payload["version"] = 999
+        skewed = tmp_path / "future.json"
+        skewed.write_text(json.dumps(payload))
+        code = self._invoke(command, skewed)
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "schema" in captured.err
+        assert "999" in captured.err
+
+
+class TestReportJson:
+    def test_report_json_is_canonical_and_machine_readable(
+        self, tmp_path, capsys
+    ):
+        program = tmp_path / "prog.mj"
+        program.write_text(PROGRAM)
+        code = main(["check", str(program), "--report-json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        report = json.loads(out)
+        assert report["verdict"] == "clean"
+        assert report["schema"] == 1
+        # Canonical encoding: re-serializing reproduces the bytes.
+        assert out.strip() == json.dumps(
+            report, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+        )
+
+    def test_report_json_racy_exit_code(self, tmp_path, capsys):
+        racy = PROGRAM.replace(
+            "print d.x;",
+            "var a = new W(d); var b = new W(d); "
+            "start a; start b; join a; join b;",
+        ) + (
+            "class W { field d; def init(d) { this.d = d; } "
+            "def run() { this.d.x = this.d.x + 1; } }"
+        )
+        program = tmp_path / "racy.mj"
+        program.write_text(racy)
+        code = main(["check", str(program), "--report-json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["verdict"] == "racy"
+        assert report["race_count"] == len(report["races"]) >= 1
+
+    def test_report_json_rejects_human_only_flags(self, tmp_path, capsys):
+        program = tmp_path / "prog.mj"
+        program.write_text(PROGRAM)
+        code = main(["check", str(program), "--report-json", "--deadlocks"])
+        assert code == 2
+        assert "report-json" in capsys.readouterr().err

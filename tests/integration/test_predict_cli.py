@@ -162,7 +162,7 @@ class TestCheckPredict:
              "--predict", "shb"]
         )
         err = capsys.readouterr().err
-        assert exit_code == 2
+        assert exit_code == 3  # corrupt-log exit, distinct from front-end errors
         assert "never finalized" in err
         assert "byte offset 12" in err
 

@@ -1,0 +1,415 @@
+"""Lifecycle tests for the ``repro serve`` daemon, over real HTTP.
+
+Each fixture starts the daemon as a subprocess on an OS-assigned port
+(the banner line prints it), drives it with ``http.client``, and tears
+it down with SIGTERM — the same drain path production uses.  Covered
+here, per the service contract (docs/service.md):
+
+* service reports byte-identical to ``repro check --report-json``,
+  for source submissions and for recorded MJBL logs;
+* compile-cache hits return byte-identical reports to cold runs;
+* queue-full submissions answer 429 + ``Retry-After``;
+* a job overrunning its wall-clock budget is killed, reported as
+  ``timeout``, and the pool keeps serving afterwards;
+* malformed uploads fail at submit time with the log-error taxonomy
+  mapped to 404/422/400 (422 bodies carry the byte offset);
+* NDJSON streaming emits one verdict per detector axis;
+* SIGTERM drains in-flight jobs before exit.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+RACY = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    print d.x;
+  }
+}
+class Data { field x; }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.x = this.d.x + 1; }
+}
+"""
+
+SLOW = """
+class Main {
+  static def main() {
+    var i = 0;
+    while (i < 5000000) { i = i + 1; }
+    print i;
+  }
+}
+"""
+
+MEDIUM = SLOW.replace("5000000", "300000")
+
+TERMINAL = ("done", "error", "timeout")
+
+
+class Daemon:
+    def __init__(self, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             *extra_args],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        banner = self.proc.stdout.readline()
+        match = re.search(r":(\d+) \(", banner)
+        assert match, f"no port in banner: {banner!r}"
+        self.port = int(match.group(1))
+
+    def request(self, method, path, body=b"", timeout=60):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=timeout
+        )
+        try:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return (
+                response.status,
+                dict(response.getheaders()),
+                response.read(),
+            )
+        finally:
+            conn.close()
+
+    def submit_json(self, path, body, expect=None):
+        status, headers, data = self.request("POST", path, body)
+        if expect is not None:
+            assert status == expect, (status, data)
+        return status, headers, json.loads(data)
+
+    def poll_until_terminal(self, job_id, budget=30.0):
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            _, _, data = self.request("GET", f"/jobs/{job_id}")
+            record = json.loads(data)
+            if record["job"]["state"] in TERMINAL:
+                return record
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def terminate(self, budget=30.0):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=budget)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+            raise
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One shared single-worker daemon for the functional tests (a
+    single worker makes compile-cache behavior deterministic)."""
+    instance = Daemon("--workers", "1")
+    yield instance
+    instance.kill()
+
+
+def canonical(payload) -> str:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def cli_report_json(capsys, *args) -> str:
+    main(["check", *args, "--report-json"])
+    return capsys.readouterr().out.strip()
+
+
+class TestEndpoints:
+    def test_healthz(self, daemon):
+        status, _, payload = daemon.submit_json("/healthz", b"")
+        assert (status, payload) == (200, {"ok": True, "draining": False})
+
+    def test_unknown_route_404(self, daemon):
+        status, _, data = daemon.request("GET", "/nope")
+        assert status == 404
+        assert json.loads(data)["taxonomy"] == "not-found"
+
+    def test_unknown_job_404(self, daemon):
+        status, _, data = daemon.request("GET", "/jobs/deadbeef")
+        assert status == 404
+
+    def test_submit_requires_post(self, daemon):
+        status, _, _ = daemon.request("GET", "/submit")
+        assert status == 405
+
+    def test_unknown_engine_400(self, daemon):
+        status, _, data = daemon.request(
+            "POST", "/submit?engine=jit", RACY.encode()
+        )
+        assert status == 400
+        assert "jit" in json.loads(data)["error"]
+
+    def test_bad_seed_400(self, daemon):
+        status, _, _ = daemon.request(
+            "POST", "/submit?seed=banana", RACY.encode()
+        )
+        assert status == 400
+
+
+class TestProgramJobs:
+    def test_report_byte_identical_to_cli(self, daemon, tmp_path, capsys):
+        program = tmp_path / "racy.mj"
+        program.write_text(RACY)
+        _, _, record = daemon.submit_json(
+            f"/submit?wait=1&seed=1&filename={program}",
+            RACY.encode(),
+            expect=200,
+        )
+        assert record["job"]["state"] == "done"
+        expected = cli_report_json(capsys, str(program), "--seed", "1")
+        assert canonical(record["result"]["report"]) == expected
+
+    def test_cache_hit_report_byte_identical_to_cold_run(self, daemon):
+        body = RACY.encode()
+        _, _, cold = daemon.submit_json(
+            "/submit?wait=1&seed=7&filename=cached.mj", body, expect=200
+        )
+        _, _, warm = daemon.submit_json(
+            "/submit?wait=1&seed=7&filename=cached.mj", body, expect=200
+        )
+        assert cold["result"]["cache"]["status"] == "miss"
+        assert warm["result"]["cache"]["status"] == "hit"
+        assert (
+            warm["result"]["cache"]["fingerprint"]
+            == cold["result"]["cache"]["fingerprint"]
+        )
+        assert canonical(warm["result"]["report"]) == canonical(
+            cold["result"]["report"]
+        )
+
+    def test_async_submit_then_poll(self, daemon):
+        status, _, accepted = daemon.submit_json(
+            "/submit", RACY.encode(), expect=202
+        )
+        record = daemon.poll_until_terminal(accepted["job"]["id"])
+        assert record["job"]["state"] == "done"
+        assert record["result"]["report"]["verdict"] == "racy"
+        assert [axis["axis"] for axis in record["axes"]] == [
+            "paper", "hb", "eraser",
+        ]
+
+    def test_compile_error_is_422_job_error(self, daemon):
+        status, _, record = daemon.submit_json(
+            "/submit?wait=1", b"class Main { oops }"
+        )
+        assert status == 422
+        assert record["job"]["state"] == "error"
+        assert record["error"]["taxonomy"] == "compile-error"
+
+    def test_stream_emits_one_line_per_axis(self, daemon):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=60
+        )
+        try:
+            conn.request(
+                "POST", "/submit?stream=1&seed=2", RACY.encode()
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            assert (
+                response.getheader("Content-Type")
+                == "application/x-ndjson"
+            )
+            lines = [
+                json.loads(line)
+                for line in response.read().decode().splitlines()
+            ]
+        finally:
+            conn.close()
+        assert lines[0]["job"]["state"] in ("queued", "running")
+        assert [line["axis"] for line in lines[1:-1]] == [
+            "paper", "hb", "eraser",
+        ]
+        assert lines[-1]["job"]["state"] == "done"
+
+    def test_stats_counts_cache_and_jobs(self, daemon):
+        _, _, stats = daemon.submit_json("/stats", b"")
+        assert stats["workers"] == 1
+        assert stats["jobs"]["done"] >= 1
+        cache = stats["compile_cache"]
+        assert cache["hits"] + cache["misses"] == pytest.approx(
+            cache["hits"] + cache["misses"]
+        )
+
+
+class TestLogJobs:
+    @pytest.fixture(scope="class")
+    def binary_log(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("logs")
+        program = tmp_path / "racy.mj"
+        program.write_text(RACY)
+        log_path = tmp_path / "racy.mjbl"
+        assert main([
+            "run", str(program), "--record-binary", str(log_path),
+        ]) == 0
+        return log_path
+
+    def test_mjbl_report_byte_identical_to_cli(
+        self, daemon, binary_log, capsys
+    ):
+        _, _, record = daemon.submit_json(
+            "/submit?wait=1", binary_log.read_bytes(), expect=200
+        )
+        assert record["job"]["kind"] == "binary-log"
+        expected = cli_report_json(capsys, "--from-log", str(binary_log))
+        assert canonical(record["result"]["report"]) == expected
+
+    def test_tuple_log_round_trips(self, daemon, binary_log):
+        from repro.runtime.binlog import read_binary_log
+        from repro.runtime.events import dump_log
+
+        payload = json.dumps(dump_log(read_binary_log(binary_log)))
+        _, _, record = daemon.submit_json(
+            "/submit?wait=1", payload.encode(), expect=200
+        )
+        assert record["job"]["kind"] == "tuple-log"
+        assert record["result"]["report"]["verdict"] == "racy"
+
+    def test_truncated_mjbl_is_422_with_offset(self, daemon, binary_log):
+        status, _, data = daemon.request(
+            "POST", "/submit", binary_log.read_bytes()[:40]
+        )
+        payload = json.loads(data)
+        assert status == 422
+        assert payload["taxonomy"] == "corrupt"
+        assert payload["offset"] == 40
+
+    def test_schema_skew_is_400(self, daemon):
+        skewed = json.dumps({"version": 999, "entries": []})
+        status, _, data = daemon.request("POST", "/submit", skewed.encode())
+        assert status == 400
+        assert json.loads(data)["taxonomy"] == "schema-mismatch"
+
+    def test_damaged_json_log_is_422(self, daemon):
+        status, _, data = daemon.request(
+            "POST", "/submit", b'{"version": 3, "entries": [['
+        )
+        assert status == 422
+        assert json.loads(data)["taxonomy"] == "corrupt"
+
+
+class TestBackpressure:
+    def test_queue_full_answers_429_with_retry_after(self):
+        daemon = Daemon(
+            "--workers", "1", "--queue-depth", "1", "--timeout", "60"
+        )
+        try:
+            daemon.submit_json("/submit", SLOW.encode(), expect=202)
+            # Give the dispatcher a beat to hand the slow job to the
+            # worker, freeing the queue slot for exactly one more.
+            time.sleep(0.3)
+            daemon.submit_json("/submit", RACY.encode(), expect=202)
+            status, headers, data = daemon.request(
+                "POST", "/submit", RACY.encode()
+            )
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert json.loads(data)["taxonomy"] == "backpressure"
+        finally:
+            daemon.kill()
+
+
+class TestTimeouts:
+    def test_overrunning_job_is_killed_and_pool_recovers(self):
+        daemon = Daemon("--workers", "1", "--timeout", "1.0")
+        try:
+            _, _, accepted = daemon.submit_json(
+                "/submit", SLOW.encode(), expect=202
+            )
+            record = daemon.poll_until_terminal(accepted["job"]["id"])
+            assert record["job"]["state"] == "timeout"
+            assert record["error"]["taxonomy"] == "timeout"
+            # The worker was killed and respawned: the pool still
+            # serves new jobs afterwards.
+            _, _, after = daemon.submit_json(
+                "/submit?wait=1", RACY.encode(), expect=200
+            )
+            assert after["job"]["state"] == "done"
+            _, _, stats = daemon.submit_json("/stats", b"")
+            assert stats["jobs"]["timeout"] == 1
+        finally:
+            daemon.kill()
+
+
+class TestGracefulDrain:
+    def test_sigterm_finishes_in_flight_jobs(self):
+        daemon = Daemon("--workers", "1")
+        outcome = {}
+
+        def waiter():
+            outcome["response"] = daemon.submit_json(
+                "/submit?wait=1", MEDIUM.encode()
+            )
+
+        thread = threading.Thread(target=waiter)
+        try:
+            thread.start()
+            time.sleep(0.3)  # let the submission land before the signal
+            exit_code = daemon.terminate()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert exit_code == 0
+            status, _, record = outcome["response"]
+            assert status == 200
+            assert record["job"]["state"] == "done"
+            assert record["result"]["report"]["output"] == ["300000"]
+        finally:
+            daemon.kill()
+            thread.join(timeout=5)
+
+    def test_draining_daemon_rejects_new_submissions(self):
+        daemon = Daemon("--workers", "1")
+        try:
+            daemon.submit_json("/submit", SLOW.encode(), expect=202)
+            time.sleep(0.2)
+            daemon.proc.send_signal(signal.SIGTERM)
+            time.sleep(0.2)
+            # The listener socket is closed during drain; either the
+            # connection is refused outright or (if raced) answered 503.
+            try:
+                status, _, _ = daemon.request(
+                    "POST", "/submit", RACY.encode(), timeout=5
+                )
+            except (ConnectionError, OSError):
+                return
+            assert status == 503
+        finally:
+            daemon.kill()

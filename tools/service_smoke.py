@@ -1,0 +1,179 @@
+"""CI smoke test for ``repro serve``: boot, submit, assert CLI parity.
+
+Starts a real daemon subprocess, submits one MJ program and one
+recorded MJBL binary log, and asserts the service's JSON reports are
+byte-identical to ``repro check --report-json`` on the same inputs —
+the contract the service exists to keep.  Also exercises the error
+taxonomy (truncated upload → 422 with a byte offset) and the SIGTERM
+drain.  Exits non-zero on the first violated expectation.
+
+Usage: ``PYTHONPATH=src python tools/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+PROGRAM = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    print d.x;
+  }
+}
+class Data { field x; }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.x = this.d.x + 1; }
+}
+"""
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _canonical(payload) -> str:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def _cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(),
+        capture_output=True,
+        text=True,
+    )
+
+
+def _request(port: int, method: str, path: str, body: bytes = b""):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    failures = 0
+
+    def check(condition: bool, label: str) -> None:
+        nonlocal failures
+        print(f"[smoke] {'ok  ' if condition else 'FAIL'} {label}")
+        if not condition:
+            failures += 1
+
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        program = Path(tmp) / "racy.mj"
+        program.write_text(PROGRAM)
+        log_path = Path(tmp) / "racy.mjbl"
+        recorded = _cli(
+            "run", str(program), "--record-binary", str(log_path)
+        )
+        check(recorded.returncode == 0, "record an MJBL log")
+
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2"],
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = daemon.stdout.readline()
+            port = int(re.search(r":(\d+) \(", banner).group(1))
+            check(True, f"daemon up on port {port}")
+
+            status, data = _request(port, "GET", "/healthz")
+            check(status == 200, "GET /healthz answers 200")
+
+            # Program submission: byte parity with the CLI.
+            status, data = _request(
+                port,
+                "POST",
+                f"/submit?wait=1&seed=1&filename={program}",
+                PROGRAM.encode(),
+            )
+            record = json.loads(data)
+            check(
+                status == 200 and record["job"]["state"] == "done",
+                "program job completes",
+            )
+            cli = _cli(
+                "check", str(program), "--seed", "1", "--report-json"
+            )
+            check(
+                _canonical(record["result"]["report"])
+                == cli.stdout.strip(),
+                "program report byte-identical to repro check",
+            )
+
+            # Binary-log submission: byte parity with --from-log.
+            status, data = _request(
+                port, "POST", "/submit?wait=1", log_path.read_bytes()
+            )
+            record = json.loads(data)
+            check(
+                status == 200
+                and record["job"]["kind"] == "binary-log"
+                and record["job"]["state"] == "done",
+                "MJBL job completes",
+            )
+            cli = _cli(
+                "check", "--from-log", str(log_path), "--report-json"
+            )
+            check(
+                _canonical(record["result"]["report"])
+                == cli.stdout.strip(),
+                "MJBL report byte-identical to repro check --from-log",
+            )
+
+            # Error taxonomy at the upload boundary.
+            status, data = _request(
+                port, "POST", "/submit", log_path.read_bytes()[:40]
+            )
+            payload = json.loads(data)
+            check(
+                status == 422
+                and payload["taxonomy"] == "corrupt"
+                and payload["offset"] == 40,
+                "truncated MJBL answers 422 with byte offset",
+            )
+
+            daemon.send_signal(signal.SIGTERM)
+            exited = daemon.wait(timeout=60)
+            check(exited == 0, "SIGTERM drain exits 0")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+
+    print(f"[smoke] {'PASS' if failures == 0 else f'{failures} FAILURES'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
