@@ -1,7 +1,7 @@
 """The compiled-engine before/after benchmarks: AST interpretation vs
 closure-threaded code with statically specialized trace stubs.
 
-Two configurations per workload, both engines on each:
+Three configurations per workload:
 
 * **Base** — no instrumentation, no detector: the pure interpretation
   speedup of closure-threading (all per-node dispatch, name resolution,
@@ -11,6 +11,13 @@ Two configurations per workload, both engines on each:
   compiled engine additionally fuses the instrumentation plan into the
   generated code (untraced sites are bare loads/stores, traced sites
   call pre-bound ``on_access_parts`` stubs).
+* **Full+tiering** — the same detection run with ``tiering="on"``
+  (compiled engine only): traced sites compile to inline owner-check/
+  cache-hit fast paths and provably filtered accesses elide entirely
+  (:mod:`repro.runtime.tiering`).  The row's ``ast_seconds`` is the
+  Full AST baseline (the AST engine has no tiered mode), so its
+  speedup shows how much of the Base-vs-Full gap tiering closes; the
+  run's tier-transition counters are committed alongside.
 
 Engine construction — which for the compiled engine includes closure
 compilation — stays *outside* the timed region, matching the harness
@@ -19,7 +26,9 @@ executable, not compile time.
 
 Before any timing is accepted, both engines' runs are asserted to be
 *byte-identical*: same schema-v3 event log, same output, same race
-reports.  A speedup over a divergent execution would be meaningless.
+reports — and the tiered run is asserted byte-identical to the
+untired one (reports, full pipeline/ownership/cache counters,
+output).  A speedup over a divergent execution would be meaningless.
 
 Running ``PYTHONPATH=src python benchmarks/bench_compile.py`` writes
 ``BENCH_compile.json`` at the repo root with both configurations at the
@@ -105,13 +114,50 @@ def assert_engine_parity(name, resolved, plan) -> dict:
     return {"races": ast_side["races"], "events": ast_side["events"]}
 
 
-def _time_engine(engine, resolved, trace_sites, sink_factory, repeats):
+def assert_tiered_parity(name, resolved, plan) -> dict:
+    """One detection run per tiering mode (compiled engine); reports,
+    counters, and output must match exactly.  Returns the tiered run's
+    tier-transition counters for the JSON row."""
+    observed = {}
+    counters = None
+    for tiering in ("off", "on"):
+        detector = _detector(resolved, plan)
+        result = engine_class("compiled")(
+            resolved,
+            sink=detector,
+            trace_sites=plan.trace_sites,
+            tiering=tiering,
+        ).run()
+        observed[tiering] = {
+            "steps": result.steps,
+            "output": tuple(result.output),
+            "reports": _report_keys(detector),
+            "stats": repr(detector.stats),
+            "ownership": repr(detector.ownership.stats),
+            "cache_hits": detector.cache.stats.hits,
+        }
+        if tiering == "on":
+            assert detector.tiering is not None, f"{name}: tiering never engaged"
+            counters = detector.tiering.as_dict()
+    off_side, on_side = observed["off"], observed["on"]
+    assert off_side == on_side, (
+        f"{name}: tiering diverged — "
+        + ", ".join(key for key in off_side if off_side[key] != on_side[key])
+    )
+    return counters
+
+
+def _time_engine(
+    engine, resolved, trace_sites, sink_factory, repeats, tiering=None
+):
     """Best-of-``repeats`` wall time of ``runner.run()`` alone."""
     cls = engine_class(engine)
     best = None
     for _ in range(repeats):
         sink = sink_factory()
-        runner = cls(resolved, sink=sink, trace_sites=trace_sites)
+        runner = cls(
+            resolved, sink=sink, trace_sites=trace_sites, tiering=tiering
+        )
         started = time.perf_counter()
         runner.run()
         elapsed = time.perf_counter() - started
@@ -121,31 +167,56 @@ def _time_engine(engine, resolved, trace_sites, sink_factory, repeats):
 
 
 def bench_workload(name: str, scale: int, repeats: int) -> list:
-    """Both configurations for one workload; parity asserted first."""
+    """All three configurations for one workload; parity asserted
+    first (cross-engine, then cross-tier)."""
     resolved, plan = _compile(name, scale)
     shared = assert_engine_parity(name, resolved, plan)
+    tier_counters = assert_tiered_parity(name, resolved, plan)
 
     rows = []
     configurations = (
-        # (config name, trace sites, sink factory, extra row fields)
-        ("Base", set(), lambda: None, {}),
-        ("Full", plan.trace_sites, lambda: _detector(resolved, plan), shared),
+        # (config name, trace sites, sink factory, tiering, extra fields)
+        ("Base", set(), lambda: None, None, {}),
+        (
+            "Full",
+            plan.trace_sites,
+            lambda: _detector(resolved, plan),
+            None,
+            shared,
+        ),
+        (
+            "Full+tiering",
+            plan.trace_sites,
+            lambda: _detector(resolved, plan),
+            "on",
+            {**shared, "tiering": tier_counters},
+        ),
     )
-    for config, trace_sites, sink_factory, extra in configurations:
-        seconds = {
-            engine: _time_engine(
-                engine, resolved, trace_sites, sink_factory, repeats
+    full_ast_seconds = None
+    for config, trace_sites, sink_factory, tiering, extra in configurations:
+        if tiering is None:
+            ast_seconds = _time_engine(
+                "ast", resolved, trace_sites, sink_factory, repeats
             )
-            for engine in ENGINE_PAIR
-        }
+            if config == "Full":
+                full_ast_seconds = ast_seconds
+        else:
+            # The AST engine has no tiered mode: the tiered row is
+            # measured against the Full AST baseline, so its speedup
+            # reads as "end-to-end detection vs the reference".
+            ast_seconds = full_ast_seconds
+        compiled_seconds = _time_engine(
+            "compiled", resolved, trace_sites, sink_factory, repeats,
+            tiering=tiering,
+        )
         rows.append(
             {
                 "workload": name,
                 "scale": scale,
                 "configuration": config,
-                "ast_seconds": round(seconds["ast"], 4),
-                "compiled_seconds": round(seconds["compiled"], 4),
-                "speedup": round(seconds["ast"] / seconds["compiled"], 3),
+                "ast_seconds": round(ast_seconds, 4),
+                "compiled_seconds": round(compiled_seconds, 4),
+                "speedup": round(ast_seconds / compiled_seconds, 3),
                 **extra,
             }
         )
@@ -159,7 +230,7 @@ def generate(quick: bool = False, repeats: int = 3) -> dict:
         print(f"[bench] {name}@{scale} ...", flush=True)
         for row in bench_workload(name, scale, repeats):
             print(
-                f"[bench]   {row['configuration']:<4} "
+                f"[bench]   {row['configuration']:<12} "
                 f"ast={row['ast_seconds']}s "
                 f"compiled={row['compiled_seconds']}s "
                 f"speedup={row['speedup']}x",
@@ -178,7 +249,11 @@ def generate(quick: bool = False, repeats: int = 3) -> dict:
             "points, instrumentation plan fused into the generated "
             "stubs (untraced sites are bare loads/stores, traced sites "
             "pre-bound on_access_parts closures); byte-identical event "
-            "streams asserted before timing"
+            "streams asserted before timing.  Full+tiering adds "
+            "--tiering on: inline owner-check/cache-hit fast paths "
+            "plus static and settled elision, byte-identical reports "
+            "and counters asserted before timing against the Full "
+            "AST baseline"
         ),
         "quick": quick,
         "repeats": repeats,
@@ -249,6 +324,25 @@ class TestFullConfiguration:
 
         detector = benchmark(run)
         assert detector.stats.accesses > 0
+
+    def test_compiled_engine_tiered(self, benchmark, tsp_quick):
+        resolved, plan = tsp_quick
+        benchmark.group = "compile:full"
+        assert_tiered_parity("tsp2", resolved, plan)
+
+        def run():
+            detector = _detector(resolved, plan)
+            engine_class("compiled")(
+                resolved,
+                sink=detector,
+                trace_sites=plan.trace_sites,
+                tiering="on",
+            ).run()
+            return detector
+
+        detector = benchmark(run)
+        assert detector.stats.accesses > 0
+        assert detector.tiering is not None
 
 
 # ----------------------------------------------------------------------

@@ -10,7 +10,10 @@ scales the worker pool (1 / 2 / 4 processes) against the same client
 pressure, so the committed numbers show how detection throughput
 scales with workers and what the content-addressed compile cache
 contributes (the program corpus is deliberately smaller than the job
-count, so steady state is mostly cache hits).
+count, so steady state is mostly cache hits).  Every row runs twice:
+once opening a fresh connection per request and once with each client
+thread holding one persistent connection, exercising the daemon's
+HTTP/1.1 keep-alive path and measuring what connection reuse buys.
 
 Before any timing is accepted, the harness asserts the parity gate:
 for every distinct program and log in the mix, the service's JSON
@@ -97,7 +100,26 @@ class DaemonUnderTest:
         banner = self.proc.stdout.readline()
         self.port = int(re.search(r":(\d+) \(", banner).group(1))
 
-    def request(self, method: str, path: str, body: bytes = b""):
+    def connect(self) -> http.client.HTTPConnection:
+        """A persistent connection for the keep-alive arm."""
+        return http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=300
+        )
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        conn: http.client.HTTPConnection | None = None,
+    ):
+        if conn is not None:
+            # Persistent arm: ride the daemon's HTTP/1.1 keep-alive —
+            # http.client reuses the socket as long as the server
+            # answers ``Connection: keep-alive``.
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
         conn = http.client.HTTPConnection(
             "127.0.0.1", self.port, timeout=300
         )
@@ -183,7 +205,13 @@ def _assert_parity(daemon: DaemonUnderTest, corpus, tmp: Path) -> None:
         )
 
 
-def _measure_row(workers: int, clients: int, jobs: int, corpus) -> dict:
+def _measure_row(
+    workers: int,
+    clients: int,
+    jobs: int,
+    corpus,
+    persistent: bool = False,
+) -> dict:
     daemon = DaemonUnderTest(workers, queue_depth=max(64, jobs))
     try:
         import tempfile
@@ -197,20 +225,34 @@ def _measure_row(workers: int, clients: int, jobs: int, corpus) -> dict:
         failures: list = []
 
         def client():
-            while True:
-                with lock:
-                    index = cursor["next"]
-                    if index >= len(assignments):
+            # Persistent arm: one connection per client thread, reused
+            # for every job it drives (the daemon's keep-alive path).
+            conn = daemon.connect() if persistent else None
+            try:
+                while True:
+                    with lock:
+                        index = cursor["next"]
+                        if index >= len(assignments):
+                            return
+                        cursor["next"] = index + 1
+                    label, query, body = assignments[index]
+                    path = (
+                        f"/submit?wait=1&{query}"
+                        if query
+                        else "/submit?wait=1"
+                    )
+                    try:
+                        status, record = daemon.request(
+                            "POST", path, body, conn=conn
+                        )
+                        if status != 200 or record["job"]["state"] != "done":
+                            failures.append((label, status, record))
+                    except Exception as error:  # noqa: BLE001
+                        failures.append((label, repr(error)))
                         return
-                    cursor["next"] = index + 1
-                label, query, body = assignments[index]
-                path = f"/submit?wait=1&{query}" if query else "/submit?wait=1"
-                try:
-                    status, record = daemon.request("POST", path, body)
-                    if status != 200 or record["job"]["state"] != "done":
-                        failures.append((label, status, record))
-                except Exception as error:  # noqa: BLE001
-                    failures.append((label, repr(error)))
+            finally:
+                if conn is not None:
+                    conn.close()
 
         threads = [threading.Thread(target=client) for _ in range(clients)]
         started = time.perf_counter()
@@ -229,6 +271,7 @@ def _measure_row(workers: int, clients: int, jobs: int, corpus) -> dict:
         "workers": workers,
         "clients": clients,
         "jobs": jobs,
+        "connection": "keep-alive" if persistent else "per-request",
         "seconds": round(elapsed, 3),
         "jobs_per_second": round(jobs / elapsed, 2),
         "cache_hits": cache["hits"],
@@ -246,23 +289,27 @@ def generate(quick: bool = False, repeats: int = 1) -> dict:
         corpus = _build_corpus(Path(tmp))
         rows = []
         for workers, clients, jobs in (SMOKE_ROWS if quick else BENCH_ROWS):
-            print(
-                f"[bench] serve: {workers} workers, {clients} clients, "
-                f"{jobs} jobs ...",
-                flush=True,
-            )
-            best = None
-            for _ in range(repeats):
-                row = _measure_row(workers, clients, jobs, corpus)
-                if best is None or row["seconds"] < best["seconds"]:
-                    best = row
-            rows.append(best)
-            print(
-                f"[bench]   {best['seconds']:.2f}s = "
-                f"{best['jobs_per_second']:.1f} jobs/s, "
-                f"cache hit rate {best['cache_hit_rate']:.0%}",
-                flush=True,
-            )
+            for persistent in (False, True):
+                mode = "keep-alive" if persistent else "per-request"
+                print(
+                    f"[bench] serve: {workers} workers, {clients} clients, "
+                    f"{jobs} jobs, {mode} connections ...",
+                    flush=True,
+                )
+                best = None
+                for _ in range(repeats):
+                    row = _measure_row(
+                        workers, clients, jobs, corpus, persistent=persistent
+                    )
+                    if best is None or row["seconds"] < best["seconds"]:
+                        best = row
+                rows.append(best)
+                print(
+                    f"[bench]   {best['seconds']:.2f}s = "
+                    f"{best['jobs_per_second']:.1f} jobs/s, "
+                    f"cache hit rate {best['cache_hit_rate']:.0%}",
+                    flush=True,
+                )
     return {
         "benchmark": (
             "repro serve: sustained detection jobs/sec under "

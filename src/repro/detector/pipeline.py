@@ -126,6 +126,9 @@ class RaceDetector(EventSink):
         )
         self.reports = ReportCollector()
         self.stats = PipelineStats()
+        #: Tier-transition counters, set at run end by the compiled
+        #: engine's tiering layer (None when tiering never engaged).
+        self.tiering = None
         #: Canonical location keys: one MemoryLocation per (object,
         #: field) pair, reused by every event touching that location.
         self.interner = LocationInterner()

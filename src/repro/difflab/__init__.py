@@ -52,6 +52,7 @@ from .verdicts import (
     CaseRun,
     EngineDivergence,
     ScheduleSpec,
+    TieringDivergence,
     Verdict,
     compute_verdicts,
     execute_case,
@@ -74,6 +75,7 @@ __all__ = [
     "ScheduleSpec",
     "ShrinkResult",
     "ShrinkStats",
+    "TieringDivergence",
     "Verdict",
     "VIOLATION",
     "Violation",

@@ -40,6 +40,7 @@ from .verdicts import (
     DEFAULT_SHARDS,
     EngineDivergence,
     ScheduleSpec,
+    TieringDivergence,
     compute_verdicts,
     execute_case,
 )
@@ -166,8 +167,12 @@ def run_case(
     include_static_axis: bool = True,
     max_steps: int = DEFAULT_MAX_STEPS,
     engine: str = "ast",
+    tiering: Optional[str] = None,
 ) -> CaseResult:
-    """Execute and classify one case; runtime failures become errors."""
+    """Execute and classify one case; runtime failures become errors.
+
+    A :class:`TieringDivergence` from the tiered cross-check surfaces
+    as a case error, which fails the campaign like any violation."""
     if detector_factory is None and config is not None:
         # A plain config sweep: the paper detectors must run under the
         # same semantics as the references they are compared against.
@@ -182,6 +187,7 @@ def run_case(
             include_static_axis=include_static_axis,
             max_steps=max_steps,
             engine=engine,
+            tiering=tiering,
         )
     except (
         MJError,
@@ -189,6 +195,7 @@ def run_case(
         StepLimitExceeded,
         RecursionError,
         EngineDivergence,
+        TieringDivergence,
     ) as exc:
         return CaseResult(
             label=label,
@@ -224,6 +231,7 @@ def make_predicate(
     max_steps: int = DEFAULT_MAX_STEPS,
     extra_check: Optional[Callable[[CaseResult], bool]] = None,
     engine: str = "ast",
+    tiering: Optional[str] = None,
 ):
     """Build the shrinker's *interesting* test.
 
@@ -248,6 +256,7 @@ def make_predicate(
             include_static_axis=include_static_axis,
             max_steps=max_steps,
             engine=engine,
+            tiering=tiering,
         )
         if result.error is not None:
             return False
@@ -271,6 +280,7 @@ def shrink_case(
     max_rounds: int = 40,
     extra_check: Optional[Callable[[CaseResult], bool]] = None,
     engine: str = "ast",
+    tiering: Optional[str] = None,
 ) -> tuple:
     """Minimize (source, schedule) while preserving ``target_classes``.
 
@@ -289,6 +299,7 @@ def shrink_case(
         max_steps=max_steps,
         extra_check=extra_check,
         engine=engine,
+        tiering=tiering,
     )
     stats = ShrinkStats(
         initial_schedule=schedule.describe(),
@@ -311,7 +322,7 @@ def shrink_case(
         small, small_schedule, detector_factory=detector_factory,
         config=config, shards=shards,
         include_static_axis=include_static_axis, max_steps=max_steps,
-        engine=engine,
+        engine=engine, tiering=tiering,
     )
     if final.error is not None or not (
         target_classes <= case_classes(final, violations_only)
@@ -377,6 +388,7 @@ def run_campaign(
     max_steps: int = DEFAULT_MAX_STEPS,
     progress: Optional[Callable[[str], None]] = None,
     engine: str = "ast",
+    tiering: Optional[str] = None,
     hunt_classes: Optional[frozenset] = None,
 ) -> CampaignResult:
     """Sweep fuzzed cases; classify; shrink every violating case.
@@ -425,6 +437,7 @@ def run_campaign(
                 include_static_axis=include_static_axis,
                 max_steps=max_steps,
                 engine=engine,
+                tiering=tiering,
             )
             result.cases_run += 1
             if case.error is not None:
@@ -452,6 +465,7 @@ def run_campaign(
                             include_static_axis=include_static_axis,
                             max_steps=max_steps,
                             engine=engine,
+                            tiering=tiering,
                         )
                     else:
                         small, small_spec = case.source, spec
@@ -465,7 +479,7 @@ def run_campaign(
                         small, small_spec, detector_factory=detector_factory,
                         config=config, shards=shards,
                         include_static_axis=include_static_axis,
-                        max_steps=max_steps, engine=engine,
+                        max_steps=max_steps, engine=engine, tiering=tiering,
                     )
                     items = class_items(shrunk, klass)
                     witness = None
@@ -500,6 +514,7 @@ def run_campaign(
                         include_static_axis=include_static_axis,
                         max_steps=max_steps,
                         engine=engine,
+                        tiering=tiering,
                     )
                 else:
                     small, small_spec = case.source, spec
@@ -523,6 +538,7 @@ def run_campaign(
                     include_static_axis=include_static_axis,
                     max_steps=max_steps,
                     engine=engine,
+                    tiering=tiering,
                 )
                 result.violations.append(
                     Violation(

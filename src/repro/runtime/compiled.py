@@ -29,6 +29,7 @@ from ..lang.errors import MJRuntimeError, SourceLocation
 from ..lang.resolver import ResolvedProgram
 from .compile import _UNBOUND, ProgramCompiler
 from .interpreter import _Return
+from .tiering import attach_tiering
 from .events import EventSink, ObjectKind
 from .interpreter import Interpreter, RunResult
 from .scheduler import SchedulingPolicy, ThreadState, ThreadStatus
@@ -51,6 +52,7 @@ class CompiledInterpreter(Interpreter):
         trace_sites: Optional[set[int]] = None,
         policy: Optional[SchedulingPolicy] = None,
         max_steps: int = 10_000_000,
+        tiering: Optional[str] = None,
     ):
         super().__init__(
             resolved,
@@ -58,12 +60,19 @@ class CompiledInterpreter(Interpreter):
             trace_sites=trace_sites,
             policy=policy,
             max_steps=max_steps,
+            tiering=tiering,
         )
         #: [accesses_executed, accesses_emitted] as list cells — the
         #: trace stubs increment these (cheaper than attribute stores);
         #: run() folds them back into the public counters.
         self._counts = [0, 0]
+        #: Tiering engages before compilation — the trace stubs
+        #: specialize on it (:mod:`repro.runtime.tiering`).
+        if self._tiering_mode == "on":
+            self._tiering = attach_tiering(self)
         self._compiled = ProgramCompiler(self).compile()
+        if self._tiering is not None:
+            self._tiering.install_main_flip(self._compiled.main_entry)
 
     # ------------------------------------------------------------------
     # Entry point.
@@ -76,6 +85,11 @@ class CompiledInterpreter(Interpreter):
         try:
             steps = self._scheduler.run()
         finally:
+            if self._tiering is not None:
+                # Fold the tier-1 elided accesses back into the detector
+                # and emitted counters: each was provably filtered, so
+                # every observable matches the untired run.
+                self._counts[1] += self._tiering.fold()
             self.accesses_executed = self._counts[0]
             self.accesses_emitted = self._counts[1]
         if self._sink is not None:
@@ -115,6 +129,8 @@ class CompiledInterpreter(Interpreter):
             pass
         if self._sink is not None:
             self._sink.on_thread_end(thread.thread_id)
+        if self._tiering is not None:
+            self._tiering.note_end(thread.thread_id)
 
     # ------------------------------------------------------------------
     # Label interning (slow path of the traced stubs).
@@ -158,6 +174,8 @@ class CompiledInterpreter(Interpreter):
         self._scheduler.register(child)
         if self._sink is not None:
             self._sink.on_thread_start(thread.thread_id, child_id)
+        if self._tiering is not None:
+            self._tiering.note_start(child_id, obj.class_info.name)
         yield
 
     def _child_body(self, thread: ThreadState, obj: MJObject, run_entry):
@@ -319,6 +337,7 @@ def run_compiled_program(
     trace_sites: Optional[set[int]] = None,
     policy: Optional[SchedulingPolicy] = None,
     max_steps: int = 10_000_000,
+    tiering: Optional[str] = None,
 ) -> RunResult:
     """Execute ``resolved`` once through the compiled engine."""
     engine = CompiledInterpreter(
@@ -327,5 +346,6 @@ def run_compiled_program(
         trace_sites=trace_sites,
         policy=policy,
         max_steps=max_steps,
+        tiering=tiering,
     )
     return engine.run()

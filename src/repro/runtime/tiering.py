@@ -1,0 +1,433 @@
+"""Tiered compilation: runtime instrumentation elision for the
+compiled engine.
+
+The Full configuration's residual overhead over Base is the per-access
+instrumentation spine: every traced access crosses a Python call into
+:meth:`RaceDetector.on_access_parts` even when the outcome is the
+trivial one (owned by the accessing thread, or an access-cache hit).
+This module fuses the ownership model (Section 7;
+:mod:`repro.detector.ownership`) into the compiled trace stubs as a
+tiered scheme:
+
+Tier 0 — *inline fast path*.  Every traced site compiles to a stub that
+performs the detector's own keying and owner check inline and completes
+the three dominant outcomes — virgin claim, owner re-access, and
+shared access absorbed by the per-thread cache — with *exactly* the
+counter effects of the untired pipeline, never entering the spine.
+Anything non-trivial (ownership transition, cache miss, exotic config)
+falls into the unmodified ``on_access_parts`` call.
+
+Tier 1 — *elision*.  Accesses that are **provably filtered** stop being
+materialized at all:
+
+* *statically*, a site whose base can only point to abstract objects
+  the escape analysis proves thread-local compiles to a bare counter
+  stub (the access never reaches even the keying code);
+* *dynamically*, once ownership settles into a **terminal state** — a
+  sole surviving thread that can never execute another ``start`` —
+  that thread's accesses to virgin or self-owned locations reduce to a
+  single elision counter.
+
+Elided accesses are folded back into the pipeline counters at run end
+(:meth:`TieringState.fold`): each one is, by construction, an access
+whose untired effect is exactly ``accesses += 1`` and
+``owned_filtered += 1`` (see :meth:`OwnershipFilter.would_filter`), so
+race reports, report-JSON funnels, cache statistics, and difflab
+verdict matrices stay byte-identical to the untired engine.
+
+Demotion is impossible by construction: SHARED admits no outgoing
+transition, statically thread-local objects are never reachable by a
+second thread, and settlement requires that no thread able to
+``start`` can ever run again (enforced with a hard error if violated).
+
+Engagement requires the compiled engine, a bare
+:class:`~repro.detector.pipeline.RaceDetector` sink (timed subclass
+included), and the ownership model enabled; recording or multicast
+sinks never engage, so event logs and replay traces are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..lang import ast
+
+#: Valid tiering modes for ``--tiering`` / ``REPRO_TIERING``.
+TIERING_MODES = ("off", "on")
+
+
+def _env_default() -> str:
+    value = os.environ.get("REPRO_TIERING", "off")
+    if value not in TIERING_MODES:
+        raise ValueError(
+            f"REPRO_TIERING={value!r} is not a valid tiering mode; "
+            f"choose one of {', '.join(TIERING_MODES)}"
+        )
+    return value
+
+
+#: Process-wide default tiering mode, from ``REPRO_TIERING`` (off when
+#: unset) — the tiering analogue of ``REPRO_ENGINE``.
+DEFAULT_TIERING = _env_default()
+
+
+def validate_tiering(mode: str) -> str:
+    if mode not in TIERING_MODES:
+        raise ValueError(
+            f"unknown tiering mode {mode!r}; "
+            f"choose one of {', '.join(TIERING_MODES)}"
+        )
+    return mode
+
+
+# ---------------------------------------------------------------------------
+# Static facts: start reachability and thread-local sites.
+
+
+def _called_names(method: ast.MethodDecl) -> tuple[set[str], bool]:
+    """(names this method may call, does it contain a ``start``).
+
+    ``new C(...)`` counts as a call to ``init`` — constructors can
+    start threads.  Dispatch is resolved by bare name over every class
+    (conservative for virtual calls).
+    """
+    names: set[str] = set()
+    has_start = False
+    stack: list[ast.Node] = [method.body]
+    while stack:
+        node = stack.pop()
+        node_type = type(node)
+        if node_type is ast.Start:
+            has_start = True
+        elif node_type is ast.Call:
+            names.add(node.method_name)
+        elif node_type is ast.New:
+            names.add("init")
+        stack.extend(node.children())
+    return names, has_start
+
+
+def _all_methods(resolved) -> list[ast.MethodDecl]:
+    methods = list(resolved.methods)
+    if resolved.main_method not in methods:
+        methods.append(resolved.main_method)
+    return methods
+
+
+def analyze_start_reach(resolved) -> set[str]:
+    """Qualified names of methods from which a ``start`` is reachable.
+
+    A conservative name-based call-graph fixpoint: a method reaches
+    ``start`` if its body contains one, or it may call *any* method of
+    a name that reaches ``start``."""
+    methods = _all_methods(resolved)
+    calls: dict[str, set[str]] = {}
+    reaches: set[str] = set()
+    by_name: dict[str, list[str]] = {}
+    for method in methods:
+        qname = method.qualified_name
+        names, has_start = _called_names(method)
+        calls[qname] = names
+        by_name.setdefault(method.name, []).append(qname)
+        if has_start:
+            reaches.add(qname)
+    changed = True
+    while changed:
+        changed = False
+        reaching_names = {
+            name
+            for name, qnames in by_name.items()
+            if any(qname in reaches for qname in qnames)
+        }
+        for method in methods:
+            qname = method.qualified_name
+            if qname in reaches:
+                continue
+            if calls[qname] & reaching_names:
+                reaches.add(qname)
+                changed = True
+    return reaches
+
+
+def _stmt_reaches_start(stmt: ast.Stmt, reaches: set[str],
+                        reaching_names: set[str]) -> bool:
+    stack: list[ast.Node] = [stmt]
+    while stack:
+        node = stack.pop()
+        node_type = type(node)
+        if node_type is ast.Start:
+            return True
+        if node_type is ast.Call and node.method_name in reaching_names:
+            return True
+        if node_type is ast.New and "init" in reaching_names:
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def main_flip_index(resolved, reaches: set[str]) -> int:
+    """Index of the last top-level ``main`` statement from which a
+    ``start`` is reachable, or ``-1`` when main can never start a
+    thread.  The compiled engine inserts the settlement flip right
+    after this statement."""
+    reaching_names = {
+        method.name
+        for method in _all_methods(resolved)
+        if method.qualified_name in reaches
+    }
+    last = -1
+    for index, stmt in enumerate(resolved.main_method.body.body):
+        if _stmt_reaches_start(stmt, reaches, reaching_names):
+            last = index
+    return last
+
+
+def run_can_start(resolved, reaches: set[str]) -> dict[str, bool]:
+    """class name -> can its ``run`` method (the whole remaining
+    execution of a child thread) reach a ``start``?  Classes without a
+    ``run`` method can never be running threads; map them to False."""
+    result: dict[str, bool] = {}
+    for name, info in resolved.classes.items():
+        run = info.resolve_method("run")
+        result[name] = run is not None and run.qualified_name in reaches
+    return result
+
+
+def thread_local_sites(resolved, trace_sites, static_races=None) -> set[int]:
+    """Traced sites whose base can only name thread-local objects.
+
+    Such a site's every concrete access is to a location touched by
+    exactly one thread for the whole run, i.e. provably
+    ``owned_filtered`` in the untired pipeline — the static tier-1
+    promotion condition.  Reuses the plan's points-to/escape results
+    when present; otherwise computes them once.  Static (class-object)
+    sites never qualify.
+    """
+    points_to = getattr(static_races, "points_to", None)
+    escape = getattr(static_races, "escape", None)
+    if points_to is None or escape is None:
+        from ..analysis.escape import analyze_escape
+        from ..analysis.pointsto import analyze_points_to
+
+        points_to = analyze_points_to(resolved)
+        escape = analyze_escape(resolved, points_to)
+    candidates = trace_sites if trace_sites is not None else resolved.sites
+    sites: set[int] = set()
+    for site_id in candidates:
+        if site_id not in resolved.sites:
+            continue
+        origin = resolved.origin_of(site_id)
+        base = points_to.site_bases.get(origin)
+        if base is None or base.kind == "static":
+            continue
+        objects = points_to.site_objects(origin)
+        if objects and all(escape.is_thread_local(obj) for obj in objects):
+            sites.add(site_id)
+    return sites
+
+
+# ---------------------------------------------------------------------------
+# The per-run settlement tracker.
+
+
+@dataclass
+class TierCounters:
+    """Tier-transition counters of one run (``check --phase-times``,
+    ``/stats``, and the Full+tiering benchmark rows)."""
+
+    sites_tier0: int
+    sites_tier1_static: int
+    inline_owned: int
+    inline_cache_hits: int
+    elided_static: int
+    elided_settled: int
+    settled: bool
+    survivor: int | None
+
+    @property
+    def elided(self) -> int:
+        return self.elided_static + self.elided_settled
+
+    def as_dict(self) -> dict:
+        return {
+            "sites_tier0": self.sites_tier0,
+            "sites_tier1_static": self.sites_tier1_static,
+            "inline_owned": self.inline_owned,
+            "inline_cache_hits": self.inline_cache_hits,
+            "elided_static": self.elided_static,
+            "elided_settled": self.elided_settled,
+            "elided_total": self.elided,
+            "settled": self.settled,
+            "survivor": self.survivor,
+        }
+
+
+class TieringState:
+    """One engine run's tiering machinery.
+
+    Holds the pre-bound detector internals the compiled stubs close
+    over, the static tier-1 site set, and the dynamic settlement
+    tracker (live-thread set + start-reachability facts).
+    """
+
+    def __init__(self, engine, detector):
+        from ..detector.ownership import SHARED
+
+        self.detector = detector
+        self.shared = SHARED
+        self.owners = detector._owners
+        self.intern = detector._intern
+        self.own_stats = detector._own_stats
+        self.fields_merged = detector._fields_merged
+        cache = detector.cache
+        #: The shared→cache-hit outcome is inlined only for the plain
+        #: single-probe cache; the ``write_covers_read`` extension's
+        #: double probe stays on the spine.
+        self.inline_cache = cache is not None and not cache._write_covers_read
+        self.cache_stats = cache.stats if cache is not None else None
+        self.cache_threads = cache._threads if cache is not None else None
+        self.cache_size = cache._size if cache is not None else 0
+        # The direct-mapped index constants, so the inlined probe can
+        # never drift from _DirectMappedCache._index.
+        from ..detector.cache import _HASH_MULTIPLIER, _MASK32
+
+        self.hash_multiplier = _HASH_MULTIPLIER
+        self.hash_mask = _MASK32
+
+        resolved = engine._resolved
+        self.static_sites = thread_local_sites(
+            resolved, engine._trace_sites, detector._static_races
+        )
+        reaches = analyze_start_reach(resolved)
+        self.flip_index = main_flip_index(resolved, reaches)
+        self._run_can_start = run_can_start(resolved, reaches)
+
+        # Stub-visible cells (list cells: cheapest mutable closure state).
+        self.settled_cell: list = [False]
+        self.survivor_cell: list = [None]
+        self.inline_owned_cell = [0]
+        self.inline_hit_cell = [0]
+        self.elide_static_cell = [0]
+        self.elide_settled_cell = [0]
+        #: Compile-time tier census, filled by the stub compiler.
+        self.sites_tier0 = 0
+        self.sites_tier1_static = 0
+
+        self._live: set[int] = {0}
+        #: thread id -> may its remaining execution reach a ``start``?
+        self._can_start: dict[int, bool] = {0: self.flip_index >= 0}
+        self._folded = False
+        self._maybe_settle()
+
+    # -- thread lifecycle ------------------------------------------------
+
+    def note_start(self, child_id: int, class_name: str) -> None:
+        if self.settled_cell[0]:
+            raise RuntimeError(
+                "tiering settlement violated: thread started after the "
+                "ownership state was promoted as terminal"
+            )
+        self._live.add(child_id)
+        self._can_start[child_id] = self._run_can_start.get(class_name, True)
+
+    def note_end(self, thread_id: int) -> None:
+        self._live.discard(thread_id)
+        self._maybe_settle()
+
+    def note_main_past_starts(self) -> None:
+        """Main crossed its last start-reaching top-level statement."""
+        self._can_start[0] = False
+        self._maybe_settle()
+
+    def _maybe_settle(self) -> None:
+        if self.settled_cell[0] or len(self._live) != 1:
+            return
+        (survivor,) = self._live
+        if self._can_start.get(survivor, True):
+            return
+        # Terminal: one live thread, provably unable to create another.
+        self.survivor_cell[0] = survivor
+        self.settled_cell[0] = True
+
+    def install_main_flip(self, main_entry) -> None:
+        """Insert the settlement flip as a pure item right after main's
+        last start-reaching top-level statement.  Pure items run without
+        a scheduler step, so decision sequences are unchanged."""
+        if self.flip_index < 0:
+            return  # Settled from step zero; nothing to insert.
+        items = list(main_entry.body_cell[0])
+        flip = self.note_main_past_starts
+
+        def run_flip(frame):
+            flip()
+
+        items.insert(self.flip_index + 1, (False, run_flip))
+        main_entry.body_cell[0] = tuple(items)
+
+    # -- run-end accounting ----------------------------------------------
+
+    def fold(self) -> int:
+        """Restore counter parity at run end; returns the number of
+        accesses the stubs completed without the spine (the engine adds
+        it to its emitted counter).  Idempotent.
+
+        Two populations fold back: the tier-0 fast-path completions
+        (owned/virgin and shared→cache-hit), whose counter effects were
+        deferred to the stub cells, and the tier-1 elisions, which by
+        :meth:`OwnershipFilter.would_filter` are each an exact
+        ``owned_filtered`` no-op.  After folding, every pipeline,
+        ownership, and cache counter equals the untired run's."""
+        if self._folded:
+            return 0
+        self._folded = True
+        owned = self.inline_owned_cell[0]
+        hits = self.inline_hit_cell[0]
+        elided = self.elide_static_cell[0] + self.elide_settled_cell[0]
+        detector = self.detector
+        stats = detector.stats
+        stats.accesses += owned + hits + elided
+        stats.owned_filtered += owned
+        stats.cache_hits += hits
+        self.own_stats.owned_filtered += owned
+        self.own_stats.shared_passed += hits
+        if self.cache_stats is not None:
+            self.cache_stats.hits += hits
+        detector.ownership.fold_elided(elided)
+        stats.owned_filtered += elided
+        detector.tiering = self.counters()
+        return owned + hits + elided
+
+    def counters(self) -> TierCounters:
+        return TierCounters(
+            sites_tier0=self.sites_tier0,
+            sites_tier1_static=self.sites_tier1_static,
+            inline_owned=self.inline_owned_cell[0],
+            inline_cache_hits=self.inline_hit_cell[0],
+            elided_static=self.elide_static_cell[0],
+            elided_settled=self.elide_settled_cell[0],
+            settled=self.settled_cell[0],
+            survivor=self.survivor_cell[0],
+        )
+
+
+def attach_tiering(engine):
+    """Build a :class:`TieringState` for the engine, or ``None`` when
+    tiering cannot engage.
+
+    Engagement requires a bare :class:`RaceDetector` sink (subclasses
+    such as the harness's timed detector included — recording and
+    multicast sinks never engage, so logs stay byte-identical) with the
+    ownership model enabled (elision eligibility is defined by
+    ownership's terminal states).
+    """
+    sink = engine._sink
+    if sink is None:
+        return None
+    from ..detector.pipeline import RaceDetector
+
+    if not isinstance(sink, RaceDetector):
+        return None
+    if sink.ownership is None:
+        return None
+    return TieringState(engine, sink)

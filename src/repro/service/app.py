@@ -1,9 +1,11 @@
 """The asyncio HTTP/1.1 front end of ``repro serve``.
 
 Stdlib only: :func:`asyncio.start_server` plus a small hand-rolled
-HTTP/1.1 request parser (one request per connection, ``Connection:
-close``).  The event loop owns accept/parse/respond and the job
-bookkeeping; all detection runs in the worker pool
+HTTP/1.1 request parser with keep-alive (HTTP/1.1 requests reuse the
+connection until the client sends ``Connection: close``; NDJSON
+streams and oversized uploads always terminate it).  The event loop
+owns accept/parse/respond and the job bookkeeping; all detection runs
+in the worker pool
 (:mod:`repro.service.jobs`), so a slow job never stalls health checks,
 polls, or new submissions.
 
@@ -48,7 +50,7 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from ..lang import MJError
-from ..runtime import DEFAULT_ENGINE, ENGINES
+from ..runtime import DEFAULT_ENGINE, ENGINES, TIERING_MODES
 from .jobs import WorkerPool
 from .protocol import (
     KIND_BINARY_LOG,
@@ -88,6 +90,13 @@ class ServeConfig:
     workers: int = 2
     queue_depth: int = 16
     timeout: float = 30.0
+    #: Engine worker program runs default to (per-job ``engine=`` query
+    #: parameter overrides).
+    engine: str = DEFAULT_ENGINE
+    #: Tiering mode for worker program runs; None defers to the
+    #: engine's ``REPRO_TIERING`` default.  Per-job ``tiering=`` query
+    #: parameter overrides.
+    tiering: Optional[str] = None
 
 
 def _validate_upload(kind: str, body: bytes) -> None:
@@ -168,10 +177,25 @@ class ServiceApp:
     # -- HTTP plumbing ---------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
+        # HTTP/1.1 keep-alive: serve requests off one connection until
+        # the client closes, sends ``Connection: close``, or a response
+        # that must terminate the connection (NDJSON streams, a 413
+        # whose body was never read) is written.
         try:
-            request = await self._read_request(reader)
-            if request is not None:
-                await self._route(writer, *request)
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body, version = request
+                keep_alive = body is not None and self._wants_keep_alive(
+                    version, headers
+                )
+                must_close = await self._route(
+                    writer, method, target, headers, body, keep_alive
+                )
+                await writer.drain()
+                if must_close or not keep_alive:
+                    break
         except (
             ConnectionError,
             asyncio.IncompleteReadError,
@@ -191,12 +215,23 @@ class ServiceApp:
             except (ConnectionError, RuntimeError):
                 pass
 
+    @staticmethod
+    def _wants_keep_alive(version: str, headers: dict) -> bool:
+        """HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an
+        explicit ``Connection`` header wins either way."""
+        connection = headers.get("connection", "").lower()
+        if "close" in connection:
+            return False
+        if "keep-alive" in connection:
+            return True
+        return version == "HTTP/1.1"
+
     async def _read_request(self, reader):
         line = await reader.readline()
         if not line:
             return None
         try:
-            method, target, _version = (
+            method, target, version = (
                 line.decode("latin-1").rstrip("\r\n").split(" ", 2)
             )
         except ValueError:
@@ -210,19 +245,22 @@ class ServiceApp:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length") or 0)
         if length > MAX_BODY_BYTES:
-            return method, target, headers, None  # 413 downstream
+            # 413 downstream; the unread body poisons the connection,
+            # so the handler must close it after responding.
+            return method, target, headers, None, version
         body = await reader.readexactly(length) if length else b""
-        return method, target, headers, body
+        return method, target, headers, body, version
 
     def _respond(
-        self, writer, status: int, payload, extra_headers=()
+        self, writer, status: int, payload, extra_headers=(),
+        keep_alive: bool = False,
     ) -> None:
         body = canonical_json(payload).encode("utf-8") + b"\n"
         head = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
             "Content-Type: application/json",
             f"Content-Length: {len(body)}",
-            "Connection: close",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
             *extra_headers,
             "",
             "",
@@ -245,7 +283,11 @@ class ServiceApp:
 
     # -- routing ---------------------------------------------------------
 
-    async def _route(self, writer, method, target, headers, body) -> None:
+    async def _route(
+        self, writer, method, target, headers, body, keep_alive: bool
+    ) -> bool:
+        """Answer one request; returns True when the connection must
+        close regardless of the keep-alive negotiation."""
         url = urlsplit(target)
         path = url.path
         if body is None:
@@ -257,17 +299,18 @@ class ServiceApp:
                     "taxonomy": "too-large",
                 },
             )
-            return
+            return True
         if path == "/healthz":
             self._respond(
-                writer, 200, {"ok": True, "draining": self.draining}
+                writer, 200, {"ok": True, "draining": self.draining},
+                keep_alive=keep_alive,
             )
-            return
+            return False
         if path == "/stats":
             stats = self.pool.stats()
             stats["draining"] = self.draining
-            self._respond(writer, 200, stats)
-            return
+            self._respond(writer, 200, stats, keep_alive=keep_alive)
+            return False
         if path.startswith("/jobs/"):
             record = self.pool.jobs.get(path[len("/jobs/"):])
             if record is None:
@@ -275,41 +318,48 @@ class ServiceApp:
                     writer,
                     404,
                     {"error": "no such job", "taxonomy": "not-found"},
+                    keep_alive=keep_alive,
                 )
             else:
-                self._respond(writer, 200, record.to_json())
-            return
+                self._respond(
+                    writer, 200, record.to_json(), keep_alive=keep_alive
+                )
+            return False
         if path == "/submit":
             if method != "POST":
                 self._respond(
                     writer,
                     405,
                     {"error": "POST required", "taxonomy": "bad-request"},
+                    keep_alive=keep_alive,
                 )
-                return
-            await self._submit(writer, url, body)
-            return
+                return False
+            return await self._submit(writer, url, body, keep_alive)
         self._respond(
             writer,
             404,
             {"error": f"no route {path}", "taxonomy": "not-found"},
+            keep_alive=keep_alive,
         )
+        return False
 
-    async def _submit(self, writer, url, body: bytes) -> None:
+    async def _submit(self, writer, url, body: bytes,
+                      keep_alive: bool) -> bool:
         if self.draining:
             self._respond(
                 writer,
                 503,
                 {"error": "daemon is draining", "taxonomy": "draining"},
+                keep_alive=keep_alive,
             )
-            return
+            return False
         query = parse_qs(url.query)
 
         def param(name: str) -> Optional[str]:
             values = query.get(name)
             return values[-1] if values else None
 
-        engine = param("engine") or DEFAULT_ENGINE
+        engine = param("engine") or self.config.engine
         if engine not in ENGINES:
             self._respond(
                 writer,
@@ -319,8 +369,22 @@ class ServiceApp:
                     f"(choose from: {', '.join(sorted(ENGINES))})",
                     "taxonomy": "bad-request",
                 },
+                keep_alive=keep_alive,
             )
-            return
+            return False
+        tiering = param("tiering") or self.config.tiering
+        if tiering is not None and tiering not in TIERING_MODES:
+            self._respond(
+                writer,
+                400,
+                {
+                    "error": f"unknown tiering mode {tiering!r} "
+                    f"(choose from: {', '.join(TIERING_MODES)})",
+                    "taxonomy": "bad-request",
+                },
+                keep_alive=keep_alive,
+            )
+            return False
         seed_raw = param("seed")
         try:
             seed = int(seed_raw) if seed_raw is not None else None
@@ -332,22 +396,25 @@ class ServiceApp:
                     "error": f"seed must be an integer, got {seed_raw!r}",
                     "taxonomy": "bad-request",
                 },
+                keep_alive=keep_alive,
             )
-            return
+            return False
 
         kind = classify_payload(body)
         try:
             _validate_upload(kind, body)
         except Exception as error:  # noqa: BLE001 — taxonomy-mapped
             self._respond(
-                writer, http_status_for(error), error_payload(error)
+                writer, http_status_for(error), error_payload(error),
+                keep_alive=keep_alive,
             )
-            return
+            return False
 
         payload = {
             "kind": kind,
             "body": body,
             "engine": engine if kind == KIND_PROGRAM else None,
+            "tiering": tiering if kind == KIND_PROGRAM else None,
             "seed": seed,
             "filename": param("filename") or "<input>",
         }
@@ -361,12 +428,15 @@ class ServiceApp:
                     "taxonomy": "backpressure",
                 },
                 extra_headers=("Retry-After: 1",),
+                keep_alive=keep_alive,
             )
-            return
+            return False
 
         if param("stream"):
             # Subscribe before the first await: the dispatcher cannot
-            # have run yet, so no event can be missed.
+            # have run yet, so no event can be missed.  The NDJSON
+            # stream has no length framing, so it always terminates the
+            # connection.
             queue: asyncio.Queue = asyncio.Queue()
             record.subscribers.append(queue)
             self._start_stream(writer)
@@ -377,13 +447,16 @@ class ServiceApp:
                     break
                 _tag, payload = event
                 await self._stream_line(writer, payload)
-            return
+            return True
         if param("wait"):
             await record.completed.wait()
             status = 200 if record.error is None else record.status_code
-            self._respond(writer, status, record.to_json())
-            return
-        self._respond(writer, 202, record.to_json())
+            self._respond(
+                writer, status, record.to_json(), keep_alive=keep_alive
+            )
+            return False
+        self._respond(writer, 202, record.to_json(), keep_alive=keep_alive)
+        return False
 
 
 async def _serve(config: ServeConfig) -> int:
@@ -398,7 +471,8 @@ async def _serve(config: ServeConfig) -> int:
     print(
         f"repro serve: listening on {config.host}:{app.port} "
         f"({config.workers} workers, queue depth {config.queue_depth}, "
-        f"timeout {config.timeout:g}s)",
+        f"timeout {config.timeout:g}s, engine {config.engine}, "
+        f"tiering {config.tiering or 'default'})",
         flush=True,
     )
     try:

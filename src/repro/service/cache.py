@@ -6,9 +6,12 @@ happen before the first event is executed — and a detection service
 sees the same programs over and over (CI re-checking a commit, a fuzz
 driver mutating one seed, a benchmark hammering one workload).  The
 cache keys the *finished* front end by content: sha256 over the
-submission's filename and source bytes maps to the resolved program
-plus its instrumentation plan, so each distinct program is compiled
-once per worker lifetime and every later job reuses the artifacts.
+submission's filename and source bytes plus the producing planner's
+fingerprint (configuration + plan schema version) maps to the resolved
+program plus its instrumentation plan, so each distinct program is
+compiled once per worker lifetime and every later job reuses the
+artifacts — and an entry can never be served to a lookup that would
+have planned it differently.
 
 Reuse is sound because a ``(resolved, plan)`` pair is immutable after
 planning: the planner mutates the AST *during* planning (which is why
@@ -42,18 +45,49 @@ HIT = "hit"
 MISS = "miss"
 UNCACHED = "n/a"
 
+#: Bumped whenever the shape of the cached artifacts changes — a new
+#: plan field, a different site-id assignment, a resolver change that
+#: alters what execution reads from the cached front end.
+PLAN_SCHEMA_VERSION = 2
 
-def source_fingerprint(source: str, filename: str = "<input>") -> str:
-    """sha256 over ``filename NUL source`` — the content address.
+
+def plan_fingerprint(planner: Optional[PlannerConfig] = None) -> str:
+    """Fingerprint of the instrumentation-plan *producer*.
+
+    Covers the planner configuration (every analysis toggle) and the
+    plan schema version, so cached entries are addressed by what was
+    compiled *and how*: two daemons (or two epochs of one codebase)
+    that would plan the same source differently can never alias keys.
+    """
+    config = planner if planner is not None else PlannerConfig()
+    digest = hashlib.sha256()
+    digest.update(f"plan-schema:{PLAN_SCHEMA_VERSION}".encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(repr(config).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def source_fingerprint(
+    source: str,
+    filename: str = "<input>",
+    plan: Optional[str] = None,
+) -> str:
+    """sha256 over ``filename NUL source NUL plan`` — the content address.
 
     The filename participates because it is embedded in every site
     descriptor (and therefore in race-report bytes): the same source
-    submitted under two names is two distinct report streams.
+    submitted under two names is two distinct report streams.  The
+    ``plan`` component is the :func:`plan_fingerprint` of the planner
+    that will compile on a miss — the original key hashed only the
+    submission, so one address could name artifacts from two different
+    planner configurations or plan schemas.
     """
     digest = hashlib.sha256()
     digest.update(filename.encode("utf-8"))
     digest.update(b"\x00")
     digest.update(source.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update((plan if plan is not None else plan_fingerprint()).encode())
     return digest.hexdigest()
 
 
@@ -72,12 +106,19 @@ class CachedProgram:
 class CompileCache:
     """Content-addressed map: fingerprint → :class:`CachedProgram`."""
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        planner: Optional[PlannerConfig] = None,
+    ) -> None:
         #: FIFO-evicted when ``max_entries`` is set (insertion order —
         #: good enough for a daemon whose program population is small
         #: and recurring; no LRU bookkeeping on the hot path).
         self._entries: dict[str, CachedProgram] = {}
         self.max_entries = max_entries
+        self.planner = planner if planner is not None else PlannerConfig()
+        #: The plan component every key of this cache carries.
+        self.plan_fingerprint = plan_fingerprint(self.planner)
         self.hits = 0
         self.misses = 0
 
@@ -94,7 +135,9 @@ class CompileCache:
         valid one — fingerprints are content addresses, so a different
         body is a different key anyway).
         """
-        fingerprint = source_fingerprint(source, filename)
+        fingerprint = source_fingerprint(
+            source, filename, plan=self.plan_fingerprint
+        )
         entry = self._entries.get(fingerprint)
         if entry is not None:
             self.hits += 1
@@ -107,7 +150,7 @@ class CompileCache:
             )
         self.misses += 1
         resolved = compile_source(source, filename=filename)
-        plan = plan_instrumentation(resolved, PlannerConfig())
+        plan = plan_instrumentation(resolved, self.planner)
         entry = CachedProgram(
             fingerprint=fingerprint,
             filename=filename,
@@ -129,4 +172,5 @@ class CompileCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "plan_fingerprint": self.plan_fingerprint,
         }

@@ -270,6 +270,147 @@ class TestProgramJobs:
         )
 
 
+SETTLING = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    var f = new Data();
+    f.x = 0;
+    var i = 0;
+    while (i < 8) { f.bump(); i = i + 1; }
+    print d.x; print f.x;
+  }
+}
+class Data { field x; def bump() { this.x = this.x + 1; } }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.bump(); }
+}
+"""
+
+
+class TestTieredJobs:
+    def test_tiered_report_byte_identical_and_counters_surface(self, daemon):
+        body = SETTLING.encode()
+        _, _, plain = daemon.submit_json(
+            "/submit?wait=1&seed=3&engine=compiled&filename=tiered.mj",
+            body,
+            expect=200,
+        )
+        _, _, tiered = daemon.submit_json(
+            "/submit?wait=1&seed=3&engine=compiled&tiering=on"
+            "&filename=tiered.mj",
+            body,
+            expect=200,
+        )
+        assert canonical(tiered["result"]["report"]) == canonical(
+            plain["result"]["report"]
+        )
+        assert plain["result"]["tiering"] is None
+        counters = tiered["result"]["tiering"]
+        assert counters["sites_tier0"] > 0
+        assert counters["settled"] is True
+        assert counters["elided_total"] == (
+            counters["elided_static"] + counters["elided_settled"]
+        )
+        # The tiered run still feeds every replay axis.
+        assert [axis["axis"] for axis in tiered["axes"]] == [
+            "paper", "hb", "eraser",
+        ]
+
+    def test_stats_aggregate_tiering_totals(self, daemon):
+        _, _, stats = daemon.submit_json("/stats", b"")
+        totals = stats["tiering"]
+        assert totals["tiered_jobs"] >= 1
+        assert totals["elided_total"] >= 1
+        assert stats["compile_cache"]["plan_fingerprint"]
+
+    def test_unknown_tiering_mode_400(self, daemon):
+        status, _, data = daemon.request(
+            "POST", "/submit?tiering=sideways", RACY.encode()
+        )
+        assert status == 400
+        assert "sideways" in json.loads(data)["error"]
+
+
+class TestKeepAlive:
+    def test_connection_is_reused_across_requests(self, daemon):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=60
+        )
+        try:
+            sock = None
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") == "keep-alive"
+                assert json.loads(response.read())["ok"] is True
+                if sock is None:
+                    sock = conn.sock
+                else:
+                    # http.client only keeps the socket if the server
+                    # honored keep-alive — same object means reuse.
+                    assert conn.sock is sock
+        finally:
+            conn.close()
+
+    def test_submissions_work_over_one_connection(self, daemon):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=60
+        )
+        try:
+            for seed in (11, 12):
+                conn.request(
+                    "POST", f"/submit?wait=1&seed={seed}", RACY.encode()
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                record = json.loads(response.read())
+                assert record["job"]["state"] == "done"
+        finally:
+            conn.close()
+
+    def test_connection_close_is_honored(self, daemon):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", daemon.port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\n"
+                b"Host: x\r\nConnection: close\r\n\r\n"
+            )
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closed, as requested
+                data = data + chunk
+        head = data.split(b"\r\n\r\n", 1)[0].decode()
+        assert "Connection: close" in head
+
+    def test_http_10_defaults_to_close(self, daemon):
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", daemon.port), timeout=30
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+            data = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data = data + chunk
+        head = data.split(b"\r\n\r\n", 1)[0].decode()
+        assert "Connection: close" in head
+
+
 class TestLogJobs:
     @pytest.fixture(scope="class")
     def binary_log(self, tmp_path_factory):

@@ -1,0 +1,248 @@
+"""The tiering contract, end to end: with ``--tiering on`` the compiled
+engine's race reports, report-JSON bytes, counters, and difflab
+verdicts are identical to the untired run — and a tiering bug that
+breaks the contract is *caught*, not silently shipped."""
+
+import json
+
+import pytest
+
+from repro.detector import (
+    RaceDetector,
+    canonical_report_order,
+    detect_from_log,
+    detect_sharded,
+)
+from repro.detector.postmortem import record_execution
+from repro.harness import CONFIG_FULL, run_workload
+from repro.instrument import PlannerConfig, plan_instrumentation
+from repro.lang import compile_source
+from repro.runtime import RandomPolicy, engine_runner
+from repro.service.protocol import canonical_json, detection_report
+from repro.workloads import ALL_WORKLOADS
+
+SETTLING = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    var f = new Data();
+    f.x = 0;
+    var i = 0;
+    while (i < 8) { f.bump(); i = i + 1; }
+    print d.x; print f.x;
+  }
+}
+class Data { field x; def bump() { this.x = this.x + 1; } }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.bump(); }
+}
+"""
+
+RACY = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    print d.x;
+  }
+}
+class Data { field x; }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.x = this.d.x + 1; }
+}
+"""
+
+
+def _report_bytes(source: str, tiering: str, seed: int = 3) -> str:
+    """Canonical report-JSON of one compiled run, CLI-equivalent."""
+    resolved = compile_source(source, filename="parity.mj")
+    plan = plan_instrumentation(resolved, PlannerConfig())
+    detector = RaceDetector(
+        resolved=resolved, static_races=plan.static_races
+    )
+    result = engine_runner("compiled")(
+        resolved,
+        sink=detector,
+        trace_sites=plan.trace_sites,
+        policy=RandomPolicy(seed),
+        tiering=tiering,
+    )
+    return canonical_json(
+        detection_report(
+            detector.reports.reports,
+            detector.stats,
+            detector.cache.stats if detector.cache else None,
+            output=result.output,
+        )
+    )
+
+
+class TestReportParity:
+    @pytest.mark.parametrize("source", [RACY, SETTLING], ids=["racy", "settling"])
+    @pytest.mark.parametrize("seed", [1, 3, 9])
+    def test_report_json_byte_identical_across_tiers(self, source, seed):
+        off = _report_bytes(source, "off", seed=seed)
+        on = _report_bytes(source, "on", seed=seed)
+        assert on == off
+
+    @pytest.mark.parametrize("name", ["tsp2", "sor2", "mtrt2"])
+    def test_workload_outcomes_identical_across_tiers(self, name):
+        spec = ALL_WORKLOADS[name]
+        scale = 4 if name != "sor2" else 6
+        outcomes = {
+            mode: run_workload(
+                spec,
+                CONFIG_FULL,
+                scale=scale,
+                policy=RandomPolicy(5),
+                engine="compiled",
+                tiering=mode,
+            )
+            for mode in ("off", "on")
+        }
+        off, on = outcomes["off"], outcomes["on"]
+        assert on.output == off.output
+        assert on.steps == off.steps
+        assert on.races_reported == off.races_reported
+        assert on.racy_objects == off.racy_objects
+        assert on.events == off.events
+        assert on.owned_filtered == off.owned_filtered
+        assert on.cache_hits == off.cache_hits
+        assert on.trie_nodes == off.trie_nodes
+        assert off.tiering is None
+        assert on.tiering is not None
+        assert on.tiering.sites_tier0 > 0
+
+    def test_settling_run_actually_elides(self):
+        resolved = compile_source(SETTLING, filename="settle.mj")
+        detector = RaceDetector(resolved=resolved)
+        engine_runner("compiled")(
+            resolved,
+            sink=detector,
+            policy=RandomPolicy(3),
+            tiering="on",
+        )
+        counters = detector.tiering
+        assert counters.settled
+        assert counters.elided_settled > 0
+        assert counters.elided_static > 0  # the f-only sites
+
+
+class TestShardedSettlementParity:
+    """Ownership terminal states across shard boundaries: a recorded
+    run in which locations transition to SHARED and others settle into
+    a sole survivor mid-log must detect identically whether the log is
+    replayed serially or sharded (the shard holding the settling
+    location sees its full transition history — partitioning is by
+    object uid)."""
+
+    @pytest.fixture(scope="class")
+    def settling_recording(self):
+        resolved = compile_source(SETTLING, filename="settle.mj")
+        plan = plan_instrumentation(resolved, PlannerConfig())
+        _, log = record_execution(
+            resolved,
+            trace_sites=plan.trace_sites,
+            policy=RandomPolicy(7),
+        )
+        serial, _ = detect_from_log(log, resolved=resolved)
+        return resolved, log, serial
+
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_sharded_matches_serial(self, settling_recording, shards):
+        resolved, log, serial = settling_recording
+        result = detect_sharded(log, shards, resolved=resolved)
+        assert result.reports.reports == canonical_report_order(
+            serial.reports.reports
+        )
+        assert result.stats.accesses == serial.stats.accesses
+        assert (
+            result.stats.owned_filtered == serial.stats.owned_filtered
+        )
+        assert result.monitored_locations == serial.monitored_locations
+
+    def test_log_contains_a_mid_run_transition(self, settling_recording):
+        # The scenario is only meaningful if ownership actually
+        # transitions inside the recorded window.
+        _, _, serial = settling_recording
+        assert serial.ownership.stats.transitions > 0
+
+
+class TestDivergenceGate:
+    """The difflab cross-tier gate must catch a tiering layer that
+    breaks counter parity — here simulated by a fold() that forgets to
+    restore the elided accesses."""
+
+    def test_execute_case_passes_clean(self):
+        from repro.difflab import ScheduleSpec, execute_case
+
+        execute_case(
+            RACY, ScheduleSpec(kind="random", seed=2), engine="compiled", tiering="on"
+        )
+
+    def test_broken_fold_raises_tiering_divergence(self, monkeypatch):
+        from repro.difflab import ScheduleSpec, TieringDivergence, execute_case
+        from repro.runtime.tiering import TieringState
+
+        def lossy_fold(self):
+            if self._folded:
+                return 0
+            self._folded = True
+            return 0  # drop every deferred counter
+
+        monkeypatch.setattr(TieringState, "fold", lossy_fold)
+        with pytest.raises(TieringDivergence):
+            execute_case(
+                SETTLING, ScheduleSpec(kind="random", seed=3), engine="compiled", tiering="on"
+            )
+
+    def test_run_case_surfaces_divergence_as_case_error(self, monkeypatch):
+        from repro.difflab import ScheduleSpec, run_case
+        from repro.runtime.tiering import TieringState
+
+        def lossy_fold(self):
+            self._folded = True
+            return 0
+
+        monkeypatch.setattr(TieringState, "fold", lossy_fold)
+        result = run_case(
+            SETTLING, ScheduleSpec(kind="random", seed=3), engine="compiled", tiering="on"
+        )
+        assert result.error is not None
+        assert "TieringDivergence" in result.error
+
+
+class TestCliParity:
+    def test_check_report_json_byte_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "racy.mj"
+        program.write_text(RACY)
+        reports = {}
+        for mode in ("off", "on"):
+            main([
+                "check", str(program), "--engine", "compiled",
+                "--seed", "4", "--tiering", mode, "--report-json",
+            ])
+            reports[mode] = capsys.readouterr().out
+        assert reports["on"] == reports["off"]
+
+    def test_tiering_with_ast_engine_is_a_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program = tmp_path / "racy.mj"
+        program.write_text(RACY)
+        code = main([
+            "check", str(program), "--engine", "ast", "--tiering", "on",
+        ])
+        assert code == 2
+        assert "requires --engine compiled" in capsys.readouterr().err

@@ -13,7 +13,13 @@ from repro.runtime.events import (
     LogSchemaError,
     LogSchemaMismatchError,
 )
-from repro.service.cache import HIT, MISS, CompileCache, source_fingerprint
+from repro.service.cache import (
+    HIT,
+    MISS,
+    CompileCache,
+    plan_fingerprint,
+    source_fingerprint,
+)
 from repro.service.protocol import (
     EXIT_CORRUPT,
     EXIT_ERROR,
@@ -155,7 +161,12 @@ class TestCompileCache:
         assert second.status == HIT
         assert second.resolved is first.resolved
         assert second.plan is first.plan
-        assert cache.counters() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.counters() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "plan_fingerprint": cache.plan_fingerprint,
+        }
 
     def test_filename_is_part_of_the_address(self):
         # Site descriptors embed the filename, so the same source under
@@ -165,6 +176,24 @@ class TestCompileCache:
         assert cache.lookup(PROGRAM, "b.mj").status == MISS
         assert source_fingerprint(PROGRAM, "a.mj") != source_fingerprint(
             PROGRAM, "b.mj"
+        )
+
+    def test_planner_config_is_part_of_the_address(self):
+        # The same submission under two planner configurations compiles
+        # to different artifacts, so the addresses must differ too.
+        from repro.instrument.planner import PlannerConfig
+
+        full = plan_fingerprint(PlannerConfig())
+        nostatic = plan_fingerprint(PlannerConfig(static_analysis=False))
+        assert full != nostatic
+        assert source_fingerprint(PROGRAM, "a.mj", plan=full) != (
+            source_fingerprint(PROGRAM, "a.mj", plan=nostatic)
+        )
+        # And the cache mixes its own planner's fingerprint into every
+        # key it creates.
+        cache = CompileCache()
+        assert cache.lookup(PROGRAM, "a.mj").fingerprint == (
+            source_fingerprint(PROGRAM, "a.mj", plan=cache.plan_fingerprint)
         )
 
     def test_fifo_eviction(self):

@@ -1,0 +1,408 @@
+"""Unit tests for the tiered compilation layer
+(:mod:`repro.runtime.tiering`): ownership terminal states, the static
+start-reach/thread-local analyses, the settlement tracker, engagement
+rules, and counter folding."""
+
+import random
+
+import pytest
+
+from repro.detector import DetectorConfig, OwnershipFilter, RaceDetector
+from repro.lang import compile_source
+from repro.runtime import (
+    CompiledInterpreter,
+    MulticastSink,
+    RandomPolicy,
+    RecordingSink,
+)
+from repro.runtime.tiering import (
+    TIERING_MODES,
+    TierCounters,
+    TieringState,
+    analyze_start_reach,
+    attach_tiering,
+    main_flip_index,
+    run_can_start,
+    thread_local_sites,
+    validate_tiering,
+)
+
+#: Two workers race on d.x; after both join, main hammers a fresh
+#: object through the *same* traced site — the accesses a settled
+#: (terminal-state) run elides.
+SETTLING = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 0;
+    var a = new Worker(d); var b = new Worker(d);
+    start a; start b; join a; join b;
+    var f = new Data();
+    f.x = 0;
+    var i = 0;
+    while (i < 8) { f.bump(); i = i + 1; }
+    print d.x; print f.x;
+  }
+}
+class Data { field x; def bump() { this.x = this.x + 1; } }
+class Worker {
+  field d;
+  def init(d) { this.d = d; }
+  def run() { this.d.bump(); }
+}
+"""
+
+NO_THREADS = """
+class Main {
+  static def main() {
+    var d = new Data();
+    d.x = 1;
+    print d.x;
+  }
+}
+class Data { field x; }
+"""
+
+#: ``run`` itself contains a ``start`` — a child that can spawn
+#: further threads, so its class must block settlement while live.
+NESTED_START = """
+class Main {
+  static def main() {
+    var s = new Spawner();
+    start s; join s;
+    print 1;
+  }
+}
+class Leaf { def run() { var x = 1; } }
+class Spawner {
+  def run() { var l = new Leaf(); start l; join l; }
+}
+"""
+
+
+class TestTieringModes:
+    def test_validate_accepts_every_mode(self):
+        for mode in TIERING_MODES:
+            assert validate_tiering(mode) == mode
+
+    def test_validate_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="auto"):
+            validate_tiering("auto")
+
+    def test_env_default_rejects_garbage(self, monkeypatch):
+        from repro.runtime import tiering
+
+        monkeypatch.setenv("REPRO_TIERING", "fast")
+        with pytest.raises(ValueError, match="REPRO_TIERING"):
+            tiering._env_default()
+
+    def test_env_default_unset_is_off(self, monkeypatch):
+        from repro.runtime import tiering
+
+        monkeypatch.delenv("REPRO_TIERING", raising=False)
+        assert tiering._env_default() == "off"
+
+
+class TestWouldFilter:
+    """``would_filter`` is the elision-eligibility predicate: it must
+    agree with ``admit`` on every reachable ownership state and never
+    mutate anything."""
+
+    def test_agrees_with_admit_on_random_traffic(self):
+        rng = random.Random(42)
+        own = OwnershipFilter()
+        for _ in range(500):
+            key = rng.choice("abcdef")
+            thread = rng.randrange(3)
+            predicted = own.would_filter(key, thread)
+            admit, _ = own.admit(key, thread)
+            assert predicted == (not admit)
+
+    def test_is_pure(self):
+        own = OwnershipFilter()
+        own.admit("k", 1)
+        before = (dict(own._owners), own.stats.owned_filtered)
+        own.would_filter("k", 1)
+        own.would_filter("k", 2)
+        own.would_filter("fresh", 7)
+        assert (dict(own._owners), own.stats.owned_filtered) == before
+        assert own.owner_of("fresh") is None
+
+    def test_shared_is_terminal(self):
+        own = OwnershipFilter()
+        own.admit("k", 1)
+        own.admit("k", 2)  # transition to SHARED
+        assert own.is_shared("k")
+        for thread in range(4):
+            assert not own.would_filter("k", thread)
+            admit, transitioned = own.admit("k", thread)
+            assert admit and not transitioned
+        assert own.is_shared("k")  # no edge leaves SHARED
+
+    def test_fold_elided_matches_the_admits_it_replaces(self):
+        # N elided accesses must account exactly like N filtered admits.
+        folded, admitted = OwnershipFilter(), OwnershipFilter()
+        admitted.admit("k", 1)
+        for _ in range(9):
+            admitted.admit("k", 1)
+        folded._owners["k"] = 1
+        folded.fold_elided(10)
+        assert folded.stats.owned_filtered == admitted.stats.owned_filtered
+        assert folded.stats.transitions == admitted.stats.transitions
+        assert folded.stats.shared_passed == admitted.stats.shared_passed
+
+
+class TestStartReach:
+    def test_no_threads_means_nothing_reaches(self):
+        resolved = compile_source(NO_THREADS, filename="nt.mj")
+        assert analyze_start_reach(resolved) == set()
+        assert main_flip_index(resolved, set()) == -1
+
+    def test_direct_and_transitive_reach(self):
+        resolved = compile_source(NESTED_START, filename="ns.mj")
+        reaches = analyze_start_reach(resolved)
+        assert "Main.main" in reaches
+        assert "Spawner.run" in reaches
+        assert "Leaf.run" not in reaches
+
+    def test_run_can_start_blocks_settlement_for_spawners(self):
+        resolved = compile_source(NESTED_START, filename="ns.mj")
+        reaches = analyze_start_reach(resolved)
+        can = run_can_start(resolved, reaches)
+        assert can["Spawner"] is True
+        assert can["Leaf"] is False
+        assert can["Main"] is False  # no run method: never a thread
+
+    def test_flip_index_is_the_last_start_reaching_statement(self):
+        resolved = compile_source(SETTLING, filename="settle.mj")
+        reaches = analyze_start_reach(resolved)
+        index = main_flip_index(resolved, reaches)
+        body = resolved.main_method.body.body
+        # The flip statement is the one containing `start b`; every
+        # later top-level statement (joins, the loop, prints) must not
+        # reach a start, or settlement could fire too early.
+        assert 0 <= index < len(body) - 1
+        from repro.lang import ast
+
+        starts = [
+            i
+            for i, stmt in enumerate(body)
+            if type(stmt) is ast.Start
+            or any(type(n) is ast.Start for n in stmt.children())
+        ]
+        assert index == max(starts)
+
+
+class TestThreadLocalSites:
+    def test_fresh_main_object_sites_qualify_and_shared_do_not(self):
+        resolved = compile_source(SETTLING, filename="settle.mj")
+        sites = thread_local_sites(resolved, None)
+        # Some site must be proven thread-local (accesses through `f`
+        # never escape main)...
+        assert sites
+        # ...but the racy site inside Data.bump reaches the shared `d`
+        # too, so it must never be promoted statically.
+        origins = {resolved.origin_of(site) for site in sites}
+        for origin in origins:
+            assert "Data.bump" not in getattr(origin, "qualified_name", "")
+
+    def test_no_threads_program_is_entirely_thread_local(self):
+        resolved = compile_source(NO_THREADS, filename="nt.mj")
+        sites = thread_local_sites(resolved, None)
+        assert sites == set(resolved.sites)
+
+    def test_respects_the_trace_site_restriction(self):
+        resolved = compile_source(NO_THREADS, filename="nt.mj")
+        assert thread_local_sites(resolved, set()) == set()
+
+
+def _engine(source, sink, tiering="on", trace_sites=None, seed=3):
+    resolved = compile_source(source, filename="tiering-test.mj")
+    return CompiledInterpreter(
+        resolved,
+        sink=sink,
+        trace_sites=trace_sites,
+        policy=RandomPolicy(seed),
+        tiering=tiering,
+    )
+
+
+class TestEngagement:
+    def test_plain_detector_engages(self):
+        engine = _engine(SETTLING, RaceDetector())
+        assert isinstance(engine._tiering, TieringState)
+
+    def test_off_mode_never_engages(self):
+        engine = _engine(SETTLING, RaceDetector(), tiering="off")
+        assert engine._tiering is None
+
+    def test_recording_sink_never_engages(self):
+        engine = _engine(SETTLING, RecordingSink())
+        assert engine._tiering is None
+
+    def test_multicast_sink_never_engages(self):
+        sink = MulticastSink([RecordingSink(), RaceDetector()])
+        engine = _engine(SETTLING, sink)
+        assert engine._tiering is None
+
+    def test_no_sink_never_engages(self):
+        engine = _engine(SETTLING, None)
+        assert engine._tiering is None
+
+    def test_ownership_disabled_never_engages(self):
+        detector = RaceDetector(config=DetectorConfig(ownership=False))
+        engine = _engine(SETTLING, detector)
+        assert engine._tiering is None
+
+    def test_ast_engine_validates_and_ignores(self):
+        from repro.runtime import Interpreter
+
+        resolved = compile_source(NO_THREADS, filename="nt.mj")
+        engine = Interpreter(resolved, sink=RaceDetector(), tiering="on")
+        assert engine._tiering is None
+        with pytest.raises(ValueError):
+            Interpreter(resolved, sink=RaceDetector(), tiering="sideways")
+
+
+class TestSettlementTracker:
+    def _state(self, source=SETTLING):
+        engine = _engine(source, RaceDetector())
+        return engine._tiering
+
+    def test_single_threaded_program_settles_at_step_zero(self):
+        state = self._state(NO_THREADS)
+        assert state.flip_index == -1
+        assert state.settled_cell[0]
+        assert state.survivor_cell[0] == 0
+
+    def test_threaded_program_starts_unsettled(self):
+        state = self._state()
+        assert state.flip_index >= 0
+        assert not state.settled_cell[0]
+
+    def test_settles_only_when_sole_survivor_cannot_start(self):
+        state = self._state()
+        state.note_start(1, "Worker")
+        state.note_start(2, "Worker")
+        state.note_main_past_starts()
+        assert not state.settled_cell[0]  # three live threads
+        state.note_end(1)
+        assert not state.settled_cell[0]  # two live threads
+        state.note_end(2)
+        assert state.settled_cell[0]
+        assert state.survivor_cell[0] == 0
+
+    def test_does_not_settle_before_main_passes_its_starts(self):
+        state = self._state()
+        state.note_start(1, "Worker")
+        state.note_end(1)
+        # Main is the sole survivor but has not crossed its last
+        # start-reaching statement: another start is still possible.
+        assert not state.settled_cell[0]
+
+    def test_child_survivor_settles_when_its_run_cannot_start(self):
+        state = self._state()
+        state.note_start(1, "Worker")
+        state.note_main_past_starts()
+        state.note_end(0)
+        assert state.settled_cell[0]
+        assert state.survivor_cell[0] == 1
+
+    def test_spawning_child_blocks_settlement(self):
+        state = self._state(NESTED_START)
+        state.note_start(1, "Spawner")
+        state.note_main_past_starts()
+        state.note_end(0)
+        assert not state.settled_cell[0]  # Spawner.run reaches a start
+
+    def test_unknown_class_is_conservatively_a_spawner(self):
+        state = self._state()
+        state.note_start(1, "Mystery")
+        state.note_main_past_starts()
+        state.note_end(0)
+        assert not state.settled_cell[0]
+
+    def test_start_after_settlement_is_a_hard_error(self):
+        state = self._state()
+        state.note_start(1, "Worker")
+        state.note_main_past_starts()
+        state.note_end(1)
+        assert state.settled_cell[0]
+        with pytest.raises(RuntimeError, match="settlement violated"):
+            state.note_start(2, "Worker")
+
+
+class TestFold:
+    def test_fold_restores_exact_counter_parity(self):
+        detector_on = RaceDetector()
+        engine = _engine(SETTLING, detector_on)
+        engine.run()
+        detector_off = RaceDetector()
+        _engine(SETTLING, detector_off, tiering="off").run()
+
+        assert detector_on.tiering is not None
+        assert detector_on.tiering.elided_settled > 0
+        assert detector_on.stats == detector_off.stats
+        assert detector_on.ownership.stats == detector_off.ownership.stats
+        assert detector_on.cache.stats.hits == detector_off.cache.stats.hits
+        assert [str(r) for r in detector_on.reports.reports] == [
+            str(r) for r in detector_off.reports.reports
+        ]
+
+    def test_fold_is_idempotent(self):
+        detector = RaceDetector()
+        engine = _engine(SETTLING, detector)
+        engine.run()
+        accesses = detector.stats.accesses
+        assert engine._tiering.fold() == 0  # run() already folded
+        assert detector.stats.accesses == accesses
+
+    def test_untraced_sites_produce_no_tiering_work(self):
+        detector = RaceDetector()
+        engine = _engine(SETTLING, detector, trace_sites=set())
+        engine.run()
+        counters = detector.tiering
+        assert counters.sites_tier0 == 0
+        assert counters.elided == 0
+
+    def test_static_tier1_sites_elide_when_every_site_is_traced(self):
+        # With all sites traced, the f-only sites (thread-local by
+        # escape analysis) compile to bare tier-1 stubs.
+        detector = RaceDetector()
+        engine = _engine(SETTLING, detector)
+        engine.run()
+        counters = detector.tiering
+        assert counters.sites_tier1_static > 0
+        assert counters.elided_static > 0
+        assert counters.settled
+        assert counters.survivor == 0
+
+
+class TestTierCounters:
+    def test_elided_total_and_dict_shape(self):
+        counters = TierCounters(
+            sites_tier0=4,
+            sites_tier1_static=2,
+            inline_owned=10,
+            inline_cache_hits=3,
+            elided_static=7,
+            elided_settled=5,
+            settled=True,
+            survivor=0,
+        )
+        assert counters.elided == 12
+        payload = counters.as_dict()
+        assert payload["elided_total"] == 12
+        assert payload["settled"] is True
+        assert payload["survivor"] == 0
+        import json
+
+        json.dumps(payload)  # /stats aggregation needs JSON-safety
+
+
+class TestAttachHelper:
+    def test_attach_matches_engine_wiring(self):
+        engine = _engine(SETTLING, RaceDetector(), tiering="off")
+        state = attach_tiering(engine)
+        assert isinstance(state, TieringState)
+        assert state.detector is engine._sink
