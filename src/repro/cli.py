@@ -158,6 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="PATH",
                      help="record the event stream to an MJBL binary log "
                      "(streaming, bounded memory)")
+    run.add_argument("--compress", type=int, nargs="?", const=6,
+                     default=None, metavar="LEVEL",
+                     help="deflate the binary log's record blocks (MJBL "
+                     "v2; zlib level 0-9, default 6 when the flag is "
+                     "given bare; requires --record-binary)")
 
     log_stats = sub.add_parser(
         "log-stats", help="summarize a recorded event log (either format)"
@@ -167,6 +172,25 @@ def _build_parser() -> argparse.ArgumentParser:
     log_stats.add_argument("--verify", action="store_true",
                            help="also CRC-check a binary log's record "
                            "region (O(n))")
+
+    synthlog = sub.add_parser(
+        "synthlog",
+        help="write a deterministic synthetic MJBL log (benchmarks, "
+        "format experiments)",
+    )
+    synthlog.add_argument("out", type=Path, help="output .mjbl path")
+    synthlog.add_argument("--events", type=int, default=100_000)
+    synthlog.add_argument("--seed", type=int, default=2002)
+    synthlog.add_argument("--threads", type=int, default=8)
+    synthlog.add_argument("--objects", type=int, default=4096)
+    synthlog.add_argument("--records-per-block", type=int, default=None,
+                          metavar="N",
+                          help="index block granularity (default: "
+                          "writer default)")
+    synthlog.add_argument("--compress", type=int, nargs="?", const=6,
+                          default=None, metavar="LEVEL",
+                          help="deflate record blocks (MJBL v2; zlib "
+                          "level 0-9, default 6 when given bare)")
 
     explain = sub.add_parser(
         "explain", help="show the static phases' decisions"
@@ -522,6 +546,12 @@ def _tiering_line(counters) -> str:
 def cmd_run(args) -> int:
     if _tiering_usage_error(args):
         return 2
+    if args.compress is not None and args.record_binary is None:
+        print("error: --compress requires --record-binary", file=sys.stderr)
+        return 2
+    if args.compress is not None and not 0 <= args.compress <= 9:
+        print("error: --compress level must be 0-9", file=sys.stderr)
+        return 2
     resolved = _compile(args.file)
     sinks = []
     binary_sink = None
@@ -529,7 +559,7 @@ def cmd_run(args) -> int:
     if args.record_binary is not None:
         from .runtime import BinaryLogSink
 
-        binary_sink = BinaryLogSink(args.record_binary)
+        binary_sink = BinaryLogSink(args.record_binary, compress=args.compress)
         sinks.append(binary_sink)
     if args.record is not None:
         from .runtime import RecordingSink
@@ -548,9 +578,14 @@ def cmd_run(args) -> int:
         print(line)
     if binary_sink is not None:
         binary_sink.close()  # idempotent; the engine's run-end already closed
+        flavor = (
+            "binary"
+            if args.compress is None
+            else f"binary v2, deflate level {args.compress}"
+        )
         print(f"[recorded] {binary_sink.record_count} events -> "
               f"{args.record_binary} ({args.record_binary.stat().st_size} "
-              f"bytes, binary)", file=sys.stderr)
+              f"bytes, {flavor})", file=sys.stderr)
     if tuple_sink is not None:
         import json
 
@@ -576,8 +611,20 @@ def cmd_log_stats(args) -> int:
         stats = log.stats()
         binary_bytes = on_disk
         tuple_bytes = tuple_log_json_bytes(log.entries())
-        print(f"format: binary (MJBL v1, {len(log.blocks)} index blocks, "
+        block_stats = log.block_stats()
+        print(f"format: binary (MJBL v{log.version}, "
+              f"{block_stats['blocks']} index blocks, "
               f"{len(log.strings)} interned strings)")
+        print(f"block fill: mean {block_stats['mean_fill']:.2%} "
+              f"(min {block_stats['min_fill']:.2%}, "
+              f"max {block_stats['max_fill']:.2%}) of "
+              f"{block_stats['records_per_block']} records/block")
+        if block_stats["compressed_blocks"]:
+            print(f"compression: {block_stats['compressed_blocks']}/"
+                  f"{block_stats['blocks']} blocks deflated, "
+                  f"{block_stats['compression_ratio']:.2f}x record-region "
+                  f"ratio ({block_stats['raw_record_bytes']} raw -> "
+                  f"{block_stats['stored_record_bytes']} stored)")
     else:
         stats = collect_log_stats(log)
         tuple_bytes = on_disk
@@ -606,6 +653,39 @@ def cmd_log_stats(args) -> int:
     print(f"binary MJBL bytes: {binary_bytes}")
     if binary_bytes:
         print(f"tuple/binary size ratio: {tuple_bytes / binary_bytes:.2f}x")
+    return 0
+
+
+def cmd_synthlog(args) -> int:
+    if args.compress is not None and not 0 <= args.compress <= 9:
+        print("error: --compress level must be 0-9", file=sys.stderr)
+        return 2
+    if args.events <= 0:
+        print("error: --events must be positive", file=sys.stderr)
+        return 2
+    from .runtime.synthlog import synthesize_file
+
+    try:
+        count = synthesize_file(
+            args.out,
+            args.events,
+            compress=args.compress,
+            records_per_block=args.records_per_block,
+            threads=args.threads,
+            objects=args.objects,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    size = args.out.stat().st_size
+    flavor = (
+        "MJBL v1"
+        if args.compress is None
+        else f"MJBL v2, deflate level {args.compress}"
+    )
+    print(f"[synthlog] {count} events -> {args.out} ({size} bytes, "
+          f"{size / count:.1f} bytes/event, {flavor})", file=sys.stderr)
     return 0
 
 
@@ -829,6 +909,7 @@ def main(argv=None) -> int:
         "check": cmd_check,
         "run": cmd_run,
         "log-stats": cmd_log_stats,
+        "synthlog": cmd_synthlog,
         "explain": cmd_explain,
         "tables": cmd_tables,
         "serve": cmd_serve,

@@ -142,6 +142,12 @@ class RaceDetector(EventSink):
         self._owners = self.ownership._owners if self.ownership else None
         self._own_stats = self.ownership.stats if self.ownership else None
         self._cache_access = self.cache.access_tracked if self.cache else None
+        # The sync-event handlers run in the batched binary-log replay's
+        # tight per-block loops, so the tracker methods are pre-bound
+        # alongside the access-path state above.
+        self._locks_enter = self.locks.enter
+        self._locks_exit = self.locks.exit
+        self._cache_release = self.cache.on_lock_release if self.cache else None
         # Main thread's own pseudo-lock, for uniformity with children.
         if self.config.join_pseudolocks:
             self.locks.acquire_pseudo(0, join_pseudo_lock(0))
@@ -167,14 +173,15 @@ class RaceDetector(EventSink):
     def on_monitor_enter(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
         if reentrant:
             return  # Nested enter: lockset unchanged (Section 4.2).
-        self.locks.enter(thread_id, lock_uid)
+        self._locks_enter(thread_id, lock_uid)
 
     def on_monitor_exit(self, thread_id: int, lock_uid: int, reentrant: bool) -> None:
         if reentrant:
             return
-        self.locks.exit(thread_id, lock_uid)
-        if self.cache is not None:
-            self.cache.on_lock_release(thread_id, lock_uid)
+        self._locks_exit(thread_id, lock_uid)
+        release = self._cache_release
+        if release is not None:
+            release(thread_id, lock_uid)
 
     def on_thread_start(self, parent_id: int, child_id: int) -> None:
         if self.config.join_pseudolocks:

@@ -99,11 +99,19 @@ def detect_from_log(
     detector = RaceDetector(
         config=config, resolved=resolved, static_races=static_races
     )
-    replay_entries(log.entries() if entries is None else entries, detector)
+    if entries is None:
+        # Mapped binary log: the batched columnar decode pushes whole
+        # record runs straight into the detector's scalar spine.
+        log.replay_into(detector)
+    else:
+        replay_entries(entries, detector)
     pairs: Optional[list] = None
     if enumerate_full_race:
         oracle = ReferenceDetector(config)
-        replay_entries(log.entries() if entries is None else entries, oracle)
+        if entries is None:
+            log.replay_into(oracle)
+        else:
+            replay_entries(entries, oracle)
         pairs = oracle.full_race
     return detector, pairs
 

@@ -327,13 +327,15 @@ def predict_races(log, mode: str = "hybrid", validate: bool = True):
     if isinstance(log, (str, Path)):
         log = open_log(log)
         validate = False
-    if isinstance(log, BinaryLogReader):
-        entries = log.entries()
-    else:
-        entries = log.log if isinstance(log, RecordingSink) else log
-        if validate:
-            validate_entries(entries)
     predictor = make_predictor(mode)
+    if isinstance(log, BinaryLogReader):
+        # Batched columnar decode straight into the predictor — same
+        # stream as entries(), without materializing schema-v3 tuples.
+        log.replay_into(predictor)
+        return predictor
+    entries = log.log if isinstance(log, RecordingSink) else log
+    if validate:
+        validate_entries(entries)
     replay_entries(entries, predictor)
     return predictor
 

@@ -41,15 +41,16 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..lang.ast import AccessKind
-from .weaker import (
-    THREAD_BOTTOM,
-    THREAD_TOP,
-    ThreadValue,
-    access_leq,
-    access_meet,
-    thread_leq,
-    thread_meet,
-)
+from .weaker import THREAD_BOTTOM, THREAD_TOP, ThreadValue
+
+#: The traversals below inline the one-line partial-order helpers of
+#: :mod:`repro.detector.weaker` (``thread_leq``, ``access_leq``, and
+#: the ⊓-is-t⊥ / ⊓-is-WRITE tests) — at millions of node visits per
+#: detection run the function-call overhead is measurable.  The inlined
+#: forms are exact for every value the detector produces; incoming
+#: event threads are concrete ids (or ``t⊥`` after a meet), never
+#: ``t⊤``.
+_WRITE = AccessKind.WRITE
 
 
 class TrieNode:
@@ -138,15 +139,32 @@ class LockTrie:
     def _find_weaker(
         self, node: TrieNode, lockset: frozenset, thread: int, kind: AccessKind
     ) -> bool:
+        node_thread = node.thread
         if (
-            node.holds_accesses
-            and thread_leq(node.thread, thread)
-            and access_leq(node.kind, kind)
+            node_thread is not THREAD_TOP
+            and (node_thread == thread or node_thread is THREAD_BOTTOM)
+            and (node.kind is kind or node.kind is _WRITE)
         ):
             return True
-        for lock, child in node.children.items():
-            if lock in lockset and self._find_weaker(child, lockset, thread, kind):
-                return True
+        children = node.children
+        if not children:
+            return False
+        # Only edges labeled with locks in the event's lockset may be
+        # followed; intersect from whichever side is smaller.
+        if len(children) <= len(lockset):
+            for lock, child in children.items():
+                if lock in lockset and self._find_weaker(
+                    child, lockset, thread, kind
+                ):
+                    return True
+        else:
+            get = children.get
+            for lock in lockset:
+                child = get(lock)
+                if child is not None and self._find_weaker(
+                    child, lockset, thread, kind
+                ):
+                    return True
         return False
 
     # ------------------------------------------------------------------
@@ -165,26 +183,29 @@ class LockTrie:
         found (depth-first order), or ``None``.
         """
         return self._find_race(
-            self.root, (), lockset, thread, kind, read_read_races
+            self.root, [], lockset, thread, kind, read_read_races
         )
 
     def _find_race(
         self,
         node: TrieNode,
-        path: tuple,
+        path: list,
         lockset: frozenset,
         thread: int,
         kind: AccessKind,
         read_read_races: bool,
     ) -> Optional[PriorAccess]:
         # Case II: this node's accesses are lock-disjoint from the event
-        # (guaranteed by Case I pruning below), involve another thread,
-        # and at least one side wrote.
-        if node.holds_accesses and thread_meet(node.thread, thread) is THREAD_BOTTOM:
-            if read_read_races or access_meet(node.kind, kind) is AccessKind.WRITE:
+        # (guaranteed by Case I pruning below), involve another thread
+        # (``n.t ⊓ e.t = t⊥``), and at least one side wrote.
+        node_thread = node.thread
+        if node_thread is not THREAD_TOP and (
+            node_thread != thread or node_thread is THREAD_BOTTOM
+        ):
+            if read_read_races or node.kind is _WRITE or kind is _WRITE:
                 self.stats.races_found += 1
                 return PriorAccess(
-                    thread=node.thread,
+                    thread=node_thread,
                     lockset=frozenset(path),
                     kind=node.kind,
                 )
@@ -193,12 +214,16 @@ class LockTrie:
             # incoming event also holds — no race anywhere below.
             if lock in lockset:
                 continue
-            # Case III: recurse.
+            # Case III: recurse.  ``path`` is a shared mutable stack —
+            # push/pop instead of allocating a tuple per edge; a hit
+            # freezes it before unwinding.
+            path.append(lock)
             race = self._find_race(
-                child, path + (lock,), lockset, thread, kind, read_read_races
+                child, path, lockset, thread, kind, read_read_races
             )
             if race is not None:
                 return race
+            path.pop()
         return None
 
     # ------------------------------------------------------------------
@@ -214,12 +239,16 @@ class LockTrie:
                 self.stats.nodes_allocated += 1
                 node.children[lock] = child
             node = child
-        if node.holds_accesses:
-            self.stats.updates += 1
-        else:
+        node_thread = node.thread
+        if node_thread is THREAD_TOP:
             self.stats.inserts += 1
-        node.thread = thread_meet(node.thread, thread)
-        node.kind = access_meet(node.kind, kind)
+            node.thread = thread
+        else:
+            self.stats.updates += 1
+            if node_thread != thread:
+                node.thread = THREAD_BOTTOM
+        if node.kind is not kind:
+            node.kind = _WRITE
         return node
 
     def prune_stronger(
@@ -231,36 +260,63 @@ class LockTrie:
         iff ``lockset ⊆ n.L ∧ thread ⊑ n.t ∧ kind ⊑ n.a``.  ``keep`` is
         the node just inserted (it trivially satisfies the condition and
         must survive).  Returns the number of nodes demoted.
+
+        The walk is targeted, not exhaustive: paths are stored in sorted
+        lock order, so once the smallest still-required lock is smaller
+        than an edge's label the whole subtree below that edge can never
+        satisfy ``lockset ⊆ n.L`` and is skipped.  (Skipped subtrees are
+        untouched, and the trie holds no dead internal nodes between
+        prunes, so skipping never strands a trimmable node.)
         """
-        removed = self._prune(self.root, frozenset(), lockset, thread, kind, keep)
+        removed = self._prune(self.root, tuple(sorted(lockset)), thread, kind, keep)
         return removed
 
     def _prune(
         self,
         node: TrieNode,
-        path_locks: frozenset,
-        lockset: frozenset,
+        required: tuple,
         thread: int,
         kind: AccessKind,
         keep: TrieNode,
     ) -> int:
         removed = 0
-        if (
-            node is not keep
-            and node.holds_accesses
-            and lockset <= path_locks
-            and thread_leq(thread, node.thread)
-            and access_leq(kind, node.kind)
-        ):
-            node.clear_accesses()
-            removed += 1
+        if not required and node is not keep:
+            node_thread = node.thread
+            if (
+                node_thread is not THREAD_TOP
+                and (thread == node_thread or thread is THREAD_BOTTOM)
+                and (kind is node.kind or kind is _WRITE)
+            ):
+                node.clear_accesses()
+                removed += 1
         dead_children = []
-        for lock, child in node.children.items():
-            removed += self._prune(
-                child, path_locks | {lock}, lockset, thread, kind, keep
-            )
-            if not child.children and not child.holds_accesses and child is not keep:
-                dead_children.append(lock)
+        if required:
+            first = required[0]
+            rest = required[1:]
+            for lock, child in node.children.items():
+                if lock > first:
+                    # Edges below carry strictly larger labels, so
+                    # ``first`` can never join the path: skip.
+                    continue
+                removed += self._prune(
+                    child, rest if lock == first else required, thread, kind,
+                    keep,
+                )
+                if (
+                    not child.children
+                    and child.thread is THREAD_TOP
+                    and child is not keep
+                ):
+                    dead_children.append(lock)
+        else:
+            for lock, child in node.children.items():
+                removed += self._prune(child, required, thread, kind, keep)
+                if (
+                    not child.children
+                    and child.thread is THREAD_TOP
+                    and child is not keep
+                ):
+                    dead_children.append(lock)
         for lock in dead_children:
             del node.children[lock]
             self.stats.nodes_freed += 1

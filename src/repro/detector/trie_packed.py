@@ -30,13 +30,12 @@ from typing import Optional
 
 from ..lang.ast import AccessKind
 from .trie import PriorAccess, TrieStats
-from .weaker import (
-    THREAD_BOTTOM,
-    access_leq,
-    access_meet,
-    thread_leq,
-    thread_meet,
-)
+from .weaker import THREAD_BOTTOM, access_meet, thread_meet
+
+#: Hot traversals inline the one-line partial-order helpers of
+#: :mod:`repro.detector.weaker`, exactly as :class:`~.trie.LockTrie`
+#: does — see the note there.
+_WRITE = AccessKind.WRITE
 
 
 class PackedNode:
@@ -74,15 +73,28 @@ class PackedLockTrie:
         entry = node.entries.get(key)
         if (
             entry is not None
-            and thread_leq(entry[0], thread)
-            and access_leq(entry[1], kind)
+            and (entry[0] == thread or entry[0] is THREAD_BOTTOM)
+            and (entry[1] is kind or entry[1] is _WRITE)
         ):
             return True
-        for lock, child in node.children.items():
-            if lock in lockset and self._find_weaker(
-                child, key, lockset, thread, kind
-            ):
-                return True
+        children = node.children
+        if not children:
+            return False
+        # Intersect edges with the lockset from whichever side is smaller.
+        if len(children) <= len(lockset):
+            for lock, child in children.items():
+                if lock in lockset and self._find_weaker(
+                    child, key, lockset, thread, kind
+                ):
+                    return True
+        else:
+            get = children.get
+            for lock in lockset:
+                child = get(lock)
+                if child is not None and self._find_weaker(
+                    child, key, lockset, thread, kind
+                ):
+                    return True
         return False
 
     # ------------------------------------------------------------------
@@ -96,13 +108,15 @@ class PackedLockTrie:
         read_read_races: bool = False,
     ) -> Optional[PriorAccess]:
         return self._find_race(
-            self.root, (), key, lockset, thread, kind, read_read_races
+            self.root, [], key, lockset, thread, kind, read_read_races
         )
 
     def _find_race(self, node, path, key, lockset, thread, kind, rr):
         entry = node.entries.get(key)
-        if entry is not None and thread_meet(entry[0], thread) is THREAD_BOTTOM:
-            if rr or access_meet(entry[1], kind) is AccessKind.WRITE:
+        if entry is not None and (
+            entry[0] != thread or entry[0] is THREAD_BOTTOM
+        ):
+            if rr or entry[1] is _WRITE or kind is _WRITE:
                 self.stats.races_found += 1
                 return PriorAccess(
                     thread=entry[0], lockset=frozenset(path), kind=entry[1]
@@ -110,11 +124,13 @@ class PackedLockTrie:
         for lock, child in node.children.items():
             if lock in lockset:
                 continue  # Case I.
-            race = self._find_race(
-                child, path + (lock,), key, lockset, thread, kind, rr
-            )
+            # ``path`` is a shared mutable stack — push/pop instead of a
+            # fresh tuple per edge; a hit freezes it before unwinding.
+            path.append(lock)
+            race = self._find_race(child, path, key, lockset, thread, kind, rr)
             if race is not None:
                 return race
+            path.pop()
         return None
 
     # ------------------------------------------------------------------
@@ -145,29 +161,42 @@ class PackedLockTrie:
 
     def prune_stronger(self, key, lockset: frozenset, thread, kind,
                        keep: PackedNode) -> int:
-        removed = self._prune(self.root, frozenset(), key, lockset, thread,
+        removed = self._prune(self.root, tuple(sorted(lockset)), key, thread,
                               kind, keep)
         return removed
 
-    def _prune(self, node, path_locks, key, lockset, thread, kind, keep) -> int:
+    def _prune(self, node, required, key, thread, kind, keep) -> int:
+        # Targeted walk (see LockTrie._prune): paths are sorted, so an
+        # edge labeled above the smallest still-required lock can never
+        # lead to a superset of the lockset — skip the subtree.
         removed = 0
-        entry = node.entries.get(key)
-        if (
-            node is not keep
-            and entry is not None
-            and lockset <= path_locks
-            and thread_leq(thread, entry[0])
-            and access_leq(kind, entry[1])
-        ):
-            del node.entries[key]
-            removed += 1
+        if not required and node is not keep:
+            entry = node.entries.get(key)
+            if (
+                entry is not None
+                and (thread == entry[0] or thread is THREAD_BOTTOM)
+                and (kind is entry[1] or kind is _WRITE)
+            ):
+                del node.entries[key]
+                removed += 1
         dead = []
-        for lock, child in node.children.items():
-            removed += self._prune(
-                child, path_locks | {lock}, key, lockset, thread, kind, keep
-            )
-            if not child.children and not child.entries and child is not keep:
-                dead.append(lock)
+        if required:
+            first = required[0]
+            rest = required[1:]
+            for lock, child in node.children.items():
+                if lock > first:
+                    continue
+                removed += self._prune(
+                    child, rest if lock == first else required, key, thread,
+                    kind, keep,
+                )
+                if not child.children and not child.entries and child is not keep:
+                    dead.append(lock)
+        else:
+            for lock, child in node.children.items():
+                removed += self._prune(child, required, key, thread, kind, keep)
+                if not child.children and not child.entries and child is not keep:
+                    dead.append(lock)
         for lock in dead:
             del node.children[lock]
             self.stats.nodes_freed += 1

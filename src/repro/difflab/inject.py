@@ -104,11 +104,13 @@ class ReadBlindLockTrie(LockTrie):
         for lock, child in node.children.items():
             if lock in lockset:
                 continue
+            path.append(lock)
             race = self._find_race(
-                child, path + (lock,), lockset, thread, kind, read_read_races
+                child, path, lockset, thread, kind, read_read_races
             )
             if race is not None:
                 return race
+            path.pop()
         return None
 
 

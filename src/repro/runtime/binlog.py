@@ -18,9 +18,20 @@ perform the final datarace detection phase off-line" mode:
   :meth:`BinaryLogReader.shard_entries` uses the per-block shard index
   to map only the byte ranges a shard's detector consumes —
   untouched blocks are never faulted in, let alone deserialized.
+* :meth:`BinaryLogReader.replay_into` is the batched push-mode decoder
+  detection actually runs on: per block it scans same-tag record runs
+  and unpacks each run in one precompiled ``Struct.iter_unpack`` sweep
+  straight into pre-bound sink methods, with the per-event Python call
+  overhead hoisted out of the loop; sharded replay decodes the uid
+  column first and unpacks the rest only for owned records.
+* Format **v2** (``compress=`` on the sink) deflates each block with
+  zlib as it is flushed, keeping the deflated bytes only when smaller;
+  the index stores compressed spans, so sharded readers still inflate
+  only owned + sync-bearing blocks.  v1 files remain fully readable.
 * The ``tuple → binary → tuple`` round trip is lossless and is pinned
   by property tests; sharded detection over a mapped binary log merges
-  to byte-identical reports vs the in-memory tuple path.
+  to byte-identical reports vs the in-memory tuple path, for both
+  format versions.
 
 On-disk layout (all little-endian; full spec in ``docs/event_log.md``)::
 
@@ -78,6 +89,17 @@ from .events import (
 
 MAGIC = b"MJBL"
 BINLOG_VERSION = 1
+#: Format v2: identical header, record, and string-table layouts, but
+#: index entries carry a per-block compressed flag plus the raw
+#: (inflated) byte length, and a block's on-disk span may hold
+#: zlib-deflated record bytes.  v1 files remain fully readable — the
+#: v1 index entry's zero pad bytes decode as "uncompressed" under the
+#: unified entry layout.
+BINLOG_VERSION_COMPRESSED = 2
+_READABLE_VERSIONS = (BINLOG_VERSION, BINLOG_VERSION_COMPRESSED)
+
+#: zlib level ``--compress`` uses when given without a value.
+DEFAULT_COMPRESS_LEVEL = 6
 
 #: Header: magic, version, header size, flags, record count, access
 #: count, records offset/length, strings offset/length, index
@@ -124,10 +146,25 @@ _KIND_FROM = (AccessKind.READ, AccessKind.WRITE)
 _OBJKIND_CODE = {ObjectKind.INSTANCE: 0, ObjectKind.ARRAY: 1, ObjectKind.CLASS: 2}
 _OBJKIND_FROM = (ObjectKind.INSTANCE, ObjectKind.ARRAY, ObjectKind.CLASS)
 
-#: Shard-index entry: byte offset, byte length, record count, access
-#: count, sync count, uid-partition bitmap (uid % 64), has-sync flag.
+#: Shard-index entry: byte offset, stored byte length, record count,
+#: access count, sync count, uid-partition bitmap (uid % 64), has-sync
+#: flag.  The v1 writer layout pads the tail with zeros; v2 reuses the
+#: pad for a compressed flag and the raw (inflated) record-bytes length,
+#: so one unified reader layout parses both versions (v1 entries decode
+#: as compressed=0, raw_length=0 → "stored length").
 _INDEX_ENTRY = struct.Struct("<QIIIIQB7x")
+_INDEX_ENTRY_V2 = struct.Struct("<QIIIIQBB2xI")
+assert _INDEX_ENTRY_V2.size == _INDEX_ENTRY.size
 _INDEX_HEADER = struct.Struct("<II")  # block count, records per block
+
+#: Column view of an access record that touches only the uid (bytes
+#: 4..12 of the 28-byte layout): sharded batch decode scans this column
+#: first and unpacks the other columns only for owned records.
+_ACCESS_UID = struct.Struct("<4xQ16x")
+assert _ACCESS_UID.size == _ACCESS.size
+
+#: Chunk size for the streaming CRC pass in :meth:`BinaryLogReader.verify`.
+_VERIFY_CHUNK = 1 << 20
 
 #: How many uid partitions the block bitmaps track.  64 residues fit a
 #: single u64; shard counts whose gcd with 64 exceeds 1 (all even
@@ -154,17 +191,33 @@ class BinaryLogSink(EventSink):
     ``on_run_end`` finalizes the file (string table, index, header
     patch); :meth:`close` does the same for streams that end without a
     run-end event.  Both are idempotent.
+
+    ``compress`` selects the format version: ``None`` (default) writes
+    format v1, byte-identical to earlier builds.  Any zlib level 0–9
+    writes format v2; levels 1–9 deflate each block as it is flushed
+    and keep the deflated bytes only when they are actually smaller
+    (the per-block flag in the index records which form is stored), so
+    an incompressible block costs nothing.  Level 0 writes v2 without
+    ever compressing.  Writer memory stays bounded either way: one
+    block buffer, the string table, and 40 index bytes per block.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         records_per_block: int = DEFAULT_RECORDS_PER_BLOCK,
+        compress: Optional[int] = None,
     ) -> None:
         if records_per_block < 1:
             raise ValueError("records_per_block must be positive")
+        if compress is not None and not 0 <= compress <= 9:
+            raise ValueError("compress must be a zlib level between 0 and 9")
         self.path = Path(path)
         self.records_per_block = records_per_block
+        self.compress = compress
+        self.version = (
+            BINLOG_VERSION if compress is None else BINLOG_VERSION_COMPRESSED
+        )
         self._file: Optional[io.BufferedWriter] = open(self.path, "wb")
         # A *provisional* header: real magic and version, finalized
         # flag clear, every section zero.  A recording that crashes
@@ -174,7 +227,7 @@ class BinaryLogSink(EventSink):
         # misleading "neither binary nor JSON" error.
         self._file.write(
             _HEADER.pack(
-                MAGIC, BINLOG_VERSION, HEADER_SIZE, 0,
+                MAGIC, self.version, HEADER_SIZE, 0,
                 0, 0, HEADER_SIZE, 0, 0, 0, 0, 0, 0,
             )
         )
@@ -205,18 +258,44 @@ class BinaryLogSink(EventSink):
     # -- block bookkeeping ----------------------------------------------
 
     def _end_block(self) -> None:
-        length = len(self._buffer)
-        self._index += _INDEX_ENTRY.pack(
-            self._block_offset,
-            length,
-            self._block_records,
-            self._block_accesses,
-            self._block_syncs,
-            self._block_partitions,
-            1 if self._block_has_sync else 0,
-        )
-        self._crc = zlib.crc32(self._buffer, self._crc)
-        self._file.write(self._buffer)
+        raw_length = len(self._buffer)
+        payload = self._buffer
+        compressed = 0
+        if self.compress and raw_length:
+            deflated = zlib.compress(bytes(self._buffer), self.compress)
+            # Store the deflated form only when it actually wins: an
+            # incompressible block stays raw and its flag stays clear.
+            if len(deflated) < raw_length:
+                payload = deflated
+                compressed = 1
+        length = len(payload)
+        if self.version == BINLOG_VERSION:
+            self._index += _INDEX_ENTRY.pack(
+                self._block_offset,
+                length,
+                self._block_records,
+                self._block_accesses,
+                self._block_syncs,
+                self._block_partitions,
+                1 if self._block_has_sync else 0,
+            )
+        else:
+            self._index += _INDEX_ENTRY_V2.pack(
+                self._block_offset,
+                length,
+                self._block_records,
+                self._block_accesses,
+                self._block_syncs,
+                self._block_partitions,
+                1 if self._block_has_sync else 0,
+                compressed,
+                raw_length,
+            )
+        # The CRC covers the *stored* bytes, so verify() is one
+        # zlib.crc32 pass over the on-disk record region for both
+        # versions — no inflation needed to integrity-check a v2 file.
+        self._crc = zlib.crc32(payload, self._crc)
+        self._file.write(payload)
         self._records_length += length
         self._block_offset += length
         self._buffer.clear()
@@ -323,7 +402,7 @@ class BinaryLogSink(EventSink):
         self._file.write(
             _HEADER.pack(
                 MAGIC,
-                BINLOG_VERSION,
+                self.version,
                 HEADER_SIZE,
                 _FLAG_FINALIZED,
                 self.record_count,
@@ -348,11 +427,18 @@ class BinaryLogSink(EventSink):
 
 
 class BlockSpan:
-    """One index block's byte span, as the shard planner hands it out."""
+    """One index block's byte span, as the shard planner hands it out.
 
-    __slots__ = ("offset", "length", "records", "accesses", "syncs", "partitions", "has_sync")
+    ``length`` is the *stored* (on-disk) span; ``raw_length`` is the
+    inflated record-bytes length — equal for raw blocks, larger for
+    v2-compressed blocks.
+    """
 
-    def __init__(self, offset, length, records, accesses, syncs, partitions, has_sync):
+    __slots__ = ("offset", "length", "records", "accesses", "syncs",
+                 "partitions", "has_sync", "compressed", "raw_length")
+
+    def __init__(self, offset, length, records, accesses, syncs, partitions,
+                 has_sync, compressed=0, raw_length=0):
         self.offset = offset
         self.length = length
         self.records = records
@@ -360,6 +446,8 @@ class BlockSpan:
         self.syncs = syncs
         self.partitions = partitions
         self.has_sync = bool(has_sync)
+        self.compressed = bool(compressed)
+        self.raw_length = raw_length if raw_length else length
 
 
 def _shard_partition_mask(shard: int, shards: int) -> int:
@@ -435,12 +523,14 @@ class BinaryLogReader:
                     f"(expected {MAGIC!r}; not a binary event log)",
                     offset=0,
                 )
-            if version != BINLOG_VERSION:
+            if version not in _READABLE_VERSIONS:
                 raise LogSchemaMismatchError(
                     f"{self.path}: binary log version {version}, but this "
-                    f"build reads version {BINLOG_VERSION} — re-record the "
+                    f"build reads versions {BINLOG_VERSION} and "
+                    f"{BINLOG_VERSION_COMPRESSED} — re-record the "
                     f"execution with the current build"
                 )
+            self.version = version
             if not flags & _FLAG_FINALIZED:
                 raise LogCorruptError(
                     f"{self.path}: log was never finalized (recording "
@@ -474,7 +564,14 @@ class BinaryLogReader:
 
     def close(self) -> None:
         if getattr(self, "_map", None) is not None:
-            self._map.close()
+            try:
+                self._map.close()
+            except BufferError:
+                # A propagating decode error's traceback frame still
+                # exports memoryview slices of the map.  Drop our
+                # reference instead of masking that error; the mapping
+                # closes when the last view dies.
+                pass
             self._map = None
         if getattr(self, "_file", None) is not None:
             self._file.close()
@@ -561,10 +658,24 @@ class BinaryLogReader:
                     f"{offset} ({block_count} blocks promised)",
                     offset=offset,
                 )
+            v1 = self.version == BINLOG_VERSION
             blocks = []
             for _ in range(block_count):
-                blocks.append(BlockSpan(*_INDEX_ENTRY.unpack_from(view, offset)))
-                offset += _INDEX_ENTRY.size
+                span = BlockSpan(*_INDEX_ENTRY_V2.unpack_from(view, offset))
+                if v1 and span.compressed:
+                    # A v1 header over v2-style index entries: either a
+                    # relabeled file or a corrupted index.  Refusing
+                    # beats inflating bytes a v1 reader must treat as
+                    # raw records.
+                    raise LogCorruptError(
+                        f"{self.path}: index entry at byte offset "
+                        f"{offset} carries the v2 compressed-block flag "
+                        f"but the header says format v1 — log corrupted "
+                        f"(or relabeled)",
+                        offset=offset,
+                    )
+                blocks.append(span)
+                offset += _INDEX_ENTRY_V2.size
             self._blocks = blocks
         return self._blocks
 
@@ -572,10 +683,22 @@ class BinaryLogReader:
         """Full integrity check: CRC-32 over the record region.
 
         The O(n) scan mapped reads deliberately skip; ``repro
-        log-stats`` and the corruption tests call it explicitly.
+        log-stats`` and the corruption tests call it explicitly.  The
+        CRC covers the *stored* bytes, so one pass serves v1 and v2
+        files alike without inflating anything.  Streamed in chunks
+        over zero-copy memoryview slices of the map — slicing the mmap
+        object itself would materialize the whole region as a bytes
+        copy, the regression pinned by the peak-RSS test.
         """
-        region = self._map[self.records_offset : self.records_offset + self.records_length]
-        actual = zlib.crc32(region)
+        view = memoryview(self._map)
+        position = self.records_offset
+        stop = self.records_offset + self.records_length
+        actual = 0
+        while position < stop:
+            actual = zlib.crc32(
+                view[position : min(position + _VERIFY_CHUNK, stop)], actual
+            )
+            position += _VERIFY_CHUNK
         if actual != self.records_crc32:
             raise LogCorruptError(
                 f"{self.path}: record region CRC mismatch "
@@ -586,22 +709,140 @@ class BinaryLogReader:
                 offset=self.records_offset,
             )
 
+    def validate_blocks(self) -> None:
+        """Inflate-check every compressed block, without decoding records.
+
+        The service's submit trust boundary calls this so damage inside
+        a deflated block is a request-time 422 naming the block's byte
+        offset, not a failed job discovered by polling.  v1 files and
+        raw blocks cost nothing; each inflated copy is dropped as soon
+        as its length checks out.
+        """
+        for block in self.blocks:
+            if block.compressed:
+                self._block_view(block)
+
     # -- decoding --------------------------------------------------------
+
+    def _block_view(self, block: BlockSpan):
+        """The decodable record bytes of one block, as ``(buffer, start,
+        stop, anchor)``.
+
+        Raw blocks hand back the mmap itself with absolute offsets and
+        ``anchor=None`` — zero-copy, and decode errors name exact file
+        offsets.  Compressed blocks inflate their stored span; decode
+        errors inside the inflated bytes are anchored to the block's
+        file offset (the finest-grained position that exists on disk).
+        """
+        if not block.compressed:
+            return self._map, block.offset, block.offset + block.length, None
+        stored = memoryview(self._map)[
+            block.offset : block.offset + block.length
+        ]
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as error:
+            raise LogCorruptError(
+                f"{self.path}: compressed block at byte offset "
+                f"{block.offset} fails to inflate ({error}) — log "
+                f"corrupted",
+                offset=block.offset,
+            ) from None
+        if len(raw) != block.raw_length:
+            raise LogCorruptError(
+                f"{self.path}: compressed block at byte offset "
+                f"{block.offset} inflated to {len(raw)} bytes, but its "
+                f"index entry promises {block.raw_length} — log "
+                f"corrupted",
+                offset=block.offset,
+            )
+        return raw, 0, len(raw), block.offset
+
+    # Decode-error constructors, shared by the scalar and columnar
+    # paths so both raise identical diagnostics.  ``anchor`` is None
+    # when ``position`` is an exact file offset (raw blocks), or the
+    # enclosing compressed block's file offset otherwise.
+
+    def _unknown_tag(self, tag: int, position: int, anchor) -> LogCorruptError:
+        if anchor is None:
+            return LogCorruptError(
+                f"{self.path}: unknown record tag {tag} at byte "
+                f"offset {position} — log corrupted",
+                offset=position,
+            )
+        return LogCorruptError(
+            f"{self.path}: unknown record tag {tag} inside the "
+            f"compressed block at byte offset {anchor} — log corrupted",
+            offset=anchor,
+        )
+
+    def _truncated_record(
+        self, tag: int, position: int, end: int, anchor
+    ) -> LogCorruptError:
+        if anchor is None:
+            return LogCorruptError(
+                f"{self.path}: record at byte offset {position} "
+                f"(tag {tag}) extends past the record region end "
+                f"{end} — log truncated",
+                offset=position,
+            )
+        return LogCorruptError(
+            f"{self.path}: record (tag {tag}) extends past the end of "
+            f"the compressed block at byte offset {anchor} — log "
+            f"corrupted",
+            offset=anchor,
+        )
+
+    def _bad_access(self, position: int, anchor) -> LogCorruptError:
+        if anchor is None:
+            return LogCorruptError(
+                f"{self.path}: access record at byte offset "
+                f"{position} references an out-of-range string "
+                f"or enum code — log corrupted",
+                offset=position,
+            )
+        return LogCorruptError(
+            f"{self.path}: access record inside the compressed block "
+            f"at byte offset {anchor} references an out-of-range "
+            f"string or enum code — log corrupted",
+            offset=anchor,
+        )
+
+    def _locate_bad_access(self, view, position: int, end: int, anchor):
+        """Re-scan an access run that tripped an IndexError in the
+        batched decode and raise pointing at the first bad record."""
+        strings = len(self.strings)
+        size = _ACCESS.size
+        while position + size <= end:
+            (_, kind, objkind, _, _, _, field_id, label_id) = (
+                _ACCESS.unpack_from(view, position)
+            )
+            if (
+                kind >= len(_KIND_FROM)
+                or objkind >= len(_OBJKIND_FROM)
+                or field_id >= strings
+                or label_id >= strings
+            ):
+                break
+            position += size
+        raise self._bad_access(position, anchor)
 
     def _decode_span(
         self,
+        view,
         offset: int,
         end: int,
         shard: int = -1,
         shards: int = 1,
+        anchor: Optional[int] = None,
     ) -> Iterator[tuple]:
-        """Decode ``[offset, end)`` into schema-v3 tuples.
+        """Decode ``view[offset:end]`` into schema-v3 tuples, one record
+        per step (the scalar reference path).
 
         With ``shard >= 0``, access records whose uid is not routed to
         that shard are skipped after reading only their uid — the lazy
         path sharded detection rides on.
         """
-        view = self._map
         strings = self.strings
         access = RecordingSink.ACCESS
         enter = RecordingSink.ENTER
@@ -616,18 +857,9 @@ class BinaryLogReader:
             tag = view[offset]
             size = sizes.get(tag)
             if size is None:
-                raise LogCorruptError(
-                    f"{self.path}: unknown record tag {tag} at byte "
-                    f"offset {offset} — log corrupted",
-                    offset=offset,
-                )
+                raise self._unknown_tag(tag, offset, anchor)
             if offset + size > end:
-                raise LogCorruptError(
-                    f"{self.path}: record at byte offset {offset} "
-                    f"(tag {tag}) extends past the record region end "
-                    f"{end} — log truncated",
-                    offset=offset,
-                )
+                raise self._truncated_record(tag, offset, end, anchor)
             if tag == TAG_ACCESS:
                 (_, kind, objkind, uid, thread, site, field_id, label_id) = (
                     _ACCESS.unpack_from(view, offset)
@@ -645,12 +877,7 @@ class BinaryLogReader:
                             strings[label_id],
                         )
                     except IndexError:
-                        raise LogCorruptError(
-                            f"{self.path}: access record at byte offset "
-                            f"{offset} references an out-of-range string "
-                            f"or enum code — log corrupted",
-                            offset=offset,
-                        ) from None
+                        raise self._bad_access(offset, anchor) from None
             elif tag == TAG_ENTER or tag == TAG_EXIT:
                 (_, reentrant, thread, lock) = _MONITOR.unpack_from(view, offset)
                 yield (
@@ -678,9 +905,20 @@ class BinaryLogReader:
 
     def entries(self) -> Iterator[tuple]:
         """Lazily decode the whole log as schema-v3 tuples, in order."""
-        return self._decode_span(
-            self.records_offset, self.records_offset + self.records_length
-        )
+        if self.version == BINLOG_VERSION:
+            # v1 record regions are one contiguous raw span; decoding
+            # straight off the map needs no index round trip.
+            return self._decode_span(
+                self._map,
+                self.records_offset,
+                self.records_offset + self.records_length,
+            )
+        return self._entries_by_block()
+
+    def _entries_by_block(self) -> Iterator[tuple]:
+        for block in self.blocks:
+            view, start, stop, anchor = self._block_view(block)
+            yield from self._decode_span(view, start, stop, anchor=anchor)
 
     def __iter__(self) -> Iterator[tuple]:
         return self.entries()
@@ -707,9 +945,289 @@ class BinaryLogReader:
         the same stream :func:`repro.detector.sharded.partition_log`
         would hand that shard, without materializing the others."""
         for block in self.shard_blocks(shard, shards):
-            yield from self._decode_span(
-                block.offset, block.offset + block.length, shard, shards
+            view, start, stop, anchor = self._block_view(block)
+            yield from self._decode_span(view, start, stop, shard, shards, anchor)
+
+    # -- batched push decode ---------------------------------------------
+
+    def replay_into(self, sink: EventSink, shard: int = -1, shards: int = 1) -> None:
+        """Drive ``sink`` with the decoded stream, block-batched — the
+        hot path post-mortem detection rides on.
+
+        Delivers exactly the events :meth:`entries` (``shard < 0``) or
+        :meth:`shard_entries` would yield, closing with
+        :meth:`~repro.runtime.events.EventSink.on_run_end`, but decodes
+        *columnar*: each block is scanned once for same-tag record
+        runs, and every run is unpacked in one precompiled
+        ``Struct.iter_unpack`` sweep and dispatched through pre-bound
+        sink methods.  No schema-v3 tuples, no generator protocol, no
+        per-record ``unpack_from`` call — the per-event Python overhead
+        is hoisted out of the loop.  Sharded replay reads the uid
+        *column* of an access run first and unpacks the remaining
+        columns only for owned records, so replicated sync-bearing
+        blocks cost non-owning shards little more than a uid scan.
+        """
+        if shard < 0:
+            blocks = self.blocks
+            filtered = False
+        else:
+            blocks = self.shard_blocks(shard, shards)
+            filtered = shards > 1
+        strings = self.strings
+        kinds = _KIND_FROM
+        objkinds = _OBJKIND_FROM
+        sizes = _RECORD_SIZE
+        on_access = sink.on_access_parts
+        on_enter = sink.on_monitor_enter
+        on_exit = sink.on_monitor_exit
+        on_start = sink.on_thread_start
+        on_end = sink.on_thread_end
+        on_join = sink.on_thread_join
+        on_wait = sink.on_wait
+        on_notify = sink.on_notify
+        unpack_access = _ACCESS.iter_unpack
+        unpack_uid = _ACCESS_UID.iter_unpack
+        unpack_one = _ACCESS.unpack_from
+        monitor_one = _MONITOR.unpack_from
+        start_one = _START.unpack_from
+        end_one = _END.unpack_from
+        join_one = _JOIN.unpack_from
+        wait_one = _WAIT.unpack_from
+        notify_one = _NOTIFY.unpack_from
+        access_size = _ACCESS.size
+        monitor_size = _MONITOR.size
+        for block in blocks:
+            buffer, position, stop, anchor = self._block_view(block)
+            view = memoryview(buffer)
+            # A block whose index entry promises no sync records is one
+            # access run end to end: validate its tag column in a single
+            # strided C sweep and skip per-record scanning entirely.  A
+            # block that fails the check (index/record disagreement)
+            # falls through to the scanned loop for exact diagnostics.
+            whole = (
+                block.syncs == 0
+                and (stop - position) % access_size == 0
+                and bytes(view[position:stop:access_size]).count(TAG_ACCESS)
+                == (stop - position) // access_size
             )
+            while position < stop:
+                tag = view[position]
+                if tag == TAG_ACCESS:
+                    if whole:
+                        run_end = stop
+                    else:
+                        run_end = position + access_size
+                        while run_end < stop and view[run_end] == TAG_ACCESS:
+                            run_end += access_size
+                        if run_end > stop:
+                            raise self._truncated_record(
+                                tag, run_end - access_size, stop, anchor
+                            )
+                    segment = view[position:run_end]
+                    try:
+                        if not filtered:
+                            for (_, kind, objkind, uid, thread, site,
+                                 field_id, label_id) in unpack_access(segment):
+                                on_access(
+                                    uid, strings[field_id], thread,
+                                    kinds[kind], site, objkinds[objkind],
+                                    strings[label_id],
+                                )
+                        elif run_end - position < 64 * access_size:
+                            # Short run: one full sweep with the uid test
+                            # inline beats a separate uid-column pass.
+                            for rec in unpack_access(segment):
+                                if rec[3] % shards == shard:
+                                    (_, kind, objkind, uid, thread, site,
+                                     field_id, label_id) = rec
+                                    on_access(
+                                        uid, strings[field_id], thread,
+                                        kinds[kind], site, objkinds[objkind],
+                                        strings[label_id],
+                                    )
+                        else:
+                            # Long run: read the uid column first and
+                            # touch the other columns only for owned
+                            # records — a non-owning shard skips the run
+                            # at uid-scan cost.
+                            owned = [
+                                i
+                                for i, (uid,) in enumerate(unpack_uid(segment))
+                                if uid % shards == shard
+                            ]
+                            if len(owned) * access_size == len(segment):
+                                for (_, kind, objkind, uid, thread, site,
+                                     field_id, label_id) in unpack_access(
+                                         segment):
+                                    on_access(
+                                        uid, strings[field_id], thread,
+                                        kinds[kind], site, objkinds[objkind],
+                                        strings[label_id],
+                                    )
+                            else:
+                                for i in owned:
+                                    (_, kind, objkind, uid, thread, site,
+                                     field_id, label_id) = unpack_one(
+                                        segment, i * access_size)
+                                    on_access(
+                                        uid, strings[field_id], thread,
+                                        kinds[kind], site, objkinds[objkind],
+                                        strings[label_id],
+                                    )
+                    except IndexError:
+                        self._locate_bad_access(view, position, run_end, anchor)
+                    position = run_end
+                elif tag == TAG_ENTER:
+                    # Sync runs average a record or two; decoding them in
+                    # place skips the slice + iter_unpack setup a run
+                    # sweep would pay per record anyway.
+                    if position + monitor_size > stop:
+                        raise self._truncated_record(tag, position, stop, anchor)
+                    _, reentrant, thread, lock = monitor_one(view, position)
+                    on_enter(thread, lock, reentrant != 0)
+                    position += monitor_size
+                elif tag == TAG_EXIT:
+                    if position + monitor_size > stop:
+                        raise self._truncated_record(tag, position, stop, anchor)
+                    _, reentrant, thread, lock = monitor_one(view, position)
+                    on_exit(thread, lock, reentrant != 0)
+                    position += monitor_size
+                else:
+                    size = sizes.get(tag)
+                    if size is None:
+                        raise self._unknown_tag(tag, position, anchor)
+                    if position + size > stop:
+                        raise self._truncated_record(tag, position, stop, anchor)
+                    if tag == TAG_START:
+                        _, parent, child = start_one(view, position)
+                        on_start(parent, child)
+                    elif tag == TAG_END:
+                        (_, thread) = end_one(view, position)
+                        on_end(thread)
+                    elif tag == TAG_JOIN:
+                        _, joiner, joined = join_one(view, position)
+                        on_join(joiner, joined)
+                    elif tag == TAG_WAIT:
+                        _, thread, cond = wait_one(view, position)
+                        on_wait(thread, cond)
+                    else:
+                        _, notify_all, thread, cond = notify_one(view, position)
+                        on_notify(thread, cond, notify_all != 0)
+                    position += size
+        sink.on_run_end()
+
+    def replay_sharded_into(self, sinks) -> None:
+        """Decode the log once and demultiplex it across ``sinks``:
+        access events go to ``sinks[uid % len(sinks)]`` alone, sync
+        events to every sink, in log order — each sink receives exactly
+        the stream :meth:`replay_into` with ``(shard, shards)`` would
+        deliver, at one decode pass instead of one per shard.  Serial
+        mapped sharding rides on this: without parallel workers the
+        per-shard decode passes are pure repetition, and a single
+        columnar sweep with the ``uid % shards`` dispatch inlined in the
+        unpack loop feeds every shard detector at unfiltered-decode
+        cost.  Closes with ``on_run_end`` on every sink.
+        """
+        shards = len(sinks)
+        strings = self.strings
+        kinds = _KIND_FROM
+        objkinds = _OBJKIND_FROM
+        sizes = _RECORD_SIZE
+        on_access = [sink.on_access_parts for sink in sinks]
+        on_enter = [sink.on_monitor_enter for sink in sinks]
+        on_exit = [sink.on_monitor_exit for sink in sinks]
+        on_start = [sink.on_thread_start for sink in sinks]
+        on_end = [sink.on_thread_end for sink in sinks]
+        on_join = [sink.on_thread_join for sink in sinks]
+        on_wait = [sink.on_wait for sink in sinks]
+        on_notify = [sink.on_notify for sink in sinks]
+        unpack_access = _ACCESS.iter_unpack
+        monitor_one = _MONITOR.unpack_from
+        start_one = _START.unpack_from
+        end_one = _END.unpack_from
+        join_one = _JOIN.unpack_from
+        wait_one = _WAIT.unpack_from
+        notify_one = _NOTIFY.unpack_from
+        access_size = _ACCESS.size
+        monitor_size = _MONITOR.size
+        for block in self.blocks:
+            buffer, position, stop, anchor = self._block_view(block)
+            view = memoryview(buffer)
+            # Same single-sweep tag-column validation as replay_into.
+            whole = (
+                block.syncs == 0
+                and (stop - position) % access_size == 0
+                and bytes(view[position:stop:access_size]).count(TAG_ACCESS)
+                == (stop - position) // access_size
+            )
+            while position < stop:
+                tag = view[position]
+                if tag == TAG_ACCESS:
+                    if whole:
+                        run_end = stop
+                    else:
+                        run_end = position + access_size
+                        while run_end < stop and view[run_end] == TAG_ACCESS:
+                            run_end += access_size
+                        if run_end > stop:
+                            raise self._truncated_record(
+                                tag, run_end - access_size, stop, anchor
+                            )
+                    segment = view[position:run_end]
+                    try:
+                        for (_, kind, objkind, uid, thread, site,
+                             field_id, label_id) in unpack_access(segment):
+                            on_access[uid % shards](
+                                uid, strings[field_id], thread,
+                                kinds[kind], site, objkinds[objkind],
+                                strings[label_id],
+                            )
+                    except IndexError:
+                        self._locate_bad_access(view, position, run_end, anchor)
+                    position = run_end
+                elif tag == TAG_ENTER:
+                    if position + monitor_size > stop:
+                        raise self._truncated_record(tag, position, stop, anchor)
+                    _, reentrant, thread, lock = monitor_one(view, position)
+                    for handler in on_enter:
+                        handler(thread, lock, reentrant != 0)
+                    position += monitor_size
+                elif tag == TAG_EXIT:
+                    if position + monitor_size > stop:
+                        raise self._truncated_record(tag, position, stop, anchor)
+                    _, reentrant, thread, lock = monitor_one(view, position)
+                    for handler in on_exit:
+                        handler(thread, lock, reentrant != 0)
+                    position += monitor_size
+                else:
+                    size = sizes.get(tag)
+                    if size is None:
+                        raise self._unknown_tag(tag, position, anchor)
+                    if position + size > stop:
+                        raise self._truncated_record(tag, position, stop, anchor)
+                    if tag == TAG_START:
+                        _, parent, child = start_one(view, position)
+                        for handler in on_start:
+                            handler(parent, child)
+                    elif tag == TAG_END:
+                        (_, thread) = end_one(view, position)
+                        for handler in on_end:
+                            handler(thread)
+                    elif tag == TAG_JOIN:
+                        _, joiner, joined = join_one(view, position)
+                        for handler in on_join:
+                            handler(joiner, joined)
+                    elif tag == TAG_WAIT:
+                        _, thread, cond = wait_one(view, position)
+                        for handler in on_wait:
+                            handler(thread, cond)
+                    else:
+                        _, notify_all, thread, cond = notify_one(view, position)
+                        for handler in on_notify:
+                            handler(thread, cond, notify_all != 0)
+                    position += size
+        for sink in sinks:
+            sink.on_run_end()
 
     # -- statistics ------------------------------------------------------
 
@@ -717,6 +1235,27 @@ class BinaryLogReader:
         """Event counts by kind plus distinct-entity counts (one lazy
         pass over the mapped records)."""
         return collect_log_stats(self.entries())
+
+    def block_stats(self) -> dict:
+        """Per-block occupancy and (v2) compression summary: block
+        count, fill relative to ``records_per_block``, and how many
+        stored bytes the deflated blocks saved."""
+        blocks = self.blocks  # also decodes self.records_per_block
+        per_block = self.records_per_block
+        stored = sum(block.length for block in blocks)
+        raw = sum(block.raw_length for block in blocks)
+        fills = [block.records / per_block for block in blocks] or [0.0]
+        return {
+            "blocks": len(blocks),
+            "records_per_block": per_block,
+            "mean_fill": round(sum(fills) / len(fills), 4),
+            "min_fill": round(min(fills), 4),
+            "max_fill": round(max(fills), 4),
+            "compressed_blocks": sum(1 for b in blocks if b.compressed),
+            "stored_record_bytes": stored,
+            "raw_record_bytes": raw,
+            "compression_ratio": round(raw / stored, 3) if stored else 1.0,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -764,13 +1303,20 @@ def temporary_binary_log(suffix: str = ".mjbl", dir=None):
         path.unlink(missing_ok=True)
 
 
-def write_binary_log(log: LogLike, path: Union[str, Path]) -> Path:
+def write_binary_log(
+    log: LogLike,
+    path: Union[str, Path],
+    records_per_block: int = DEFAULT_RECORDS_PER_BLOCK,
+    compress: Optional[int] = None,
+) -> Path:
     """Serialize any log shape to an ``MJBL`` file (the ``tuple →
-    binary`` half of the round-trip contract)."""
+    binary`` half of the round-trip contract).  ``compress`` selects
+    the format exactly as on :class:`BinaryLogSink`: ``None`` → v1,
+    a zlib level → v2."""
     from .events import replay_entries
 
     path = Path(path)
-    with BinaryLogSink(path) as sink:
+    with BinaryLogSink(path, records_per_block, compress=compress) as sink:
         replay_entries(as_log_entries(log), sink)
     return path
 

@@ -184,3 +184,34 @@ def synthesize_into(
         emitted += 1
     sink.on_run_end()
     return emitted
+
+
+def synthesize_file(
+    path,
+    events: int,
+    compress=None,
+    records_per_block=None,
+    **kwargs,
+) -> int:
+    """Stream a synthetic trace straight to an MJBL file at ``path``.
+
+    The one-call form the ``repro synthlog`` command and the benchmarks
+    share: ``compress=None`` writes format v1, an integer zlib level
+    (0-9) writes v2.  Extra keyword arguments go to
+    :func:`synthesize_into`.  Returns the event count written.
+    """
+    from .binlog import DEFAULT_RECORDS_PER_BLOCK, BinaryLogSink
+
+    sink = BinaryLogSink(
+        path,
+        records_per_block=(
+            DEFAULT_RECORDS_PER_BLOCK
+            if records_per_block is None
+            else records_per_block
+        ),
+        compress=compress,
+    )
+    try:
+        return synthesize_into(sink, events, **kwargs)
+    finally:
+        sink.close()

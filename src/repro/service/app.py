@@ -104,11 +104,13 @@ def _validate_upload(kind: str, body: bytes) -> None:
 
     Log uploads are validated here, in the parent, so a damaged log is
     a *request* error (422 with a byte offset) at submit time, not a
-    failed job discovered by polling.  Binary logs validate
-    structurally in O(1); tuple logs pay their one parse+validate pass
-    (they are the compatibility path — the daemon's bulk format is
-    MJBL).  Program bodies only need to be text here; compile errors
-    are real work and stay in the workers.
+    failed job discovered by polling.  v1 binary logs validate
+    structurally in O(1); v2 logs additionally inflate-check their
+    compressed blocks (one zlib pass, no record decoding) so a garbled
+    deflated span is caught here with its block offset.  Tuple logs pay
+    their one parse+validate pass (they are the compatibility path —
+    the daemon's bulk format is MJBL).  Program bodies only need to be
+    text here; compile errors are real work and stay in the workers.
     """
     from ..runtime.binlog import open_log, temporary_binary_log
 
@@ -125,9 +127,14 @@ def _validate_upload(kind: str, body: bytes) -> None:
     with temporary_binary_log(suffix=suffix) as spool:
         spool.write_bytes(body)
         log = open_log(spool)
-        close = getattr(log, "close", None)
-        if close is not None:
-            close()
+        try:
+            validate = getattr(log, "validate_blocks", None)
+            if validate is not None:
+                validate()
+        finally:
+            close = getattr(log, "close", None)
+            if close is not None:
+                close()
 
 
 class ServiceApp:

@@ -83,12 +83,13 @@ def _policy(seed):
     return RandomPolicy(seed) if seed is not None else RoundRobinPolicy()
 
 
-def _replay_axes(entries_of, emit) -> list:
+def _replay_axes(replay, emit) -> list:
     """Replay the recorded stream through the non-paper axes, emitting
-    each verdict as it completes.  ``entries_of`` is a zero-argument
-    callable returning a fresh entry iterable per axis."""
+    each verdict as it completes.  ``replay`` is a callable delivering
+    the full stream (including run-end) into the sink it is given —
+    ``BinaryLogReader.replay_into`` for mapped uploads (batched decode,
+    no tuple materialization), a ``replay_entries`` closure otherwise."""
     from ..baselines import EraserDetector, HappensBeforeDetector
-    from ..runtime.events import replay_entries
 
     detectors = {
         "hb": HappensBeforeDetector,
@@ -97,7 +98,7 @@ def _replay_axes(entries_of, emit) -> list:
     verdicts = []
     for axis in EXTRA_AXES:
         detector = detectors[axis]()
-        replay_entries(entries_of(), detector)
+        replay(detector)
         verdict = verdict_payload(
             axis,
             detector.racy_locations,
@@ -175,7 +176,11 @@ def _execute_program(payload: dict, cache: CompileCache, emit) -> dict:
     )
     emit(paper)
     started = time.perf_counter()
-    axes = [paper] + _replay_axes(lambda: log.log, emit)
+    from ..runtime.events import replay_entries
+
+    axes = [paper] + _replay_axes(
+        lambda sink: replay_entries(log.log, sink), emit
+    )
     detect_seconds = time.perf_counter() - started
 
     report = detection_report(
@@ -238,9 +243,15 @@ def _execute_log(payload: dict, emit) -> dict:
                 len(sharded.reports.reports),
             )
             emit(paper)
-            axes = [paper] + _replay_axes(
-                lambda: as_log_entries(log), emit
-            )
+            if isinstance(log, BinaryLogReader):
+                replay = log.replay_into
+            else:
+                from ..runtime.events import replay_entries
+
+                replay = lambda sink: replay_entries(  # noqa: E731
+                    as_log_entries(log), sink
+                )
+            axes = [paper] + _replay_axes(replay, emit)
         finally:
             if isinstance(log, BinaryLogReader):
                 log.close()

@@ -50,19 +50,25 @@ def _assert_binary_parity(resolved, log, tmp_path):
     serial_lines = _report_lines(canonical_report_order(serial.reports.reports))
     path = tmp_path / "trace.mjbl"
     write_binary_log(log, path)
-    with BinaryLogReader(path) as reader:
-        assert list(reader.entries()) == list(log.log)
-        for shards in SHARD_COUNTS:
-            sharded = detect_sharded(
-                reader, shards, resolved=resolved, validate=False
-            )
-            assert _report_lines(sharded.reports.reports) == serial_lines
-            assert sharded.reports.racy_locations == serial.reports.racy_locations
-            assert sharded.stats.accesses == serial.stats.accesses
-            assert (
-                sharded.stats.detector_processed
-                == serial.stats.detector_processed
-            )
+    v2_path = tmp_path / "trace_v2.mjbl"
+    write_binary_log(log, v2_path, compress=6)
+    for mapped in (path, v2_path):
+        with BinaryLogReader(mapped) as reader:
+            assert list(reader.entries()) == list(log.log)
+            for shards in SHARD_COUNTS:
+                sharded = detect_sharded(
+                    reader, shards, resolved=resolved, validate=False
+                )
+                assert _report_lines(sharded.reports.reports) == serial_lines
+                assert (
+                    sharded.reports.racy_locations
+                    == serial.reports.racy_locations
+                )
+                assert sharded.stats.accesses == serial.stats.accesses
+                assert (
+                    sharded.stats.detector_processed
+                    == serial.stats.detector_processed
+                )
     # The path-based entry point (what --from-log uses) agrees too.
     sharded = detect_sharded(path, 2, resolved=resolved)
     assert _report_lines(sharded.reports.reports) == serial_lines
@@ -203,6 +209,85 @@ class TestCliRecordAndReplay:
         assert "error" in err
 
 
+class TestCliCompressedRecord:
+    def _race_lines(self, text):
+        return [line for line in text.splitlines() if "DATARACE" in line]
+
+    def test_record_compressed_then_from_log(self, racy_file, tmp_path, capsys):
+        v1 = tmp_path / "run.mjbl"
+        v2 = tmp_path / "run_v2.mjbl"
+        assert main(["run", str(racy_file), "--record-binary", str(v1)]) == 0
+        capsys.readouterr()
+        assert main([
+            "run", str(racy_file), "--record-binary", str(v2), "--compress",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "binary v2, deflate level 6" in err
+        # Same schedule, same events: both logs replay to the same races.
+        from_v1 = main(["check", str(racy_file), "--from-log", str(v1)])
+        v1_out = capsys.readouterr().out
+        from_v2 = main(["check", str(racy_file), "--from-log", str(v2)])
+        v2_out = capsys.readouterr().out
+        assert from_v1 == from_v2 == 1
+        assert self._race_lines(v1_out) == self._race_lines(v2_out)
+
+    def test_compress_without_record_binary_is_usage_error(
+        self, racy_file, capsys
+    ):
+        assert main(["run", str(racy_file), "--compress", "6"]) == 2
+        assert "--record-binary" in capsys.readouterr().err
+
+    def test_compress_level_out_of_range_is_usage_error(
+        self, racy_file, tmp_path, capsys
+    ):
+        log = tmp_path / "run.mjbl"
+        code = main([
+            "run", str(racy_file), "--record-binary", str(log),
+            "--compress", "12",
+        ])
+        assert code == 2
+        assert "0-9" in capsys.readouterr().err
+
+
+class TestCliSynthlog:
+    def test_synthlog_writes_a_detectable_log(self, tmp_path, capsys):
+        out = tmp_path / "synth.mjbl"
+        assert main([
+            "synthlog", str(out), "--events", "20000", "--compress", "6",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "MJBL v2" in err
+        assert main(["log-stats", str(out), "--verify"]) == 0
+        stats_out = capsys.readouterr().out
+        assert "format: binary (MJBL v2" in stats_out
+        assert "crc: ok" in stats_out
+        with BinaryLogReader(out) as reader:
+            assert len(reader) == 20_000
+        outcome = detect_sharded(out, 2)
+        assert outcome.stats.accesses > 0
+
+    def test_synthlog_compressed_matches_uncompressed(self, tmp_path, capsys):
+        a = tmp_path / "a.mjbl"
+        b = tmp_path / "b.mjbl"
+        assert main(["synthlog", str(a), "--events", "20000"]) == 0
+        assert main([
+            "synthlog", str(b), "--events", "20000", "--compress", "9",
+        ]) == 0
+        capsys.readouterr()
+        with BinaryLogReader(a) as ra, BinaryLogReader(b) as rb:
+            assert list(ra.entries()) == list(rb.entries())
+        assert b.stat().st_size < a.stat().st_size
+
+    def test_synthlog_rejects_bad_arguments(self, tmp_path, capsys):
+        assert main([
+            "synthlog", str(tmp_path / "x.mjbl"), "--events", "0",
+        ]) == 2
+        capsys.readouterr()
+        assert main([
+            "synthlog", str(tmp_path / "x.mjbl"), "--compress", "10",
+        ]) == 2
+
+
 class TestCliLogStats:
     def test_binary_log_stats(self, racy_file, tmp_path, capsys):
         log = tmp_path / "run.mjbl"
@@ -213,6 +298,19 @@ class TestCliLogStats:
         assert "format: binary (MJBL v1" in out
         assert "crc: ok" in out
         assert "tuple/binary size ratio:" in out
+        assert "block fill:" in out
+
+    def test_compressed_log_stats_report_ratio(self, racy_file, tmp_path, capsys):
+        log = tmp_path / "run.mjbl"
+        main([
+            "run", str(racy_file), "--record-binary", str(log), "--compress",
+        ])
+        capsys.readouterr()
+        assert main(["log-stats", str(log), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "format: binary (MJBL v2" in out
+        assert "crc: ok" in out
+        assert "compression:" in out
 
     def test_tuple_log_stats(self, racy_file, tmp_path, capsys):
         log = tmp_path / "run.json"

@@ -107,6 +107,62 @@ class TestLogErrorExitCodes:
         assert "999" in captured.err
 
 
+@pytest.fixture
+def compressed_log(tmp_path):
+    """A v2-compressed synthetic log big enough for deflated blocks."""
+    from repro.runtime.synthlog import synthesize_file
+
+    path = tmp_path / "run_v2.mjbl"
+    synthesize_file(path, 10_000, compress=6, records_per_block=512)
+    return path
+
+
+@pytest.mark.parametrize("command", ["check", "log-stats"])
+class TestV2LogErrorExitCodes:
+    """The v2 format plugs into the same exit-code taxonomy: damage
+    inside a deflated block is exit 3 and names the block's byte
+    offset; a future format version is schema skew, exit 4."""
+
+    def _invoke(self, command, path):
+        if command == "check":
+            return main(["check", "--from-log", str(path)])
+        return main(["log-stats", str(path)])
+
+    def test_garbled_compressed_block_exits_3_with_offset(
+        self, command, compressed_log, capsys
+    ):
+        from repro.runtime.binlog import BinaryLogReader
+
+        with BinaryLogReader(compressed_log) as reader:
+            block_offset = next(
+                b.offset for b in reader.blocks if b.compressed
+            )
+        data = bytearray(compressed_log.read_bytes())
+        data[block_offset] = 0xFF  # break the zlib stream header
+        compressed_log.write_bytes(data)
+        code = self._invoke(command, compressed_log)
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "corrupt" in captured.err
+        assert str(block_offset) in captured.err
+
+    def test_future_format_version_exits_4(
+        self, command, compressed_log, capsys
+    ):
+        import struct
+
+        from repro.runtime.binlog import BINLOG_VERSION_COMPRESSED
+
+        data = bytearray(compressed_log.read_bytes())
+        struct.pack_into("<I", data, 4, BINLOG_VERSION_COMPRESSED + 1)
+        compressed_log.write_bytes(data)
+        code = self._invoke(command, compressed_log)
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "schema" in captured.err
+        assert "re-record" in captured.err
+
+
 class TestReportJson:
     def test_report_json_is_canonical_and_machine_readable(
         self, tmp_path, capsys

@@ -453,6 +453,55 @@ class TestLogJobs:
         assert payload["taxonomy"] == "corrupt"
         assert payload["offset"] == 40
 
+    def test_compressed_mjbl_report_matches_v1(
+        self, daemon, binary_log, tmp_path
+    ):
+        from repro.runtime.binlog import read_binary_log, write_binary_log
+
+        v2_path = tmp_path / "racy_v2.mjbl"
+        write_binary_log(read_binary_log(binary_log), v2_path, compress=6)
+        _, _, v1_record = daemon.submit_json(
+            "/submit?wait=1", binary_log.read_bytes(), expect=200
+        )
+        _, _, v2_record = daemon.submit_json(
+            "/submit?wait=1", v2_path.read_bytes(), expect=200
+        )
+        assert v2_record["job"]["kind"] == "binary-log"
+        assert canonical(v2_record["result"]["report"]) == canonical(
+            v1_record["result"]["report"]
+        )
+
+    def test_garbled_compressed_block_is_422_with_offset(
+        self, daemon, tmp_path
+    ):
+        from repro.runtime.binlog import BinaryLogReader
+        from repro.runtime.synthlog import synthesize_file
+
+        path = tmp_path / "synth_v2.mjbl"
+        synthesize_file(path, 10_000, compress=6, records_per_block=512)
+        with BinaryLogReader(path) as reader:
+            block_offset = next(
+                b.offset for b in reader.blocks if b.compressed
+            )
+        data = bytearray(path.read_bytes())
+        data[block_offset] = 0xFF  # break the zlib stream header
+        status, _, body = daemon.request("POST", "/submit", bytes(data))
+        payload = json.loads(body)
+        assert status == 422
+        assert payload["taxonomy"] == "corrupt"
+        assert payload["offset"] == block_offset
+
+    def test_future_mjbl_version_is_400(self, daemon, binary_log):
+        import struct
+
+        from repro.runtime.binlog import BINLOG_VERSION_COMPRESSED
+
+        data = bytearray(binary_log.read_bytes())
+        struct.pack_into("<I", data, 4, BINLOG_VERSION_COMPRESSED + 1)
+        status, _, body = daemon.request("POST", "/submit", bytes(data))
+        assert status == 400
+        assert json.loads(body)["taxonomy"] == "schema-mismatch"
+
     def test_schema_skew_is_400(self, daemon):
         skewed = json.dumps({"version": 999, "entries": []})
         status, _, data = daemon.request("POST", "/submit", skewed.encode())

@@ -1,0 +1,66 @@
+"""CRC verification must stream, not materialize.
+
+``BinaryLogReader.verify()`` walks the record region as memoryview
+chunks fed to ``zlib.crc32``.  The regression this pins: an
+implementation that slices the mmap into one ``bytes`` object doubles
+the verification footprint (mapped pages *plus* a file-sized copy),
+which at the 100M-event tier is gigabytes.  The child process verifies
+a 1M-event file and reports its peak RSS growth; the budget allows the
+mapped pages themselves plus slack, not a second copy.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.synthlog import synthesize_file
+
+ROOT = Path(__file__).resolve().parents[2]
+
+_CHILD = """
+import json, resource, sys
+from repro.runtime.binlog import BinaryLogReader
+
+path = sys.argv[1]
+before = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+with BinaryLogReader(path) as reader:
+    reader.verify()
+    records = reader.record_count
+after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({"before_kb": before, "after_kb": after, "records": records}))
+"""
+
+
+@pytest.fixture(scope="module")
+def million_event_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("rss") / "million.mjbl"
+    synthesize_file(path, 1_000_000)
+    return path
+
+
+def test_verify_rss_stays_within_mapped_pages(million_event_log):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(million_event_log)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    report = json.loads(result.stdout)
+    assert report["records"] == 1_000_000
+    grown_kb = report["after_kb"] - report["before_kb"]
+    file_kb = million_event_log.stat().st_size // 1024
+    # The CRC pass touches every mapped page once (that is the floor for
+    # reading the file) plus bounded chunk scratch.  A materializing
+    # implementation adds another file-sized allocation on top and blows
+    # this budget.
+    assert grown_kb <= file_kb + 8 * 1024, (
+        f"verify() grew RSS by {grown_kb} KB on a {file_kb} KB file — "
+        f"is the record region being materialized?"
+    )

@@ -10,6 +10,12 @@ two ways:
 * recorded logs of fuzzer-generated programs, executed on **both**
   engines — and since the engines are stream-identical, the binary
   files they produce must be byte-identical too.
+
+The v2 format and the columnar decoder widen the claim: the round trip
+must hold for every ``compress`` setting (v1, v2-raw, v2-deflated) at
+every block size, and the batched :meth:`BinaryLogReader.replay_into`
+path must deliver the same stream as the scalar per-record decode —
+unfiltered and for every shard of a partition.
 """
 
 import tempfile
@@ -71,32 +77,80 @@ entries_strategy = st.lists(
 )
 
 
-def _roundtrip(entries, records_per_block=None):
+#: The three at-rest flavors: v1, v2 with deflate disabled, v2 deflated.
+compress_strategy = st.sampled_from((None, 0, 6))
+
+
+def _write(entries, path, records_per_block=None, compress=None):
+    if records_per_block is None and compress is None:
+        write_binary_log(entries, path)
+        return
+    from repro.runtime.binlog import DEFAULT_RECORDS_PER_BLOCK, BinaryLogSink
+    from repro.runtime.events import replay_entries
+
+    if records_per_block is None:
+        records_per_block = DEFAULT_RECORDS_PER_BLOCK
+    with BinaryLogSink(
+        path, records_per_block=records_per_block, compress=compress
+    ) as sink:
+        replay_entries(entries, sink)
+
+
+def _roundtrip(entries, records_per_block=None, compress=None):
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "log.mjbl"
-        if records_per_block is None:
-            write_binary_log(entries, path)
-        else:
-            from repro.runtime.binlog import BinaryLogSink
-            from repro.runtime.events import replay_entries
-
-            with BinaryLogSink(path, records_per_block=records_per_block) as sink:
-                replay_entries(entries, sink)
+        _write(entries, path, records_per_block, compress)
         return read_binary_log(path)
 
 
 @settings(max_examples=60, deadline=None)
-@given(entries_strategy)
-def test_arbitrary_entry_streams_roundtrip(entries):
-    assert _roundtrip(entries) == entries
+@given(entries_strategy, compress_strategy)
+def test_arbitrary_entry_streams_roundtrip(entries, compress):
+    assert _roundtrip(entries, compress=compress) == entries
 
 
 @settings(max_examples=25, deadline=None)
-@given(entries_strategy, st.integers(min_value=1, max_value=7))
-def test_roundtrip_is_block_size_invariant(entries, records_per_block):
+@given(entries_strategy, st.integers(min_value=1, max_value=7), compress_strategy)
+def test_roundtrip_is_block_size_invariant(entries, records_per_block, compress):
     # Tiny blocks force record runs to straddle many index entries;
-    # the decoded stream must not notice.
-    assert _roundtrip(entries, records_per_block) == entries
+    # the decoded stream must not notice — raw or deflated.
+    assert _roundtrip(entries, records_per_block, compress) == entries
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    entries_strategy,
+    st.integers(min_value=1, max_value=7),
+    compress_strategy,
+    st.integers(min_value=1, max_value=4),
+)
+def test_columnar_replay_matches_scalar_decode(
+    entries, records_per_block, compress, shards
+):
+    # The batched replay_into path (whole-block sweeps, run detection,
+    # uid-column masking) must be observationally identical to the
+    # scalar per-record decode, unfiltered and per shard.
+    from repro.runtime.binlog import BinaryLogReader
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "log.mjbl"
+        _write(entries, path, records_per_block, compress)
+        with BinaryLogReader(path) as reader:
+            sink = RecordingSink()
+            reader.replay_into(sink)
+            assert sink.log == list(reader.entries()) == entries
+            for shard in range(shards):
+                sink = RecordingSink()
+                reader.replay_into(sink, shard, shards)
+                assert sink.log == list(reader.shard_entries(shard, shards))
+            # Demultiplexed single-pass decode: each sink must see
+            # exactly its filtered stream, in the same order.
+            demux = [RecordingSink() for _ in range(shards)]
+            reader.replay_sharded_into(demux)
+            for shard in range(shards):
+                assert demux[shard].log == list(
+                    reader.shard_entries(shard, shards)
+                )
 
 
 @settings(max_examples=15, deadline=None)

@@ -16,12 +16,14 @@ import pytest
 from repro.runtime import RecordingSink
 from repro.runtime.binlog import (
     BINLOG_VERSION,
+    BINLOG_VERSION_COMPRESSED,
     DEFAULT_RECORDS_PER_BLOCK,
     HEADER_SIZE,
     MAGIC,
     UID_PARTITIONS,
     BinaryLogReader,
     BinaryLogSink,
+    LogCorruptError,
     _shard_partition_mask,
     as_log_entries,
     collect_log_stats,
@@ -150,7 +152,7 @@ class TestValidation:
 
     def test_rejects_future_version_with_remediation(self, binary_path):
         data = bytearray(binary_path.read_bytes())
-        struct.pack_into("<I", data, 4, BINLOG_VERSION + 1)
+        struct.pack_into("<I", data, 4, BINLOG_VERSION_COMPRESSED + 1)
         binary_path.write_bytes(data)
         with pytest.raises(LogSchemaError, match="re-record"):
             BinaryLogReader(binary_path)
@@ -359,6 +361,232 @@ class TestOpenLog:
 
     def test_missing_file_is_not_binary(self, tmp_path):
         assert not is_binary_log(tmp_path / "absent.mjbl")
+
+
+class TestCompressedV2:
+    """The MJBL v2 on-disk contract: per-block zlib spans behind the
+    same reader API, v1 files untouched and still readable."""
+
+    @pytest.fixture(scope="class")
+    def trio(self, tmp_path_factory):
+        """The same 20k-event trace as v1, v2-uncompressed, v2-deflated."""
+        base = tmp_path_factory.mktemp("v2")
+        paths = {}
+        for name, compress in (("v1", None), ("v2raw", 0), ("v2z", 6)):
+            path = base / f"{name}.mjbl"
+            sink = BinaryLogSink(path, records_per_block=512, compress=compress)
+            synthesize_into(sink, 20_000)
+            paths[name] = path
+        return paths
+
+    def test_writer_version_stamps(self, trio):
+        with BinaryLogReader(trio["v1"]) as reader:
+            assert reader.version == BINLOG_VERSION
+        for name in ("v2raw", "v2z"):
+            with BinaryLogReader(trio[name]) as reader:
+                assert reader.version == BINLOG_VERSION_COMPRESSED
+
+    def test_all_three_decode_identically(self, trio):
+        streams = {
+            name: read_binary_log(path) for name, path in trio.items()
+        }
+        assert streams["v1"] == streams["v2raw"] == streams["v2z"]
+        assert len(streams["v1"]) == 20_000
+
+    def test_deflated_file_is_smaller(self, trio):
+        v1 = trio["v1"].stat().st_size
+        v2z = trio["v2z"].stat().st_size
+        assert v2z < v1
+        # The committed claim: compressed storage at or under 16
+        # bytes/event on the synthetic mix (raw records are ~25).
+        assert v2z / 20_000 <= 16
+
+    def test_uncompressed_v2_blocks_stay_raw(self, trio):
+        with BinaryLogReader(trio["v2raw"]) as reader:
+            assert not any(block.compressed for block in reader.blocks)
+        with BinaryLogReader(trio["v2z"]) as reader:
+            assert any(block.compressed for block in reader.blocks)
+            for block in reader.blocks:
+                if block.compressed:
+                    assert block.raw_length > block.length
+
+    def test_shard_entries_and_replay_match_v1(self, trio):
+        with BinaryLogReader(trio["v1"]) as v1, BinaryLogReader(
+            trio["v2z"]
+        ) as v2:
+            for shard, shards in ((0, 4), (3, 4), (1, 3)):
+                assert list(v1.shard_entries(shard, shards)) == list(
+                    v2.shard_entries(shard, shards)
+                )
+
+    def test_crc_verify_covers_stored_bytes(self, trio):
+        with BinaryLogReader(trio["v2z"], verify=True):
+            pass
+        data = bytearray(trio["v2z"].read_bytes())
+        data[HEADER_SIZE + 3] ^= 0xFF
+        mangled = trio["v2z"].parent / "mangled.mjbl"
+        mangled.write_bytes(data)
+        with pytest.raises(LogSchemaError, match="CRC mismatch"):
+            BinaryLogReader(mangled, verify=True)
+
+    def test_compress_level_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="compress"):
+            BinaryLogSink(tmp_path / "x.mjbl", compress=10)
+        with pytest.raises(ValueError, match="compress"):
+            BinaryLogSink(tmp_path / "x.mjbl", compress=-1)
+
+    def test_block_stats_report_ratio_and_fill(self, trio):
+        with BinaryLogReader(trio["v2z"]) as reader:
+            stats = reader.block_stats()
+        assert stats["blocks"] == len(read_binary_log(trio["v2z"])) // 512 + (
+            1 if 20_000 % 512 else 0
+        )
+        assert stats["records_per_block"] == 512
+        assert 0 < stats["min_fill"] <= stats["mean_fill"] <= stats["max_fill"] <= 1
+        assert stats["compressed_blocks"] > 0
+        assert stats["compression_ratio"] > 1.4
+        with BinaryLogReader(trio["v1"]) as reader:
+            v1_stats = reader.block_stats()
+        assert v1_stats["compressed_blocks"] == 0
+        assert v1_stats["compression_ratio"] == 1.0
+
+
+class TestV2Corruption:
+    """Corruption inside a v2 log names the failing block's byte
+    offset, exactly as the v1 scalar path names record offsets."""
+
+    @pytest.fixture()
+    def v2_path(self, tmp_path):
+        path = tmp_path / "v2.mjbl"
+        sink = BinaryLogSink(path, records_per_block=512, compress=6)
+        synthesize_into(sink, 10_000)
+        return path
+
+    def _first_compressed(self, path):
+        with BinaryLogReader(path) as reader:
+            for block in reader.blocks:
+                if block.compressed:
+                    return block.offset, block.length
+        raise AssertionError("no compressed block in fixture log")
+
+    def test_garbled_deflate_stream_names_block_offset(self, v2_path):
+        offset, _ = self._first_compressed(v2_path)
+        data = bytearray(v2_path.read_bytes())
+        data[offset] = 0xFF  # break the zlib stream header
+        v2_path.write_bytes(data)
+        with BinaryLogReader(v2_path) as reader:
+            with pytest.raises(LogCorruptError, match="fails to inflate") as info:
+                list(reader.entries())
+            assert info.value.offset == offset
+            assert str(offset) in str(info.value)
+
+    def test_truncated_deflate_stream_is_corrupt(self, v2_path):
+        offset, length = self._first_compressed(v2_path)
+        data = bytearray(v2_path.read_bytes())
+        # Zero the tail of the stored span: the stream no longer ends.
+        data[offset + length // 2 : offset + length] = bytes(
+            length - length // 2
+        )
+        v2_path.write_bytes(data)
+        with BinaryLogReader(v2_path) as reader:
+            with pytest.raises(LogCorruptError, match="fails to inflate") as info:
+                list(reader.entries())
+            assert info.value.offset == offset
+
+    def test_raw_length_mismatch_names_block_offset(self, v2_path):
+        with BinaryLogReader(v2_path) as reader:
+            from repro.runtime.binlog import _INDEX_ENTRY_V2, _INDEX_HEADER
+
+            index_offset = reader.index_offset
+            target = None
+            for position, block in enumerate(reader.blocks):
+                if block.compressed:
+                    target = (position, block.offset)
+                    break
+        assert target is not None
+        position, block_offset = target
+        entry_offset = (
+            index_offset + _INDEX_HEADER.size + position * _INDEX_ENTRY_V2.size
+        )
+        data = bytearray(v2_path.read_bytes())
+        struct.pack_into("<I", data, entry_offset + 36, 7)  # absurd raw_length
+        v2_path.write_bytes(data)
+        with BinaryLogReader(v2_path) as reader:
+            with pytest.raises(
+                LogCorruptError, match="index entry promises 7"
+            ) as info:
+                list(reader.entries())
+            assert info.value.offset == block_offset
+
+    def test_record_corruption_inside_block_names_anchor(self, v2_path):
+        # Decode-level corruption (a bad tag) inside an inflated block
+        # can't name an exact file offset — the corrupt bytes never
+        # exist on disk raw — so the error anchors to the stored span.
+        import zlib as _z
+
+        from repro.runtime.binlog import _INDEX_ENTRY_V2, _INDEX_HEADER
+
+        with BinaryLogReader(v2_path) as reader:
+            position, block = next(
+                (i, b) for i, b in enumerate(reader.blocks) if b.compressed
+            )
+            entry_offset = (
+                reader.index_offset
+                + _INDEX_HEADER.size
+                + position * _INDEX_ENTRY_V2.size
+            )
+        data = bytearray(v2_path.read_bytes())
+        raw = bytearray(
+            _z.decompress(data[block.offset : block.offset + block.length])
+        )
+        raw[0] = 99  # no such tag — valid deflate stream, invalid records
+        deflated = _z.compress(bytes(raw), 6)
+        data[block.offset : block.offset + len(deflated)] = deflated
+        # Re-point the index entry at the re-deflated span.  Earlier
+        # blocks are untouched and decoding stops at this one, so the
+        # few bytes the new stream may spill past the old span never
+        # get read.
+        struct.pack_into("<I", data, entry_offset + 8, len(deflated))
+        v2_path.write_bytes(data)
+        with BinaryLogReader(v2_path) as reader:
+            with pytest.raises(
+                LogCorruptError,
+                match=rf"unknown record tag 99 .*compressed block at byte "
+                rf"offset {block.offset}",
+            ):
+                list(reader.entries())
+
+    def test_v1_entry_with_compressed_flag_is_corrupt(self, tmp_path):
+        path = tmp_path / "v1.mjbl"
+        sink = BinaryLogSink(path, records_per_block=512)
+        synthesize_into(sink, 2_000)
+        with BinaryLogReader(path) as reader:
+            from repro.runtime.binlog import _INDEX_ENTRY_V2, _INDEX_HEADER
+
+            entry_offset = reader.index_offset + _INDEX_HEADER.size
+        data = bytearray(path.read_bytes())
+        data[entry_offset + 33] = 1  # v2 compressed flag inside a v1 index
+        path.write_bytes(data)
+        with BinaryLogReader(path) as reader:
+            with pytest.raises(
+                LogCorruptError, match="compressed-block flag"
+            ) as info:
+                reader.blocks
+            assert info.value.offset == entry_offset
+
+    def test_relabeled_v1_header_still_reads(self, tmp_path):
+        # A v1 file whose header version is bumped to 2 stays readable:
+        # v1 index entries zero-pad exactly where v2 put its new fields.
+        path = tmp_path / "relabel.mjbl"
+        sink = BinaryLogSink(path, records_per_block=512)
+        synthesize_into(sink, 2_000)
+        expected = read_binary_log(path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<I", data, 4, BINLOG_VERSION_COMPRESSED)
+        path.write_bytes(data)
+        with BinaryLogReader(path) as reader:
+            assert reader.version == BINLOG_VERSION_COMPRESSED
+            assert list(reader.entries()) == expected
 
 
 class TestLogStats:
